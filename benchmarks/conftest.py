@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the reproduction pipeline (cycle simulation + models), registers the
+reproduced rows/series alongside the published values through the
+``report`` fixture, and asserts the shape.  All registered tables are
+printed in the terminal summary so ``pytest benchmarks/ --benchmark-only``
+ends with the full reproduced evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.eval.workloads import make_workload
+
+_REPORTS: List[Tuple[str, List[str]]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a reproduced table: ``report(title, lines)``."""
+
+    def add(title: str, lines) -> None:
+        _REPORTS.append((title, list(lines)))
+
+    return add
+
+
+@pytest.fixture(scope="session")
+def bench_workload():
+    """The standard benchmark workload: all 24 chromosomes at GRCh38
+    proportions, several partitions per chromosome."""
+    return make_workload(
+        n_reads=240,
+        read_length=80,
+        genome_scale=4.5e-5,
+        psize=4000,
+        seed=2020,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bench_workload():
+    """A single-chromosome workload for the heavier cycle simulations."""
+    return make_workload(
+        n_reads=100,
+        read_length=80,
+        chromosomes=(20,),
+        genome_scale=4.5e-5,
+        psize=4000,
+        seed=2021,
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables & figures")
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("-" * len(title))
+        for line in lines:
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

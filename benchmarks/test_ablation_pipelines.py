@@ -1,0 +1,49 @@
+"""Ablation: pipeline replication count (Section V-A's configuration rule).
+
+The paper picks 16/16/8 pipelines — "the resource limit we can fit" or
+"the performance limit where an accelerator can no longer get more speedup
+from parallelism".  This ablation sweeps the count in the timing model and
+shows the knee: once a stage is PCIe- or host-bound, more pipelines stop
+paying.
+"""
+
+from repro.perf.cpu_model import PAPER_READS
+from repro.perf.timing import CALIBRATIONS, model_stage, with_pipelines
+
+COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _sweep():
+    out = {}
+    for stage, calibration in CALIBRATIONS.items():
+        out[stage] = {
+            n: model_stage(
+                stage, PAPER_READS, 151,
+                calibration=with_pipelines(calibration, n),
+            ).speedup
+            for n in COUNTS
+        }
+    return out
+
+
+def test_ablation_pipeline_count(benchmark, report):
+    sweep = benchmark(_sweep)
+
+    lines = []
+    for stage, by_n in sweep.items():
+        ordered = [by_n[n] for n in COUNTS]
+        assert ordered == sorted(ordered)  # monotone
+        # Diminishing returns around the paper's operating point: the gain
+        # from doubling beyond it never exceeds the gain of reaching it.
+        paper_n = CALIBRATIONS[stage].n_pipelines
+        gain_beyond = by_n[paper_n * 2] / by_n[paper_n]
+        gain_reaching = by_n[paper_n] / by_n[paper_n // 2]
+        assert gain_beyond <= gain_reaching * 1.02, stage
+        # Far past the knee the curve is flat: 32->64 gains <10%.
+        assert by_n[64] / by_n[32] < 1.10, stage
+        # But halving it costs something real for the compute-heavy stages.
+        if stage != "markdup":
+            assert gain_reaching > 1.05, stage
+        series = ", ".join(f"{n}x={by_n[n]:.1f}" for n in COUNTS)
+        lines.append(f"{stage} (paper uses {paper_n} pipelines): {series}")
+    report("Ablation - speedup vs number of replicated pipelines", lines)

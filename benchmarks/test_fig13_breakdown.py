@@ -1,0 +1,46 @@
+"""Figure 13(b): runtime breakdown of the Genesis accelerated stages into
+host software, PCIe communication, and accelerator compute."""
+
+import pytest
+
+from repro.eval.experiments import PAPER_TARGETS, measure_cycles_per_base
+from repro.perf.cpu_model import PAPER_READS
+from repro.perf.timing import model_stage
+
+
+def _breakdowns(workload):
+    out = {}
+    for stage in ("markdup", "metadata", "bqsr_table"):
+        cpb = measure_cycles_per_base(stage, workload).cycles_per_base
+        out[stage] = model_stage(stage, PAPER_READS, 151, cpb)
+    return out
+
+
+def test_figure13b_breakdown(benchmark, report, small_bench_workload):
+    timings = benchmark(_breakdowns, small_bench_workload)
+
+    markdup = timings["markdup"].breakdown()
+    # "the un-accelerated software portion of the stage (takes 99.35% of
+    # the runtime) works as a bottleneck".
+    assert markdup["host"] > 0.9
+
+    metadata = timings["metadata"].breakdown()
+    assert metadata["pcie"] == pytest.approx(
+        PAPER_TARGETS["pcie_fraction"]["metadata"], abs=0.12
+    )
+
+    bqsr = timings["bqsr_table"].breakdown()
+    assert bqsr["pcie"] == pytest.approx(
+        PAPER_TARGETS["pcie_fraction"]["bqsr_table"], abs=0.12
+    )
+
+    lines = []
+    for stage, timing in timings.items():
+        b = timing.breakdown()
+        lines.append(
+            f"{stage}: host {b['host']:.1%}, pcie {b['pcie']:.1%}, "
+            f"hw {b['hw']:.1%} (total {timing.total_seconds:.0f}s modelled)"
+        )
+    lines.append("paper: markdup host 99.35%; metadata pcie 53.4%; "
+                 "bqsr pcie 29.5%")
+    report("Figure 13(b) - accelerated-stage runtime breakdown", lines)

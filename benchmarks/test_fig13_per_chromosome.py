@@ -1,0 +1,41 @@
+"""Figure 13(c)/(d): per-chromosome speedups for metadata update and BQSR.
+
+The per-chromosome cycle simulations drive the model; chromosome workload
+shares follow GRCh38 proportions, so chr1 carries ~5x chr21's reads.
+"""
+
+from repro.eval.experiments import figure13_per_chromosome
+from repro.genomics.reference import chromosome_name
+
+
+def _both(workload):
+    return {
+        "metadata": figure13_per_chromosome(workload, "metadata"),
+        "bqsr_table": figure13_per_chromosome(workload, "bqsr_table"),
+    }
+
+
+def test_figure13cd_per_chromosome(benchmark, report, bench_workload):
+    result = benchmark(_both, bench_workload)
+
+    lines = []
+    for stage, target_range in (("metadata", (8, 40)), ("bqsr_table", (5, 25))):
+        speedups = result[stage]
+        assert len(speedups) >= 20  # nearly all chromosomes covered
+        low, high = target_range
+        for chrom, speedup in speedups.items():
+            assert low < speedup < high, (stage, chrom, speedup)
+        spread = max(speedups.values()) / min(speedups.values())
+        # Per-chromosome variation exists but stays modest, as in the figure.
+        assert spread < 2.0
+        series = ", ".join(
+            f"chr{chromosome_name(chrom)}={speedup:.1f}x"
+            for chrom, speedup in sorted(speedups.items())
+        )
+        lines.append(f"{stage}: {series}")
+        lines.append(
+            f"  mean {sum(speedups.values()) / len(speedups):.1f}x, "
+            f"spread {spread:.2f}x "
+            f"(paper overall: {'19.25x' if stage == 'metadata' else '12.59x'})"
+        )
+    report("Figure 13(c,d) - per-chromosome speedups", lines)

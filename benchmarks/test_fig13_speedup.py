@@ -1,0 +1,35 @@
+"""Figure 13(a): speedup of the three Genesis accelerators over GATK4.
+
+Cycles-per-base is measured by running the actual Figure 10/11/12
+pipelines in the cycle simulator on the benchmark workload, then the
+timing model extrapolates to the paper's 700 M-read scale.
+"""
+
+import pytest
+
+from repro.eval.experiments import PAPER_TARGETS, figure13
+
+
+def test_figure13a_speedups(benchmark, report, small_bench_workload):
+    result = benchmark(figure13, workload=small_bench_workload)
+
+    timings = result["pcie3"]
+    targets = PAPER_TARGETS["speedup"]
+    lines = []
+    for stage, target in targets.items():
+        speedup = timings[stage].speedup
+        # Shape: right winner, right ballpark (within ~40% of published).
+        assert speedup == pytest.approx(target, rel=0.4), stage
+        lines.append(
+            f"{stage}: {speedup:.2f}x (paper {target}x)"
+        )
+    assert timings["metadata"].speedup > timings["bqsr_table"].speedup
+    assert timings["bqsr_table"].speedup > timings["markdup"].speedup
+
+    pcie4 = result["pcie4"]
+    for stage, target in PAPER_TARGETS["speedup_pcie4"].items():
+        speedup = pcie4[stage].speedup
+        assert speedup == pytest.approx(target, rel=0.4), stage
+        lines.append(f"{stage} (PCIe 4.0 what-if): {speedup:.2f}x (paper ~{target}x)")
+
+    report("Figure 13(a) - speedup over GATK4 on 8-core Xeon", lines)

@@ -1,0 +1,30 @@
+"""Figure 1: the cost of sequencing a human genome, 2001-2019.
+
+Background figure; the series is the NHGRI survey the paper replicates.
+The benchmark regenerates the series and checks its defining shape: a
+hundred-thousand-fold drop that outpaces Moore's law after 2007.
+"""
+
+import math
+
+from repro.eval.experiments import figure1_sequencing_cost
+
+
+def test_figure1_sequencing_cost(benchmark, report):
+    data = benchmark(figure1_sequencing_cost)
+
+    years = [year for year, _ in data]
+    costs = [cost for _, cost in data]
+    # "has dropped by a hundred thousand fold, from 2001 to 2019".
+    assert costs[0] / costs[-1] > 1e4
+    # Moore's law halves every ~2 years; sequencing cost fell much faster
+    # over 2007-2011 (the NGS transition).
+    moore = 2 ** ((2011 - 2007) / 2)
+    actual = costs[years.index(2007)] / costs[years.index(2011)]
+    assert actual > moore * 10
+
+    lines = [f"{year}: ${cost:,.0f}" for year, cost in data]
+    lines.append(
+        f"total drop: {costs[0] / costs[-1]:,.0f}x (paper: ~100,000x)"
+    )
+    report("Figure 1 - cost per genome (NHGRI survey)", lines)

@@ -1,0 +1,35 @@
+"""Figure 8: parallel pipeline replication through the arbitration fabric.
+
+Replicates the example-query pipeline N times inside one engine sharing
+the memory system and measures aggregate throughput.  With a deliberately
+narrow memory configuration the bandwidth knee appears at small N —
+the effect that caps Genesis at 16/16/8 pipelines on the F1.
+"""
+
+from repro.eval.experiments import figure8_scaling
+from repro.hw.memory import MemoryConfig
+
+
+def test_figure8_pipeline_scaling(benchmark, report, small_bench_workload):
+    throughput = benchmark(
+        figure8_scaling,
+        workload=small_bench_workload,
+        pipeline_counts=(1, 2, 4, 8),
+        memory_config=MemoryConfig(channels=1, access_bytes=8),
+    )
+
+    # Near-linear early scaling...
+    assert throughput[2] > 1.6 * throughput[1]
+    assert throughput[4] > 2.5 * throughput[1]
+    # ...then saturation: efficiency at 8 pipelines drops below ~90%.
+    efficiency_8 = throughput[8] / (8 * throughput[1])
+    assert efficiency_8 < 0.95
+
+    lines = [
+        f"{n} pipeline(s): {bases_per_cycle:.3f} bases/cycle "
+        f"(efficiency {bases_per_cycle / (n * throughput[1]):.0%})"
+        for n, bases_per_cycle in sorted(throughput.items())
+    ]
+    lines.append("shared-memory arbitration saturates added pipelines, as in "
+                 "the paper's pipeline-count limits (16x/16x/8x)")
+    report("Figure 8 - parallel pipelines vs shared memory bandwidth", lines)

@@ -1,0 +1,36 @@
+"""Figure 9: runtime breakdown of GATK4 preprocessing, with and without an
+alignment accelerator."""
+
+import pytest
+
+from repro.eval.experiments import PAPER_TARGETS, figure9_breakdown
+
+
+def test_figure9_runtime_breakdown(benchmark, report):
+    result = benchmark(figure9_breakdown)
+
+    plain = result["gatk4"]
+    accel = result["gatk4_with_alignment_accel"]
+    targets = PAPER_TARGETS["fig9_fractions"]
+    for stage, target in targets.items():
+        assert plain[stage] == pytest.approx(target, abs=0.03), stage
+    # "the portion of time spent on the alignment stage shrinks to merely
+    # 0.7%" and the three stages "account for the majority (93%)".
+    assert accel["alignment"] < 0.03
+    three = accel["markdup"] + accel["metadata"] + accel["bqsr_table"] + \
+        accel["bqsr_update"]
+    assert three > 0.9
+
+    def fmt(fractions):
+        return ", ".join(
+            f"{stage} {fraction:.1%}" for stage, fraction in fractions.items()
+        )
+
+    report("Figure 9 - GATK4 preprocessing runtime breakdown (8 cores)", [
+        "without alignment accel: " + fmt(plain),
+        "paper:                   alignment 63.4%, markdup 10.0%, "
+        "metadata 15.4%, bqsr_table 4.6%, bqsr_update 4.3%",
+        "with alignment accel:    " + fmt(accel),
+        "paper:                   alignment 0.7%, markdup 27.2%, "
+        "metadata 41.8%, bqsr_table 12.4%, bqsr_update 11.6%",
+    ])

@@ -1,0 +1,41 @@
+"""Table IV: FPGA resource usage of the Genesis accelerators.
+
+Module censuses come from the actually-built pipelines; capacities and
+pipeline counts are the paper's (16x/16x/8x, 1 Mbp partitions); per-module
+costs are the calibrated additive model (see EXPERIMENTS.md).
+"""
+
+from repro.eval.experiments import PAPER_TARGETS, table4_estimates
+from repro.hw.resources import VU9P_BRAM_BYTES, VU9P_LUTS, VU9P_REGISTERS
+
+
+def test_table4_resource_usage(benchmark, report):
+    estimates = benchmark(table4_estimates)
+
+    lines = []
+    for name, vector in estimates.items():
+        paper_luts, paper_regs, paper_bram = PAPER_TARGETS["resources"][name]
+        utilization = vector.utilization()
+        lines.append(
+            f"{name}: {vector.luts / 1000:.0f}K LUTs (paper {paper_luts / 1000:.0f}K), "
+            f"{vector.registers / 1000:.0f}K FFs (paper {paper_regs / 1000:.0f}K), "
+            f"{vector.bram_bytes / 1048576:.2f}MB BRAM (paper {paper_bram}MB) "
+            f"- {utilization['luts']:.0%} LUT util"
+        )
+        # Everything fits the VU9P, as the paper's designs do.
+        assert vector.luts < VU9P_LUTS
+        assert vector.registers < VU9P_REGISTERS
+        assert vector.bram_bytes < VU9P_BRAM_BYTES
+        # Within 2x of published (the model's stated accuracy target).
+        assert 0.5 < vector.luts / paper_luts < 2.0
+        assert 0.5 < (vector.bram_bytes / 1048576) / paper_bram < 2.0
+
+    # Ordering shape: BQSR is LUT-heaviest, metadata is BRAM-heaviest.
+    assert estimates["bqsr_table"].luts > estimates["metadata"].luts > \
+        estimates["markdup"].luts
+    assert estimates["metadata"].bram_bytes == max(
+        v.bram_bytes for v in estimates.values()
+    )
+    lines.append("ordering matches the paper: BQSR most LUTs; "
+                 "metadata most BRAM; markdup smallest")
+    report("Table IV - FPGA resource usage (VU9P)", lines)

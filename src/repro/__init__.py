@@ -1,0 +1,82 @@
+"""Genesis: a hardware acceleration framework for genomic data analysis.
+
+A complete Python reproduction of the ISCA 2020 paper by Ham et al.: the
+extended-SQL front end, the composable hardware-module library realized as
+a cycle-level dataflow simulator, the GATK4-preprocessing accelerators
+(mark duplicates, metadata update, BQSR covariate construction), faithful
+software baselines, the host runtime API, and the performance/cost models
+that regenerate every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import make_workload, run_metadata_update
+
+    wl = make_workload(n_reads=100)
+    pid, part = next(iter(wl.partitions))
+    result = run_metadata_update(part, wl.reference.lookup(pid))
+    print(result.nm[:5], result.run.total_cycles)
+
+See README.md, DESIGN.md, and the examples/ directory.
+"""
+
+from .accel import (
+    accelerated_mark_duplicates,
+    run_bqsr_partition,
+    run_example_query,
+    run_metadata_update,
+    run_quality_sums,
+)
+from .eval import make_workload
+from .gatk import (
+    build_covariate_tables,
+    compute_read_metadata,
+    mark_duplicates,
+    run_bqsr,
+    run_preprocessing,
+    update_metadata,
+)
+from .genomics import (
+    AlignedRead,
+    Cigar,
+    ReadSimulator,
+    ReferenceGenome,
+    SimulatorConfig,
+)
+from .runtime import GenesisRuntime
+from .sql import Executor, parse
+from .tables import (
+    Table,
+    partition_reads,
+    partition_reference,
+    reads_to_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignedRead",
+    "Cigar",
+    "Executor",
+    "GenesisRuntime",
+    "ReadSimulator",
+    "ReferenceGenome",
+    "SimulatorConfig",
+    "Table",
+    "__version__",
+    "accelerated_mark_duplicates",
+    "build_covariate_tables",
+    "compute_read_metadata",
+    "make_workload",
+    "mark_duplicates",
+    "parse",
+    "partition_reads",
+    "partition_reference",
+    "reads_to_table",
+    "run_bqsr",
+    "run_bqsr_partition",
+    "run_example_query",
+    "run_metadata_update",
+    "run_preprocessing",
+    "run_quality_sums",
+    "update_metadata",
+]

@@ -1,0 +1,242 @@
+"""Genesis accelerator for active-region determination (Section IV-E).
+
+The paper lists HaplotypeCaller's active-region determination among the
+operations Genesis covers.  The pipeline composes existing library
+modules plus one small custom module, exactly the extension story of
+Section III-F:
+
+* the metadata-update front end (readers, ReadToBases, reference SPM,
+  left Joiner keyed on position);
+* :class:`AnchorInsertions` — a custom module that replaces the ``INS``
+  sentinel position of inserted bases with the last aligned position
+  (insertions count as activity at their anchor);
+* a depth path (aligned bases -> RMW SPM increment) and an activity path
+  (mismatches / deletions / insertions -> RMW SPM increment), both
+  through address ALUs that rebase genome positions onto SPM words;
+* a host-side merge of per-partition buffers and the shared
+  :func:`repro.gatk.active_region.extract_regions` thresholding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gatk.active_region import (
+    ActiveRegion,
+    ActiveRegionConfig,
+    ActivityProfile,
+    extract_regions,
+)
+from ..genomics.reference import ReferenceGenome
+from ..hw.engine import Engine
+from ..hw.flit import INS, Flit
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.module import Module
+from ..hw.modules import (
+    Filter,
+    Fork,
+    Joiner,
+    MemoryReader,
+    ReadToBases,
+    SpmReader,
+    SpmUpdater,
+    StreamAlu,
+)
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+from ..tables.table import Table
+from .common import AcceleratorRun, load_reference_spm, read_streams, spm_base
+
+
+class AnchorInsertions(Module):
+    """Replaces inserted bases' ``INS`` position with their anchor — the
+    most recent aligned/deleted position (or the read's start for a read
+    whose body opens with an insertion)."""
+
+    def __init__(self, name: str, pos_field: str = "pos"):
+        super().__init__(name)
+        self.pos_field = pos_field
+        self._anchor: Optional[int] = None
+
+    def tick(self, cycle: int) -> None:
+        queue = self.input()
+        out = self.output()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        if not out.can_push():
+            self._note_stalled()
+            return
+        flit = queue.pop()
+        if flit.fields:
+            fields = dict(flit.fields)
+            position = fields.get(self.pos_field)
+            if position is INS:
+                if self._anchor is not None:
+                    fields[self.pos_field] = self._anchor
+            else:
+                self._anchor = position
+            out.push(Flit(fields, last=flit.last))
+        else:
+            out.push(Flit({}, last=flit.last))
+        if flit.last:
+            self._anchor = None
+        self._note_busy()
+
+
+def _is_activity(flit) -> bool:
+    """Mismatching aligned bases, deletions, and (anchored) insertions."""
+    op = flit.get("op")
+    if op in ("I", "D"):
+        return True
+    return int(flit["base"]) != int(flit["ref"])
+
+
+def _has_anchor(flit) -> bool:
+    return flit.get("pos") is not INS
+
+
+def build_active_region_pipeline(
+    engine: Engine,
+    name: str,
+    ref_spm: Scratchpad,
+    base: int,
+    activity_spm: Scratchpad,
+    depth_spm: Scratchpad,
+) -> Pipeline:
+    """Wire one active-region pipeline replica into ``engine``."""
+    pipe = Pipeline(name, engine)
+    memory = engine.memory
+    pos_reader = pipe.add(MemoryReader(f"{name}.pos", memory, elem_size=4))
+    end_reader = pipe.add(MemoryReader(f"{name}.endpos", memory, elem_size=4))
+    cigar_reader = pipe.add(MemoryReader(f"{name}.cigar", memory, elem_size=2))
+    seq_reader = pipe.add(MemoryReader(f"{name}.seq", memory, elem_size=1))
+    pos_fork = pipe.add(Fork(f"{name}.posfork", ports=2))
+    r2b = pipe.add(ReadToBases(f"{name}.r2b", with_qual=False))
+    anchor = pipe.add(AnchorInsertions(f"{name}.anchor"))
+    spm_reader = pipe.add(SpmReader(
+        f"{name}.spmread", ref_spm, mode="interval", base_address=base,
+        out_field="ref", addr_out_field="pos",
+    ))
+    joiner = pipe.add(Joiner(
+        f"{name}.join", mode="left", key_a="pos", key_b="pos",
+        # Insertions were re-anchored upstream, so no INS keys remain;
+        # keep the default passthrough for safety.
+    ))
+    join_fork = pipe.add(Fork(f"{name}.joinfork", ports=2))
+    depth_filter = pipe.add(Filter(
+        f"{name}.isaligned", field="op", op="==", constant="M"
+    ))
+    depth_addr = pipe.add(StreamAlu(
+        f"{name}.daddr", op="SUB", field="pos", constant=base, out_field="addr"
+    ))
+    depth_updater = pipe.add(SpmUpdater(
+        f"{name}.dupd", depth_spm, mode="rmw", addr_field="addr"
+    ))
+    activity_filter = pipe.add(Filter(
+        f"{name}.isactive", field="op", predicate=_is_activity
+    ))
+    anchored_guard = pipe.add(Filter(
+        f"{name}.hasanchor", field="pos", predicate=_has_anchor
+    ))
+    activity_addr = pipe.add(StreamAlu(
+        f"{name}.aaddr", op="SUB", field="pos", constant=base, out_field="addr"
+    ))
+    activity_updater = pipe.add(SpmUpdater(
+        f"{name}.aupd", activity_spm, mode="rmw", addr_field="addr"
+    ))
+
+    engine.connect(pos_reader, pos_fork)
+    engine.connect(pos_fork, r2b, out_port="out0", in_port="pos")
+    engine.connect(pos_fork, spm_reader, out_port="out1", in_port="start")
+    engine.connect(end_reader, spm_reader, in_port="end")
+    engine.connect(cigar_reader, r2b, in_port="cigar")
+    engine.connect(seq_reader, r2b, in_port="seq")
+    engine.connect(r2b, anchor)
+    engine.connect(anchor, joiner, in_port="a")
+    engine.connect(spm_reader, joiner, in_port="b")
+    engine.connect(joiner, join_fork)
+    engine.connect(join_fork, depth_filter, out_port="out0")
+    engine.connect(depth_filter, depth_addr)
+    engine.connect(depth_addr, depth_updater)
+    engine.connect(join_fork, activity_filter, out_port="out1")
+    engine.connect(activity_filter, anchored_guard)
+    engine.connect(anchored_guard, activity_addr)
+    engine.connect(activity_addr, activity_updater)
+    return pipe
+
+
+@dataclass
+class ActiveRegionAccelResult:
+    """One partition's activity/depth buffers plus simulation stats."""
+
+    base: int
+    activity: np.ndarray
+    depth: np.ndarray
+    run: AcceleratorRun
+
+
+def run_active_region_partition(
+    partition: Table,
+    ref_row: dict,
+    memory_config: Optional[MemoryConfig] = None,
+) -> ActiveRegionAccelResult:
+    """Simulate the active-region pipeline on one partition."""
+    ref_spm, load_stats = load_reference_spm(ref_row, memory_config)
+    size = len(ref_row["SEQ"])
+    activity_spm = Scratchpad("activity", size)
+    depth_spm = Scratchpad("depth", size)
+    engine = Engine(MemorySystem(memory_config))
+    pipe = build_active_region_pipeline(
+        engine, "ar", ref_spm, spm_base(ref_row), activity_spm, depth_spm
+    )
+    streams = read_streams(partition)
+    pipe.modules["ar.pos"].set_scalars(streams.pos)
+    pipe.modules["ar.endpos"].set_scalars(streams.endpos)
+    pipe.modules["ar.cigar"].set_items(streams.cigar)
+    pipe.modules["ar.seq"].set_items(streams.seq)
+    stats = engine.run()
+    return ActiveRegionAccelResult(
+        base=spm_base(ref_row),
+        activity=np.array(activity_spm.dump(), dtype=np.int64),
+        depth=np.array(depth_spm.dump(), dtype=np.int64),
+        run=AcceleratorRun(pipeline=pipe, stats=stats, load_stats=load_stats),
+    )
+
+
+def accelerated_active_regions(
+    workload_partitions,
+    reference,
+    genome: ReferenceGenome,
+    config: ActiveRegionConfig = None,
+) -> Dict[int, List[ActiveRegion]]:
+    """Full accelerated stage: per-partition pipelines, host-side buffer
+    merge, shared thresholding.  Equivalent to
+    :func:`repro.gatk.active_region.determine_active_regions`."""
+    per_chrom: Dict[int, np.ndarray] = {}
+    per_chrom_depth: Dict[int, np.ndarray] = {}
+    for chrom in genome.chromosomes:
+        length = genome.length(chrom)
+        per_chrom[chrom] = np.zeros(length, dtype=np.int64)
+        per_chrom_depth[chrom] = np.zeros(length, dtype=np.int64)
+    for pid, part in workload_partitions:
+        if part.num_rows == 0:
+            continue
+        result = run_active_region_partition(part, reference.lookup(pid))
+        length = genome.length(pid.chrom)
+        window = min(len(result.activity), length - result.base)
+        sl = slice(result.base, result.base + window)
+        per_chrom[pid.chrom][sl] += result.activity[:window]
+        per_chrom_depth[pid.chrom][sl] += result.depth[:window]
+    out: Dict[int, List[ActiveRegion]] = {}
+    for chrom in genome.chromosomes:
+        profile = ActivityProfile(
+            chrom, 0, per_chrom[chrom], per_chrom_depth[chrom]
+        )
+        regions = extract_regions(profile, config)
+        if regions:
+            out[chrom] = regions
+    return out

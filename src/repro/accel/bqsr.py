@@ -1,0 +1,268 @@
+"""Genesis BQSR covariate-table-construction accelerator (Figure 12).
+
+One pipeline bins every aligned base of one (partition, read-group) slice
+and counts observations and errors per bin:
+
+* READS memory readers (POS, ENDPOS, CIGAR, SEQ, QUAL) plus a per-read
+  header stream (strand, stored length) for BinIDGen; REF.SEQ and
+  REF.IS_SNP are loaded into the reference SPM (each word holds the
+  ``(base, is_snp)`` pair);
+* ReadToBases (clips emitted so the context covariate sees them) feeds
+  BinIDGen, which attaches the two bin IDs ``b1``/``b2`` to aligned bases
+  and drops everything else;
+* an inner Joiner keyed on position merges the binned bases with the SPM's
+  reference records; the ``!IS_SNP`` Filter drops known-variation sites;
+* the filtered stream forks into the TotalCount SPM updaters (cycle and
+  context tables) and cascades through the mismatch Filter into the
+  ErrorCount SPM updaters — four read-modify-write scratchpads with the
+  RAW-hazard interlock, exactly the Figure 12 topology (small ``b2 >= 0``
+  guards protect the context tables from first-base flits that have no
+  dinucleotide context);
+* a drain phase streams all four SPMs back to memory through SPM Readers
+  in drain mode and Memory Writers.
+
+The host merges per-partition results into per-read-group
+:class:`repro.gatk.bqsr.CovariateTables` and runs the quality-score update
+sub-stage in software, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..gatk.bqsr import MAX_QUALITY, N_CONTEXTS, CovariateTables, n_cycle_values
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import (
+    BinIdGen,
+    Filter,
+    Fork,
+    Joiner,
+    MemoryReader,
+    MemoryWriter,
+    ReadToBases,
+    SpmReader,
+    SpmUpdater,
+)
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+from ..tables.table import Table
+from .common import AcceleratorRun, load_reference_spm, read_streams, spm_base
+
+
+def _not_snp(flit) -> bool:
+    return not flit["ref"][1]
+
+
+def _is_error(flit) -> bool:
+    return int(flit["base"]) != int(flit["ref"][0])
+
+
+def _has_context(flit) -> bool:
+    return flit["b2"] >= 0
+
+
+@dataclass
+class BqsrSpms:
+    """The four count scratchpads of Figure 12."""
+
+    total_cycle: Scratchpad
+    total_context: Scratchpad
+    error_cycle: Scratchpad
+    error_context: Scratchpad
+
+    @classmethod
+    def allocate(cls, read_length: int) -> "BqsrSpms":
+        n_b1 = MAX_QUALITY * n_cycle_values(read_length)
+        n_b2 = MAX_QUALITY * N_CONTEXTS
+        return cls(
+            total_cycle=Scratchpad("total_cycle", n_b1),
+            total_context=Scratchpad("total_context", n_b2),
+            error_cycle=Scratchpad("error_cycle", n_b1),
+            error_context=Scratchpad("error_context", n_b2),
+        )
+
+    def all(self) -> List[Scratchpad]:
+        """The four scratchpads in drain order."""
+        return [
+            self.total_cycle,
+            self.total_context,
+            self.error_cycle,
+            self.error_context,
+        ]
+
+
+def build_bqsr_pipeline(
+    engine: Engine,
+    name: str,
+    ref_spm: Scratchpad,
+    base: int,
+    spms: BqsrSpms,
+    read_length: int,
+) -> Pipeline:
+    """Wire one Figure 12 pipeline replica into ``engine``."""
+    pipe = Pipeline(name, engine)
+    memory = engine.memory
+    pos_reader = pipe.add(MemoryReader(f"{name}.pos", memory, elem_size=4))
+    end_reader = pipe.add(MemoryReader(f"{name}.endpos", memory, elem_size=4))
+    cigar_reader = pipe.add(MemoryReader(f"{name}.cigar", memory, elem_size=2))
+    seq_reader = pipe.add(MemoryReader(f"{name}.seq", memory, elem_size=1))
+    qual_reader = pipe.add(MemoryReader(f"{name}.qual", memory, elem_size=1))
+    meta_reader = pipe.add(MemoryReader(f"{name}.meta", memory, elem_size=4))
+    pos_fork = pipe.add(Fork(f"{name}.posfork", ports=2))
+    r2b = pipe.add(ReadToBases(f"{name}.r2b", with_qual=True, emit_clips=True))
+    binidgen = pipe.add(BinIdGen(f"{name}.binid", read_length=read_length))
+    spm_reader = pipe.add(
+        SpmReader(
+            f"{name}.spmread",
+            ref_spm,
+            mode="interval",
+            base_address=base,
+            out_field="ref",
+            addr_out_field="pos",
+        )
+    )
+    joiner = pipe.add(Joiner(f"{name}.join", mode="inner", key_a="pos", key_b="pos"))
+    snp_filter = pipe.add(Filter(f"{name}.snp", field="ref", predicate=_not_snp))
+    total_fork = pipe.add(Fork(f"{name}.totalfork", ports=3))
+    ctx_guard_total = pipe.add(Filter(f"{name}.ctxg1", field="b2", predicate=_has_context))
+    error_filter = pipe.add(Filter(f"{name}.err", field="base", predicate=_is_error))
+    error_fork = pipe.add(Fork(f"{name}.errfork", ports=2))
+    ctx_guard_error = pipe.add(Filter(f"{name}.ctxg2", field="b2", predicate=_has_context))
+    upd_total_cycle = pipe.add(
+        SpmUpdater(f"{name}.utc", spms.total_cycle, mode="rmw", addr_field="b1")
+    )
+    upd_total_ctx = pipe.add(
+        SpmUpdater(f"{name}.utx", spms.total_context, mode="rmw", addr_field="b2")
+    )
+    upd_error_cycle = pipe.add(
+        SpmUpdater(f"{name}.uec", spms.error_cycle, mode="rmw", addr_field="b1")
+    )
+    upd_error_ctx = pipe.add(
+        SpmUpdater(f"{name}.uex", spms.error_context, mode="rmw", addr_field="b2")
+    )
+
+    engine.connect(pos_reader, pos_fork)
+    engine.connect(pos_fork, r2b, out_port="out0", in_port="pos")
+    engine.connect(pos_fork, spm_reader, out_port="out1", in_port="start")
+    engine.connect(end_reader, spm_reader, in_port="end")
+    engine.connect(cigar_reader, r2b, in_port="cigar")
+    engine.connect(seq_reader, r2b, in_port="seq")
+    engine.connect(qual_reader, r2b, in_port="qual")
+    engine.connect(r2b, binidgen, in_port="in")
+    engine.connect(meta_reader, binidgen, in_port="meta")
+    engine.connect(binidgen, joiner, in_port="a")
+    engine.connect(spm_reader, joiner, in_port="b")
+    engine.connect(joiner, snp_filter)
+    engine.connect(snp_filter, total_fork)
+    engine.connect(total_fork, upd_total_cycle, out_port="out0")
+    engine.connect(total_fork, ctx_guard_total, out_port="out1")
+    engine.connect(ctx_guard_total, upd_total_ctx)
+    engine.connect(total_fork, error_filter, out_port="out2")
+    engine.connect(error_filter, error_fork)
+    engine.connect(error_fork, upd_error_cycle, out_port="out0")
+    engine.connect(error_fork, ctx_guard_error, out_port="out1")
+    engine.connect(ctx_guard_error, upd_error_ctx)
+    return pipe
+
+
+def configure_bqsr_streams(pipe: Pipeline, partition: Table) -> None:
+    """Load one partition's column streams into the pipeline's readers."""
+    streams = read_streams(partition)
+    name = pipe.name
+    pipe.modules[f"{name}.pos"].set_scalars(streams.pos)
+    pipe.modules[f"{name}.endpos"].set_scalars(streams.endpos)
+    pipe.modules[f"{name}.cigar"].set_items(streams.cigar)
+    pipe.modules[f"{name}.seq"].set_items(streams.seq)
+    pipe.modules[f"{name}.qual"].set_items(streams.qual)
+    meta_reader = pipe.modules[f"{name}.meta"]
+    meta_flits = []
+    from ..hw.flit import Flit
+
+    for reverse, seqlen in zip(streams.reverse_flags(), streams.seq_lengths()):
+        meta_flits.append(Flit({"reverse": reverse, "seqlen": seqlen}, last=True))
+    meta_reader.set_stream(meta_flits)
+
+
+def drain_spms(
+    spms: BqsrSpms, memory_config: Optional[MemoryConfig] = None
+) -> RunStats:
+    """The drain phase: stream all four SPMs to memory (Figure 12's SPM
+    Reader -> Memory Writer tails).  Returns the drain cycle statistics."""
+    engine = Engine(MemorySystem(memory_config))
+    for index, spm in enumerate(spms.all()):
+        reader = engine.add_module(
+            SpmReader(f"drain{index}", spm, mode="drain", out_field="value")
+        )
+        writer = engine.add_module(
+            MemoryWriter(f"drainw{index}", engine.memory, elem_size=4)
+        )
+        engine.connect(reader, writer)
+    return engine.run()
+
+
+@dataclass
+class BqsrAccelResult:
+    """One partition's covariate counts plus simulation statistics."""
+
+    total_cycle: np.ndarray
+    total_context: np.ndarray
+    error_cycle: np.ndarray
+    error_context: np.ndarray
+    run: AcceleratorRun
+    drain_stats: Optional[RunStats] = None
+    hazard_stalls: int = 0
+
+
+def run_bqsr_partition(
+    partition: Table,
+    ref_row: dict,
+    read_length: int,
+    memory_config: Optional[MemoryConfig] = None,
+    drain: bool = True,
+) -> BqsrAccelResult:
+    """Simulate the Figure 12 pipeline on one partition slice."""
+    ref_spm, load_stats = load_reference_spm(ref_row, memory_config, with_snp=True)
+    spms = BqsrSpms.allocate(read_length)
+    engine = Engine(MemorySystem(memory_config))
+    pipe = build_bqsr_pipeline(
+        engine, "bq", ref_spm, spm_base(ref_row), spms, read_length
+    )
+    configure_bqsr_streams(pipe, partition)
+    stats = engine.run()
+    drain_stats = drain_spms(spms, memory_config) if drain else None
+    hazard_stalls = sum(
+        module.hazard_stalls
+        for module in pipe.modules.values()
+        if isinstance(module, SpmUpdater)
+    )
+    return BqsrAccelResult(
+        total_cycle=np.array(spms.total_cycle.dump(), dtype=np.int64),
+        total_context=np.array(spms.total_context.dump(), dtype=np.int64),
+        error_cycle=np.array(spms.error_cycle.dump(), dtype=np.int64),
+        error_context=np.array(spms.error_context.dump(), dtype=np.int64),
+        run=AcceleratorRun(pipeline=pipe, stats=stats, load_stats=load_stats),
+        drain_stats=drain_stats,
+        hazard_stalls=hazard_stalls,
+    )
+
+
+def merge_partition_results(
+    results_by_group: Dict[int, Sequence[BqsrAccelResult]],
+    read_length: int,
+) -> Dict[int, CovariateTables]:
+    """Host-side merge: accumulate per-partition counts into one
+    :class:`CovariateTables` per read group."""
+    merged: Dict[int, CovariateTables] = {}
+    for read_group, results in results_by_group.items():
+        table = CovariateTables(read_length)
+        for result in results:
+            table.total_cycle += result.total_cycle
+            table.error_cycle += result.error_cycle
+            table.total_context += result.total_context
+            table.error_context += result.error_context
+        merged[read_group] = table
+    return merged

@@ -1,0 +1,118 @@
+"""Shared plumbing for the Genesis accelerator drivers.
+
+Each accelerator driver (example query, mark duplicates, metadata update,
+BQSR) turns a READS partition and its REF partition row into the column
+streams the memory readers consume, builds the dataflow pipeline, runs the
+cycle simulation, and post-processes the memory-writer contents into
+host-visible results.  The stream framing and the reference-SPM load phase
+are identical across drivers and live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..genomics.read import FLAG_REVERSE
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import MemoryReader, SpmUpdater
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+from ..tables.table import Table
+
+
+@dataclass
+class ReadStreams:
+    """The per-column streams of one READS partition."""
+
+    pos: List[int]
+    endpos: List[int]
+    cigar: List[List[int]]
+    seq: List[np.ndarray]
+    qual: List[np.ndarray]
+    flags: List[int]
+    rowids: List[int]
+
+    @property
+    def num_reads(self) -> int:
+        """Reads in the partition."""
+        return len(self.pos)
+
+    def reverse_flags(self) -> List[bool]:
+        """Per-read reverse-strand booleans (BinIDGen metadata)."""
+        return [bool(f & FLAG_REVERSE) for f in self.flags]
+
+    def seq_lengths(self) -> List[int]:
+        """Per-read stored sequence lengths."""
+        return [len(s) for s in self.seq]
+
+
+def read_streams(partition: Table) -> ReadStreams:
+    """Extract the column streams from a READS partition table."""
+    return ReadStreams(
+        pos=[int(v) for v in partition.column("POS")],
+        endpos=[int(v) for v in partition.column("ENDPOS")],
+        cigar=[[int(c) for c in row] for row in partition.column("CIGAR")],
+        seq=list(partition.column("SEQ")),
+        qual=list(partition.column("QUAL")),
+        flags=[int(v) for v in partition.column("FLAGS")],
+        rowids=[int(v) for v in partition.column("ROWID")],
+    )
+
+
+def load_reference_spm(
+    ref_row: dict,
+    memory_config: Optional[MemoryConfig] = None,
+    with_snp: bool = False,
+) -> Tuple[Scratchpad, RunStats]:
+    """Phase 1 of every reference-using accelerator: stream the REF
+    partition row from memory into an on-chip SPM through a Memory Reader
+    and a sequential-mode SPM Updater, and account its cycles.
+
+    Each SPM word holds the reference base (and, when ``with_snp`` is set,
+    the ``(base, is_snp)`` pair the BQSR pipeline needs).
+    """
+    seq = ref_row["SEQ"]
+    words: Sequence[object]
+    elem_size = 1
+    if with_snp:
+        snp = ref_row["IS_SNP"]
+        words = [(int(b), bool(s)) for b, s in zip(seq, snp)]
+    else:
+        words = [int(b) for b in seq]
+
+    engine = Engine(MemorySystem(memory_config))
+    spm = Scratchpad("ref_spm", len(words))
+    reader = engine.add_module(
+        MemoryReader("ref_reader", engine.memory, elem_size=elem_size)
+    )
+    updater = engine.add_module(SpmUpdater("ref_updater", spm, mode="sequential"))
+    engine.connect(reader, updater)
+    reader.set_items([words])
+    stats = engine.run()
+    return spm, stats
+
+
+@dataclass
+class AcceleratorRun:
+    """Result of simulating one accelerator invocation on one partition."""
+
+    pipeline: Pipeline
+    stats: RunStats
+    load_stats: Optional[RunStats] = None
+
+    @property
+    def total_cycles(self) -> int:
+        """Compute cycles including the SPM load phase."""
+        cycles = self.stats.cycles
+        if self.load_stats is not None:
+            cycles += self.load_stats.cycles
+        return cycles
+
+
+def spm_base(ref_row: dict) -> int:
+    """The genome coordinate of SPM word 0 for a REF partition row."""
+    return int(ref_row["REFPOS"])

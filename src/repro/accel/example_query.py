@@ -1,0 +1,141 @@
+"""The paper's worked example: count matching bases per read (Figures 4-7).
+
+The SQL of Figure 4 asks, for every read in partition P, how many of its
+base pairs match the reference.  Figure 7 composes the hardware pipeline:
+
+  five memory readers (POS, ENDPOS, CIGAR, SEQ, REFS.SEQ), an SPM holding
+  the reference partition (loaded by an SPM Updater), an SPM Reader
+  streaming each read's reference interval, ReadToBases, an inner Joiner
+  keyed on position, a Filter comparing read base to reference base, a
+  COUNT Reducer, and a Memory Writer.
+
+:func:`run_example_query` simulates exactly that pipeline;
+:func:`count_matching_bases_sw` is the software reference semantics the
+simulation is checked against (and what the SQL executor produces for the
+Figure 4 query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..genomics.cigar import decode_elements
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import (
+    Filter,
+    Fork,
+    Joiner,
+    MemoryReader,
+    MemoryWriter,
+    ReadToBases,
+    Reducer,
+    SpmReader,
+)
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+from ..tables.table import Table
+from .common import AcceleratorRun, load_reference_spm, read_streams, spm_base
+
+
+def count_matching_bases_sw(partition: Table, ref_row: dict) -> List[int]:
+    """Software reference: per-read count of bases equal to the reference."""
+    ref_seq = ref_row["SEQ"]
+    offset = int(ref_row["REFPOS"])
+    counts = []
+    for row in partition.rows():
+        cigar = decode_elements(row["CIGAR"])
+        seq = row["SEQ"]
+        matches = 0
+        for op, ref_pos, read_index in cigar.walk(int(row["POS"])):
+            if op != "M":
+                continue
+            if int(seq[read_index]) == int(ref_seq[ref_pos - offset]):
+                matches += 1
+        counts.append(matches)
+    return counts
+
+
+def build_example_pipeline(
+    engine: Engine, name: str, spm: Scratchpad, base: int
+) -> Pipeline:
+    """Wire one Figure 7 pipeline replica into ``engine``.
+
+    Returns the pipeline; the caller configures the reader streams via the
+    modules registered as ``<name>.pos`` etc. and reads results from the
+    ``<name>.writer`` module's collected items.
+    """
+    pipe = Pipeline(name, engine)
+    memory = engine.memory
+    pos_reader = pipe.add(MemoryReader(f"{name}.pos", memory, elem_size=4))
+    end_reader = pipe.add(MemoryReader(f"{name}.endpos", memory, elem_size=4))
+    cigar_reader = pipe.add(MemoryReader(f"{name}.cigar", memory, elem_size=2))
+    seq_reader = pipe.add(MemoryReader(f"{name}.seq", memory, elem_size=1))
+    pos_fork = pipe.add(Fork(f"{name}.posfork", ports=2))
+    r2b = pipe.add(ReadToBases(f"{name}.r2b", with_qual=False))
+    spm_reader = pipe.add(
+        SpmReader(
+            f"{name}.spmread",
+            spm,
+            mode="interval",
+            base_address=base,
+            out_field="ref",
+            addr_out_field="pos",
+        )
+    )
+    joiner = pipe.add(Joiner(f"{name}.join", mode="inner", key_a="pos", key_b="pos"))
+    match_filter = pipe.add(
+        Filter(f"{name}.match", field="base", op="==", other_field="ref")
+    )
+    counter = pipe.add(Reducer(f"{name}.count", op="count", field="base"))
+    writer = pipe.add(MemoryWriter(f"{name}.writer", memory, elem_size=4))
+
+    engine.connect(pos_reader, pos_fork)
+    engine.connect(pos_fork, r2b, out_port="out0", in_port="pos")
+    engine.connect(pos_fork, spm_reader, out_port="out1", in_port="start")
+    engine.connect(end_reader, spm_reader, in_port="end")
+    engine.connect(cigar_reader, r2b, in_port="cigar")
+    engine.connect(seq_reader, r2b, in_port="seq")
+    engine.connect(r2b, joiner, in_port="a")
+    engine.connect(spm_reader, joiner, in_port="b")
+    engine.connect(joiner, match_filter)
+    engine.connect(match_filter, counter)
+    engine.connect(counter, writer)
+    return pipe
+
+
+def configure_example_streams(pipe: Pipeline, partition: Table) -> None:
+    """Load one partition's column streams into the pipeline's readers."""
+    streams = read_streams(partition)
+    pipe.modules[f"{pipe.name}.pos"].set_scalars(streams.pos)
+    pipe.modules[f"{pipe.name}.endpos"].set_scalars(streams.endpos)
+    pipe.modules[f"{pipe.name}.cigar"].set_items(streams.cigar)
+    pipe.modules[f"{pipe.name}.seq"].set_items(streams.seq)
+
+
+@dataclass
+class ExampleQueryResult:
+    """Per-read match counts plus simulation statistics."""
+
+    counts: List[int]
+    run: AcceleratorRun
+
+
+def run_example_query(
+    partition: Table,
+    ref_row: dict,
+    memory_config: Optional[MemoryConfig] = None,
+) -> ExampleQueryResult:
+    """Simulate the Figure 7 pipeline on one partition."""
+    spm, load_stats = load_reference_spm(ref_row, memory_config)
+    engine = Engine(MemorySystem(memory_config))
+    pipe = build_example_pipeline(engine, "ex", spm, spm_base(ref_row))
+    configure_example_streams(pipe, partition)
+    stats = engine.run()
+    writer = pipe.modules["ex.writer"]
+    counts = [int(item[0]) for item in writer.items]
+    return ExampleQueryResult(
+        counts=counts,
+        run=AcceleratorRun(pipeline=pipe, stats=stats, load_stats=load_stats),
+    )

@@ -1,0 +1,234 @@
+"""Genesis pipeline for FM-index seeding (Section IV-E).
+
+"FM-index based seeding in the BWA-MEM aligner" is on the paper's list of
+Genesis-amenable operations.  The pipeline here:
+
+* holds the rank (Occ) table in an on-chip SPM, one word per BWT row —
+  the usual hardware trade of memory for the checkpoint-scan logic;
+* streams reads in through a Memory Reader;
+* runs the greedy right-to-left maximal-exact-match search in a custom
+  :class:`FmSeeder` module (one backward-extension step per cycle, each
+  step two SPM rank lookups);
+* streams seed records out through a Memory Writer.
+
+Functional equivalence with :func:`repro.fmindex.seeding.find_seeds` is
+asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..fmindex.index import SIGMA, FmIndex, SaInterval
+from ..fmindex.seeding import Seed
+from ..hw.engine import Engine, RunStats
+from ..hw.flit import Flit
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.module import Module
+from ..hw.modules import MemoryReader, MemoryWriter
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+
+
+def full_occ_table(index: FmIndex) -> np.ndarray:
+    """Dense Occ table: ``occ[i][c]`` = occurrences of c in BWT[0:i],
+    with ``length + 1`` rows so queries at ``i == length`` resolve."""
+    one_hot = np.zeros((index.length + 1, SIGMA), dtype=np.int64)
+    for c in range(SIGMA):
+        one_hot[1:, c] = np.cumsum(index.bwt == c)
+    return one_hot
+
+
+def load_occ_spm(index: FmIndex) -> Scratchpad:
+    """Pack the dense Occ table into an SPM, one 4-tuple word per row."""
+    table = full_occ_table(index)
+    spm = Scratchpad("occ", len(table))
+    spm.load([tuple(int(v) for v in row) for row in table])
+    return spm
+
+
+class FmSeeder(Module):
+    """Custom module running the greedy SMEM search per read.
+
+    Consumes one read (base flits, framed per item) into an internal
+    buffer at one base per cycle, then performs one backward-extension
+    step per cycle against the Occ SPM, emitting a seed flit
+    ``{start, length, lo, hi}`` whenever a maximal match of at least
+    ``min_seed_length`` bases closes, and a boundary flit per read.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        occ_spm: Scratchpad,
+        c_table: Sequence[int],
+        min_seed_length: int,
+        max_hits: int,
+        text_length: int,
+    ):
+        super().__init__(name)
+        self.occ_spm = occ_spm
+        self.c_table = [int(v) for v in c_table]
+        self.min_seed_length = min_seed_length
+        self.max_hits = max_hits
+        self.text_length = text_length
+        self._buffer: List[int] = []
+        self._loaded = False
+        self._end = 0
+        self._start = 0
+        self._interval: Optional[SaInterval] = None
+
+    # -- search steps -----------------------------------------------------------
+
+    def _rank(self, c: int, i: int) -> int:
+        return self.occ_spm.read(i)[c]
+
+    def _extend(self, interval: SaInterval, c: int) -> SaInterval:
+        lo = self.c_table[c] + self._rank(c, interval.lo)
+        hi = self.c_table[c] + self._rank(c, interval.hi)
+        return SaInterval(lo, hi)
+
+    def _begin_pass(self) -> None:
+        self._start = self._end
+        self._interval = SaInterval(0, self.text_length + 1)
+
+    def _emit_seed_if_valid(self, out) -> None:
+        length = self._end - self._start
+        if length >= self.min_seed_length and self._interval.width >= 1:
+            if self._interval.width <= self.max_hits:
+                out.push(Flit({
+                    "start": self._start,
+                    "length": length,
+                    "lo": self._interval.lo,
+                    "hi": self._interval.hi,
+                }, last=False))
+                self._note_busy()
+            self._end = self._start
+        else:
+            self._end -= 1
+
+    # -- simulation ----------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+
+        if not self._loaded:
+            queue = self.input()
+            if not queue.can_pop():
+                self._note_starved()
+                return
+            flit = queue.pop()
+            if "value" in flit:
+                self._buffer.append(int(flit["value"]))
+            if flit.last:
+                self._loaded = True
+                self._end = len(self._buffer)
+                self._begin_pass()
+            return
+
+        if self._end <= 0:
+            out.push(Flit({}, last=True))
+            self._note_busy()
+            self._buffer = []
+            self._loaded = False
+            return
+
+        # One extension step per cycle.
+        if self._start > 0:
+            extended = self._extend(
+                self._interval, self._buffer[self._start - 1]
+            )
+            if not extended.is_empty:
+                self._interval = extended
+                self._start -= 1
+                return
+        # Maximal: either hit the read start or the next extension fails.
+        self._emit_seed_if_valid(out)
+        if self._end > 0:
+            self._begin_pass()
+
+    def is_idle(self) -> bool:
+        return not self._loaded and not self._buffer
+
+
+@dataclass
+class FmSeedingResult:
+    """Per-read seed lists plus simulation statistics."""
+
+    seeds: List[List[Seed]]
+    stats: RunStats
+
+
+def build_fm_seeding_pipeline(
+    engine: Engine,
+    name: str,
+    index: FmIndex,
+    occ_spm: Scratchpad,
+    min_seed_length: int,
+    max_hits: int,
+) -> Pipeline:
+    """Wire the seeding pipeline: reader -> FmSeeder -> writer."""
+    pipe = Pipeline(name, engine)
+    reader = pipe.add(MemoryReader(f"{name}.seq", engine.memory, elem_size=1))
+    seeder = pipe.add(FmSeeder(
+        f"{name}.seeder", occ_spm, index.c_table[:SIGMA].tolist(),
+        min_seed_length, max_hits, index.length - 1,
+    ))
+    writer = pipe.add(MemoryWriter(
+        f"{name}.writer", engine.memory, elem_size=16, field="start"
+    ))
+    engine.connect(reader, seeder)
+    engine.connect(seeder, writer)
+    return pipe
+
+
+def run_fm_seeding(
+    index: FmIndex,
+    reads: Sequence[Sequence[int]],
+    min_seed_length: int = 19,
+    max_hits: int = 64,
+    memory_config: Optional[MemoryConfig] = None,
+) -> FmSeedingResult:
+    """Simulate the seeding pipeline over encoded reads."""
+    engine = Engine(MemorySystem(memory_config))
+    occ_spm = load_occ_spm(index)
+    pipe = build_fm_seeding_pipeline(
+        engine, "fm", index, occ_spm, min_seed_length, max_hits
+    )
+    pipe.modules["fm.seq"].set_items([[int(c) for c in read] for read in reads])
+
+    # Collect full seed records, not just the writer's primary field.
+    collected: List[List[Seed]] = []
+    current: List[Seed] = []
+
+    class SeedSink(MemoryWriter):
+        def tick(self, cycle: int) -> None:
+            queue = self.input()
+            if not queue.can_pop():
+                self._note_starved()
+                return
+            flit = queue.pop()
+            if flit.fields:
+                current.append(Seed(
+                    read_start=flit["start"],
+                    length=flit["length"],
+                    interval=SaInterval(flit["lo"], flit["hi"]),
+                ))
+            if flit.last:
+                collected.append(sorted(current, key=lambda s: s.read_start))
+                current.clear()
+            self._note_busy()
+
+    # Replace the plain writer with the record-collecting sink.
+    engine.modules.remove(pipe.modules["fm.writer"])
+    sink = SeedSink("fm.sink", engine.memory, elem_size=16)
+    engine.add_module(sink)
+    sink.connect_input("in", pipe.modules["fm.seeder"].output())
+    stats = engine.run()
+    return FmSeedingResult(seeds=collected, stats=stats)

@@ -1,0 +1,76 @@
+"""Genesis mark-duplicates accelerator (Figure 10, Section IV-B).
+
+The hardware part of this stage is deliberately small: a Memory Reader
+streams the QUAL column, a SUM Reducer computes each read's quality-score
+sum at one base per cycle, and a Memory Writer stores the per-read sums.
+The host then generates the unclipped-5' keys and picks the surviving read
+of every duplicate set using those sums (that remainder is
+:func:`repro.gatk.markdup.mark_duplicates` with ``quality_sums``
+injected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..gatk.markdup import MarkDuplicatesResult, mark_duplicates
+from ..genomics.read import AlignedRead
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import MemoryReader, MemoryWriter, Reducer
+from ..hw.pipeline import Pipeline
+from ..tables.table import Table
+
+
+def build_markdup_pipeline(engine: Engine, name: str) -> Pipeline:
+    """Wire one Figure 10 pipeline replica into ``engine``."""
+    pipe = Pipeline(name, engine)
+    reader = pipe.add(MemoryReader(f"{name}.qual", engine.memory, elem_size=1))
+    summer = pipe.add(Reducer(f"{name}.sum", op="sum", field="value"))
+    writer = pipe.add(MemoryWriter(f"{name}.writer", engine.memory, elem_size=4))
+    engine.connect(reader, summer)
+    engine.connect(summer, writer)
+    return pipe
+
+
+@dataclass
+class MarkDupAccelResult:
+    """Per-read quality sums plus simulation statistics."""
+
+    quality_sums: List[int]
+    stats: RunStats
+
+
+def run_quality_sums(
+    quals: Sequence, memory_config: Optional[MemoryConfig] = None
+) -> MarkDupAccelResult:
+    """Simulate the quality-sum pipeline over per-read QUAL arrays."""
+    engine = Engine(MemorySystem(memory_config))
+    pipe = build_markdup_pipeline(engine, "md")
+    pipe.modules["md.qual"].set_items([[int(q) for q in item] for item in quals])
+    stats = engine.run()
+    writer = pipe.modules["md.writer"]
+    return MarkDupAccelResult(
+        quality_sums=[int(item[0]) for item in writer.items], stats=stats
+    )
+
+
+def run_quality_sums_table(
+    reads_table: Table, memory_config: Optional[MemoryConfig] = None
+) -> MarkDupAccelResult:
+    """Same, taking a READS table."""
+    return run_quality_sums(reads_table.column("QUAL"), memory_config)
+
+
+def accelerated_mark_duplicates(
+    reads: Sequence[AlignedRead],
+    memory_config: Optional[MemoryConfig] = None,
+) -> MarkDuplicatesResult:
+    """The full accelerated stage: hardware quality sums + host selection.
+
+    The quality sums are computed in read-list order and handed to the
+    host-side algorithm exactly as the paper's system does.
+    """
+    accel = run_quality_sums([read.qual for read in reads], memory_config)
+    return mark_duplicates(reads, quality_sums=accel.quality_sums)

@@ -1,0 +1,154 @@
+"""Genesis metadata-update accelerator (Figure 11, Section IV-C).
+
+One pipeline computes NM, MD, and UQ for every read of one partition:
+
+* five READS memory readers (POS, ENDPOS, CIGAR, SEQ, QUAL) and one REF
+  reader that initializes the reference SPM (phase 1, shared helper);
+* ReadToBases explodes each read; the SPM Reader streams each read's
+  reference interval; a **left** Joiner keyed on position merges them,
+  preserving insertions (passthrough) and deletions;
+* the joined stream forks to MDGen (MD tokens) and to the mismatch Filter,
+  whose output forks again into a COUNT Reducer (NM) and a masked SUM
+  Reducer over quality (UQ — masked to aligned bases only, so inserted/
+  deleted bases contribute to NM but not UQ, matching GATK);
+* three Memory Writers store NM, MD, and UQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hw.engine import Engine, RunStats
+from ..hw.flit import DEL
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import (
+    Filter,
+    Fork,
+    Joiner,
+    MdGen,
+    MemoryReader,
+    MemoryWriter,
+    ReadToBases,
+    Reducer,
+    SpmReader,
+    StreamAlu,
+    join_md_tokens,
+)
+from ..hw.pipeline import Pipeline
+from ..hw.spm import Scratchpad
+from ..tables.table import Table
+from .common import AcceleratorRun, load_reference_spm, read_streams, spm_base
+
+
+def _is_mismatch(flit) -> bool:
+    """The Figure 11 filter condition: read base differs from reference.
+    Inserted bases (no reference counterpart) and deleted bases (no read
+    base) always count as mismatches."""
+    if flit.get("op") != "M":
+        return True
+    return int(flit["base"]) != int(flit["ref"])
+
+
+def build_metadata_pipeline(
+    engine: Engine, name: str, spm: Scratchpad, base: int
+) -> Pipeline:
+    """Wire one Figure 11 pipeline replica into ``engine``."""
+    pipe = Pipeline(name, engine)
+    memory = engine.memory
+    pos_reader = pipe.add(MemoryReader(f"{name}.pos", memory, elem_size=4))
+    end_reader = pipe.add(MemoryReader(f"{name}.endpos", memory, elem_size=4))
+    cigar_reader = pipe.add(MemoryReader(f"{name}.cigar", memory, elem_size=2))
+    seq_reader = pipe.add(MemoryReader(f"{name}.seq", memory, elem_size=1))
+    qual_reader = pipe.add(MemoryReader(f"{name}.qual", memory, elem_size=1))
+    pos_fork = pipe.add(Fork(f"{name}.posfork", ports=2))
+    r2b = pipe.add(ReadToBases(f"{name}.r2b", with_qual=True))
+    spm_reader = pipe.add(
+        SpmReader(
+            f"{name}.spmread",
+            spm,
+            mode="interval",
+            base_address=base,
+            out_field="ref",
+            addr_out_field="pos",
+        )
+    )
+    joiner = pipe.add(Joiner(f"{name}.join", mode="left", key_a="pos", key_b="pos"))
+    join_fork = pipe.add(Fork(f"{name}.joinfork", ports=2))
+    mismatch = pipe.add(Filter(f"{name}.mismatch", field="base", predicate=_is_mismatch))
+    mm_fork = pipe.add(Fork(f"{name}.mmfork", ports=2))
+    is_m = pipe.add(
+        StreamAlu(f"{name}.ism", op="CMP", field="op", constant="M", out_field="is_m")
+    )
+    nm_count = pipe.add(Reducer(f"{name}.nm", op="count", field="op"))
+    uq_sum = pipe.add(
+        Reducer(f"{name}.uq", op="sum", field="qual", mask_field="is_m")
+    )
+    mdgen = pipe.add(MdGen(f"{name}.mdgen"))
+    nm_writer = pipe.add(MemoryWriter(f"{name}.nmw", memory, elem_size=4))
+    uq_writer = pipe.add(MemoryWriter(f"{name}.uqw", memory, elem_size=4))
+    md_writer = pipe.add(MemoryWriter(f"{name}.mdw", memory, elem_size=1, field="md"))
+
+    engine.connect(pos_reader, pos_fork)
+    engine.connect(pos_fork, r2b, out_port="out0", in_port="pos")
+    engine.connect(pos_fork, spm_reader, out_port="out1", in_port="start")
+    engine.connect(end_reader, spm_reader, in_port="end")
+    engine.connect(cigar_reader, r2b, in_port="cigar")
+    engine.connect(seq_reader, r2b, in_port="seq")
+    engine.connect(qual_reader, r2b, in_port="qual")
+    engine.connect(r2b, joiner, in_port="a")
+    engine.connect(spm_reader, joiner, in_port="b")
+    engine.connect(joiner, join_fork)
+    engine.connect(join_fork, mismatch, out_port="out0")
+    engine.connect(join_fork, mdgen, out_port="out1")
+    engine.connect(mismatch, mm_fork)
+    engine.connect(mm_fork, nm_count, out_port="out0")
+    engine.connect(mm_fork, is_m, out_port="out1")
+    engine.connect(is_m, uq_sum)
+    engine.connect(nm_count, nm_writer)
+    engine.connect(uq_sum, uq_writer)
+    engine.connect(mdgen, md_writer)
+    return pipe
+
+
+def configure_metadata_streams(pipe: Pipeline, partition: Table) -> None:
+    """Load one partition's column streams into the pipeline's readers."""
+    streams = read_streams(partition)
+    name = pipe.name
+    pipe.modules[f"{name}.pos"].set_scalars(streams.pos)
+    pipe.modules[f"{name}.endpos"].set_scalars(streams.endpos)
+    pipe.modules[f"{name}.cigar"].set_items(streams.cigar)
+    pipe.modules[f"{name}.seq"].set_items(streams.seq)
+    pipe.modules[f"{name}.qual"].set_items(streams.qual)
+
+
+@dataclass
+class MetadataAccelResult:
+    """Per-read NM/MD/UQ computed by the simulated pipeline."""
+
+    nm: List[int]
+    md: List[str]
+    uq: List[int]
+    run: AcceleratorRun
+
+
+def run_metadata_update(
+    partition: Table,
+    ref_row: dict,
+    memory_config: Optional[MemoryConfig] = None,
+) -> MetadataAccelResult:
+    """Simulate the Figure 11 pipeline on one partition."""
+    spm, load_stats = load_reference_spm(ref_row, memory_config)
+    engine = Engine(MemorySystem(memory_config))
+    pipe = build_metadata_pipeline(engine, "mu", spm, spm_base(ref_row))
+    configure_metadata_streams(pipe, partition)
+    stats = engine.run()
+    nm = [int(item[0]) for item in pipe.modules["mu.nmw"].items]
+    uq = [int(item[0]) for item in pipe.modules["mu.uqw"].items]
+    md = [join_md_tokens(item) for item in pipe.modules["mu.mdw"].items]
+    return MetadataAccelResult(
+        nm=nm,
+        md=md,
+        uq=uq,
+        run=AcceleratorRun(pipeline=pipe, stats=stats, load_stats=load_stats),
+    )

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate``    — synthesize a reference (FASTA) and reads (SAM/FASTQ);
+* ``preprocess``  — run the accelerated GATK4-style preprocessing over a
+  SAM file against a FASTA reference, writing the tagged SAM;
+* ``call``        — call variants from a preprocessed SAM, writing VCF;
+* ``reproduce``   — print the paper-vs-measured headline numbers.
+
+Everything is laptop-scale and offline; see README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .genomics.fasta import read_fasta, write_fasta, write_fastq
+from .genomics.reference import ReferenceGenome
+from .genomics.sam import read_sam, write_sam
+from .genomics.simulator import ReadSimulator, SimulatorConfig
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    genome = ReferenceGenome.grch38_like(
+        scale=args.scale, snp_rate=args.snp_rate, seed=args.seed,
+        chromosomes=tuple(args.chromosomes) if args.chromosomes else (20, 21),
+    )
+    config = SimulatorConfig(
+        read_length=args.read_length, seed=args.seed + 1,
+        duplicate_rate=args.duplicate_rate,
+    )
+    reads = ReadSimulator(genome, config).simulate(args.reads)
+    with open(args.fasta, "w") as handle:
+        write_fasta(handle, genome)
+    with open(args.sam, "w") as handle:
+        write_sam(handle, reads, genome)
+    if args.fastq:
+        with open(args.fastq, "w") as handle:
+            write_fastq(handle, reads)
+    print(f"wrote {args.fasta} ({genome.total_length()} bp) and "
+          f"{args.sam} ({len(reads)} reads)")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    from .accel.markdup import accelerated_mark_duplicates
+    from .accel.metadata import run_metadata_update
+    from .tables.genomic_tables import reads_to_table
+    from .tables.partition import partition_reads, partition_reference
+
+    with open(args.fasta) as handle:
+        genome = read_fasta(handle, snp_rate=args.snp_rate, seed=7)
+    with open(args.sam) as handle:
+        reads = read_sam(handle)
+    markdup = accelerated_mark_duplicates(reads)
+    print(f"mark duplicates: {markdup.num_duplicates} flagged")
+
+    table = reads_to_table(markdup.sorted_reads)
+    reference = partition_reference(genome, args.psize, args.overlap)
+    tagged = 0
+    for pid, part in partition_reads(table, args.psize):
+        if part.num_rows == 0:
+            continue
+        result = run_metadata_update(part, reference.lookup(pid))
+        for rowid, nm, md, uq in zip(
+            part.column("ROWID").tolist(), result.nm, result.md, result.uq
+        ):
+            markdup.sorted_reads[rowid].tags.update(NM=nm, MD=md, UQ=uq)
+            tagged += 1
+    print(f"metadata update: {tagged} reads tagged")
+    with open(args.out, "w") as handle:
+        write_sam(handle, markdup.sorted_reads, genome)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from .variants.caller import CallerConfig, call_variants
+    from .variants.vcf import write_vcf
+
+    with open(args.fasta) as handle:
+        genome = read_fasta(handle)
+    with open(args.sam) as handle:
+        reads = read_sam(handle)
+    calls = call_variants(
+        reads, genome, CallerConfig(min_depth=args.min_depth)
+    )
+    with open(args.out, "w") as handle:
+        write_vcf(handle, calls)
+    print(f"called {len(calls)} variants -> {args.out}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .eval.experiments import PAPER_TARGETS, measure_cycles_per_base
+    from .eval.workloads import make_workload
+    from .perf import PAPER_READS, model_stage
+
+    workload = make_workload(
+        n_reads=args.reads, read_length=80, chromosomes=(20,),
+        genome_scale=4.5e-5, psize=4000, seed=9,
+    )
+    print("stage        speedup   paper")
+    for stage in ("markdup", "metadata", "bqsr_table"):
+        cpb = measure_cycles_per_base(stage, workload).cycles_per_base
+        timing = model_stage(stage, PAPER_READS, 151, cpb)
+        print(f"{stage:<12} {timing.speedup:6.2f}x  "
+              f"{PAPER_TARGETS['speedup'][stage]}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Genesis (ISCA 2020) reproduction command-line tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="synthesize a workload")
+    simulate.add_argument("--fasta", required=True)
+    simulate.add_argument("--sam", required=True)
+    simulate.add_argument("--fastq", default=None)
+    simulate.add_argument("--reads", type=int, default=500)
+    simulate.add_argument("--read-length", type=int, default=100)
+    simulate.add_argument("--scale", type=float, default=4.5e-5)
+    simulate.add_argument("--snp-rate", type=float, default=0.001)
+    simulate.add_argument("--duplicate-rate", type=float, default=0.15)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--chromosomes", type=int, nargs="*", default=None)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    preprocess = commands.add_parser(
+        "preprocess", help="accelerated GATK4-style preprocessing"
+    )
+    preprocess.add_argument("--fasta", required=True)
+    preprocess.add_argument("--sam", required=True)
+    preprocess.add_argument("--out", required=True)
+    preprocess.add_argument("--psize", type=int, default=4000)
+    preprocess.add_argument("--overlap", type=int, default=200)
+    preprocess.add_argument("--snp-rate", type=float, default=0.001)
+    preprocess.set_defaults(func=_cmd_preprocess)
+
+    call = commands.add_parser("call", help="pileup variant calling")
+    call.add_argument("--fasta", required=True)
+    call.add_argument("--sam", required=True)
+    call.add_argument("--out", required=True)
+    call.add_argument("--min-depth", type=int, default=4)
+    call.set_defaults(func=_cmd_call)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="print paper-vs-measured speedups"
+    )
+    reproduce.add_argument("--reads", type=int, default=120)
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

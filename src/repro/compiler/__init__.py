@@ -1,0 +1,25 @@
+"""Query-plan-to-hardware mapping (Section III-D).
+
+Captures the paper's node-to-module translation rules as data, lowers
+logical plans to hardware blueprints (module multiset + queue edges, with
+SPM hints), and verifies the blueprints against the hand-built pipelines.
+"""
+
+from .builder import (
+    FIGURE7_QUERY,
+    blueprint_summary,
+    census_mismatches,
+    figure7_blueprint,
+)
+from .mapping import NODE_TO_MODULES, Blueprint, ModuleSpec, plan_to_blueprint
+
+__all__ = [
+    "Blueprint",
+    "FIGURE7_QUERY",
+    "ModuleSpec",
+    "NODE_TO_MODULES",
+    "blueprint_summary",
+    "census_mismatches",
+    "figure7_blueprint",
+    "plan_to_blueprint",
+]

@@ -1,0 +1,124 @@
+"""Logical-plan-to-hardware-module mapping (Section III-D).
+
+"Each node in the graph can be mapped to a Genesis hardware module, and
+each edge in the graph is mapped to a hardware queue connecting these
+modules."  The paper's translation is manual; this module captures the
+mapping rules as data and produces a *blueprint* — the module multiset and
+queue edges a hardware engineer (or the envisioned automatic translator)
+would instantiate — from any logical plan, honoring SPM hints for
+frequently reused tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..sql.plan import (
+    AggregateNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    PosExplodeNode,
+    ProjectNode,
+    ReadExplodeNode,
+    ScanNode,
+    walk,
+)
+
+#: Plan-node type -> hardware module type(s) it lowers to.
+NODE_TO_MODULES: Dict[type, Tuple[str, ...]] = {
+    ScanNode: ("MemoryReader",),
+    FilterNode: ("Filter",),
+    JoinNode: ("Joiner",),
+    AggregateNode: ("Reducer",),
+    GroupByNode: ("SpmUpdater", "SpmReader"),
+    ReadExplodeNode: ("ReadToBases",),
+    PosExplodeNode: (),  # absorbed into the SPM layout of its producer
+    ProjectNode: (),  # pure wiring: field selection on the queue
+    LimitNode: (),  # folded into the SPM reader's interval bounds
+}
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One module instance in a blueprint."""
+
+    node_id: int
+    module_type: str
+    detail: str = ""
+
+
+@dataclass
+class Blueprint:
+    """The hardware skeleton derived from a logical plan: module instances
+    plus queue edges between producing and consuming plan nodes."""
+
+    modules: List[ModuleSpec] = field(default_factory=list)
+    edges: List[Tuple[int, int]] = field(default_factory=list)
+    spm_tables: List[str] = field(default_factory=list)
+
+    def census(self) -> Dict[str, int]:
+        """Module-type instance counts (comparable against a built
+        Pipeline's :meth:`module_census`)."""
+        counts: Dict[str, int] = {}
+        for spec in self.modules:
+            counts[spec.module_type] = counts.get(spec.module_type, 0) + 1
+        return counts
+
+
+def plan_to_blueprint(
+    plan: PlanNode,
+    spm_tables: FrozenSet[str] = frozenset(),
+) -> Blueprint:
+    """Lower a logical plan to a hardware blueprint.
+
+    ``spm_tables`` is the user hint from Section III-D: tables named here
+    are allocated to on-chip SPMs — their scans become an SPM Updater (to
+    load) plus an SPM Reader (to stream intervals) instead of a plain
+    memory reader path, exactly the Figure 7 structure.
+    """
+    blueprint = Blueprint(spm_tables=sorted(spm_tables))
+    node_ids: Dict[int, int] = {}
+    for node_id, node in enumerate(walk(plan)):
+        node_ids[id(node)] = node_id
+        node_type = type(node)
+        if isinstance(node, ScanNode) and node.table in spm_tables:
+            blueprint.modules.append(
+                ModuleSpec(node_id, "MemoryReader", f"load {node.table}")
+            )
+            blueprint.modules.append(
+                ModuleSpec(node_id, "SpmUpdater", f"init SPM[{node.table}]")
+            )
+            blueprint.modules.append(
+                ModuleSpec(node_id, "SpmReader", f"stream SPM[{node.table}]")
+            )
+            continue
+        if isinstance(node, ScanNode):
+            blueprint.modules.append(
+                ModuleSpec(node_id, "MemoryReader", f"read {node.table}")
+            )
+            continue
+        if isinstance(node, ReadExplodeNode):
+            # ReadToBases consumes POS/CIGAR/SEQ(/QUAL) column streams, so
+            # the single logical scan beneath it fans out into one memory
+            # reader per argument column.
+            for arg in node.args[1:]:
+                blueprint.modules.append(
+                    ModuleSpec(node_id, "MemoryReader", f"column {arg!r}")
+                )
+            blueprint.modules.append(ModuleSpec(node_id, "ReadToBases"))
+            continue
+        for module_type in NODE_TO_MODULES.get(node_type, ()):
+            blueprint.modules.append(ModuleSpec(node_id, module_type))
+    # Edges: every parent-child relationship becomes a queue.
+    for node in walk(plan):
+        for child in node.children():
+            blueprint.edges.append((node_ids[id(child)], node_ids[id(node)]))
+    # Every plan's sink streams its result back to memory.
+    blueprint.modules.append(
+        ModuleSpec(node_ids[id(plan)], "MemoryWriter", "store result")
+    )
+    return blueprint

@@ -1,0 +1,26 @@
+"""FM-index substrate: suffix arrays, BWT, backward search, seed finding.
+
+Supports the Section IV-E claim that Genesis covers "FM-index based
+seeding in the BWA-MEM aligner": a complete software FM-index plus the
+seed-extraction kernel, with the hardware pipeline in
+:mod:`repro.accel.fm_seeding`.
+"""
+
+from .bwt import TERMINATOR, bwt_from_suffix_array, inverse_bwt, prepare_text, suffix_array
+from .index import SIGMA, FmIndex, SaInterval
+from .seeding import Seed, find_seeds, seed_coverage, verify_seeds
+
+__all__ = [
+    "FmIndex",
+    "SIGMA",
+    "SaInterval",
+    "Seed",
+    "TERMINATOR",
+    "bwt_from_suffix_array",
+    "find_seeds",
+    "inverse_bwt",
+    "prepare_text",
+    "seed_coverage",
+    "suffix_array",
+    "verify_seeds",
+]

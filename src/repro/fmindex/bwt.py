@@ -1,0 +1,85 @@
+"""Suffix arrays and the Burrows-Wheeler transform.
+
+Substrate for the FM-index (Section IV-E names "FM-index based seeding in
+the BWA-MEM aligner" as a Genesis target).  The suffix array uses the
+prefix-doubling algorithm — O(n log^2 n), comfortably fast for the
+reproduction's genome scales — and the BWT/inverse follow the textbook
+constructions over the DNA alphabet plus a unique terminator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Terminator code appended to the text (sorts before every base code).
+TERMINATOR = 255
+
+
+def suffix_array(text: np.ndarray) -> np.ndarray:
+    """Suffix array of ``text`` (which must already end with the unique
+    :data:`TERMINATOR`), via prefix doubling."""
+    text = np.asarray(text)
+    n = len(text)
+    if n == 0:
+        raise ValueError("empty text")
+    if text[-1] != TERMINATOR or np.count_nonzero(text == TERMINATOR) != 1:
+        raise ValueError("text must end with exactly one terminator")
+    # Initial ranks from single characters (terminator ranks lowest).
+    keys = text.astype(np.int64).copy()
+    keys[keys == TERMINATOR] = -1
+    order = np.argsort(keys, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.concatenate([[0], np.cumsum(keys[order][1:] != keys[order][:-1])])
+    k = 1
+    while k < n:
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        composite = rank * (n + 1) + (second + 1)
+        order = np.argsort(composite, kind="stable")
+        sorted_keys = composite[order]
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[order] = np.concatenate(
+            [[0], np.cumsum(sorted_keys[1:] != sorted_keys[:-1])]
+        )
+        rank = new_rank
+        if rank[order[-1]] == n - 1:
+            break
+        k *= 2
+    return order.astype(np.int64)
+
+
+def bwt_from_suffix_array(text: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """The Burrows-Wheeler transform: ``BWT[i] = text[SA[i] - 1]``."""
+    text = np.asarray(text)
+    sa = np.asarray(sa)
+    return text[(sa - 1) % len(text)]
+
+
+def prepare_text(sequence) -> np.ndarray:
+    """Append the terminator to an encoded DNA sequence."""
+    sequence = np.asarray(sequence, dtype=np.uint8)
+    if np.any(sequence == TERMINATOR):
+        raise ValueError("sequence already contains the terminator code")
+    return np.concatenate([sequence, np.array([TERMINATOR], dtype=np.uint8)])
+
+
+def inverse_bwt(bwt: np.ndarray) -> np.ndarray:
+    """Reconstruct the original text (terminator included) from its BWT —
+    used as a round-trip invariant in the tests."""
+    bwt = np.asarray(bwt)
+    n = len(bwt)
+    keys = bwt.astype(np.int64).copy()
+    keys[keys == TERMINATOR] = -1
+    # LF mapping via a stable sort of the BWT column: BWT position i's
+    # character occurrence sits at F-column row lf[i].
+    order = np.argsort(keys, kind="stable")
+    lf = np.empty(n, dtype=np.int64)
+    lf[order] = np.arange(n)
+    chars: List[int] = []
+    row = 0  # F row 0 holds the terminator; BWT[0] is the last text char.
+    for _ in range(n - 1):
+        chars.append(int(bwt[row]))
+        row = int(lf[row])
+    return np.array(chars[::-1] + [TERMINATOR], dtype=np.uint8)

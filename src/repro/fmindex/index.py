@@ -1,0 +1,152 @@
+"""The FM-index: backward search over the BWT with sampled Occ/SA tables.
+
+The classic compressed full-text index BWA-MEM's seeding is built on.
+``Occ(c, i)`` — the number of occurrences of character ``c`` in
+``BWT[0:i]`` — is answered from checkpoints every ``occ_sample`` rows plus
+a short scan, and ``locate`` resolves SA intervals through a sampled
+suffix array with LF-walks, exactly as real FM-index implementations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .bwt import TERMINATOR, bwt_from_suffix_array, prepare_text, suffix_array
+
+#: DNA alphabet size (A, C, G, T).
+SIGMA = 4
+
+
+@dataclass(frozen=True)
+class SaInterval:
+    """A half-open BWT row interval [lo, hi) of suffixes sharing a prefix."""
+
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        """Number of matches (0 when the interval is empty)."""
+        return max(0, self.hi - self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        """No suffix carries the searched pattern."""
+        return self.hi <= self.lo
+
+
+class FmIndex:
+    """FM-index over an encoded DNA text."""
+
+    def __init__(self, sequence, occ_sample: int = 32, sa_sample: int = 8):
+        if occ_sample < 1 or sa_sample < 1:
+            raise ValueError("sampling rates must be positive")
+        text = prepare_text(sequence)
+        self._sa = suffix_array(text)
+        self.bwt = bwt_from_suffix_array(text, self._sa)
+        self.length = len(text)
+        self.occ_sample = occ_sample
+        self.sa_sample = sa_sample
+        self._build_tables()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        counts = np.zeros(SIGMA, dtype=np.int64)
+        for c in range(SIGMA):
+            counts[c] = int(np.count_nonzero(self.bwt == c))
+        # C[c]: number of text characters strictly smaller than c
+        # (the terminator sorts first, hence the +1).
+        self.c_table = np.zeros(SIGMA + 1, dtype=np.int64)
+        self.c_table[0] = 1
+        for c in range(1, SIGMA + 1):
+            self.c_table[c] = self.c_table[c - 1] + counts[c - 1]
+        # Occ checkpoints every occ_sample rows.
+        n_checkpoints = self.length // self.occ_sample + 1
+        self._occ = np.zeros((n_checkpoints, SIGMA), dtype=np.int64)
+        running = np.zeros(SIGMA, dtype=np.int64)
+        for i in range(self.length):
+            if i % self.occ_sample == 0:
+                self._occ[i // self.occ_sample] = running
+            c = int(self.bwt[i])
+            if c != TERMINATOR:
+                running[c] += 1
+        if self.length % self.occ_sample == 0:
+            # Final checkpoint row for queries at i == length.
+            pass
+        self._occ_final = running
+        # Sampled suffix array.
+        self._sa_samples = {
+            int(i): int(self._sa[i])
+            for i in range(self.length)
+            if self._sa[i] % self.sa_sample == 0
+        }
+
+    # -- core queries -------------------------------------------------------------
+
+    def occ(self, c: int, i: int) -> int:
+        """Occurrences of character ``c`` in ``BWT[0:i]``."""
+        if not 0 <= c < SIGMA:
+            raise ValueError(f"character code out of range: {c}")
+        if not 0 <= i <= self.length:
+            raise IndexError(f"occ index out of range: {i}")
+        if i == self.length:
+            return int(self._occ_final[c])
+        checkpoint = i // self.occ_sample
+        count = int(self._occ[checkpoint][c])
+        for row in range(checkpoint * self.occ_sample, i):
+            if int(self.bwt[row]) == c:
+                count += 1
+        return count
+
+    def lf(self, i: int) -> int:
+        """The LF mapping of BWT row ``i``."""
+        c = int(self.bwt[i])
+        if c == TERMINATOR:
+            return 0
+        return int(self.c_table[c]) + self.occ(c, i)
+
+    def extend_backward(self, interval: SaInterval, c: int) -> SaInterval:
+        """One backward-search step: prepend character ``c`` to the
+        pattern represented by ``interval``."""
+        lo = int(self.c_table[c]) + self.occ(c, interval.lo)
+        hi = int(self.c_table[c]) + self.occ(c, interval.hi)
+        return SaInterval(lo, hi)
+
+    def whole_interval(self) -> SaInterval:
+        """The interval of the empty pattern (every suffix)."""
+        return SaInterval(0, self.length)
+
+    def backward_search(self, pattern) -> SaInterval:
+        """SA interval of all exact occurrences of ``pattern``."""
+        interval = self.whole_interval()
+        for c in reversed(list(pattern)):
+            interval = self.extend_backward(interval, int(c))
+            if interval.is_empty:
+                return interval
+        return interval
+
+    def count(self, pattern) -> int:
+        """Number of exact occurrences of ``pattern`` in the text."""
+        return self.backward_search(pattern).width
+
+    def locate(self, interval: SaInterval, limit: int = None) -> List[int]:
+        """Text positions of the suffixes in ``interval``, via LF-walks to
+        the nearest suffix-array sample."""
+        positions: List[int] = []
+        hi = interval.hi if limit is None else min(interval.hi, interval.lo + limit)
+        for row in range(interval.lo, hi):
+            steps = 0
+            cursor = row
+            while cursor not in self._sa_samples:
+                cursor = self.lf(cursor)
+                steps += 1
+            positions.append((self._sa_samples[cursor] + steps) % self.length)
+        return sorted(positions)
+
+    def find(self, pattern, limit: int = None) -> List[int]:
+        """All exact match positions of ``pattern``."""
+        return self.locate(self.backward_search(pattern), limit)

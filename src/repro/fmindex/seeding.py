@@ -1,0 +1,104 @@
+"""FM-index seed finding (the BWA-MEM seeding kernel, Section IV-E).
+
+Extracts *maximal exact match* seeds from a read against the indexed
+reference: starting from the read's end, extend backward through the
+FM-index until the interval empties (or the read is exhausted), emit the
+seed if it is long enough, and restart just before the mismatch — the
+greedy right-to-left variant of BWA-MEM's SMEM pass.
+
+This is the software reference; :mod:`repro.accel.fm_seeding` runs the
+same search through a Genesis-style pipeline with the Occ tables in an
+SPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .index import FmIndex, SaInterval
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One exact-match seed.
+
+    ``read_start``/``length`` locate the seed in the read;
+    ``interval`` is its SA interval (``interval.width`` reference hits).
+    """
+
+    read_start: int
+    length: int
+    interval: SaInterval
+
+    @property
+    def read_end(self) -> int:
+        """One past the seed's final read offset."""
+        return self.read_start + self.length
+
+    @property
+    def hits(self) -> int:
+        """Number of reference occurrences."""
+        return self.interval.width
+
+
+def find_seeds(
+    index: FmIndex,
+    read: Sequence[int],
+    min_seed_length: int = 19,
+    max_hits: int = 64,
+) -> List[Seed]:
+    """Greedy right-to-left maximal exact-match seeds of ``read``.
+
+    ``min_seed_length`` mirrors BWA-MEM's ``-k`` (default 19);
+    ``max_hits`` drops ultra-repetitive seeds the aligner would skip.
+    Returns seeds ordered by read position.
+    """
+    if min_seed_length < 1:
+        raise ValueError("min_seed_length must be positive")
+    seeds: List[Seed] = []
+    end = len(read)
+    while end > 0:
+        interval = index.whole_interval()
+        start = end
+        last_good = None
+        while start > 0:
+            extended = index.extend_backward(interval, int(read[start - 1]))
+            if extended.is_empty:
+                break
+            interval = extended
+            start -= 1
+            last_good = interval
+        length = end - start
+        if last_good is not None and length >= min_seed_length:
+            if last_good.width <= max_hits:
+                seeds.append(Seed(start, length, last_good))
+        if start == end:
+            # Not even one character matched (can't happen for DNA over a
+            # full alphabet, but guard against degenerate indexes).
+            end -= 1
+        else:
+            end = start if length >= min_seed_length else end - 1
+    seeds.reverse()
+    return seeds
+
+
+def seed_coverage(seeds: List[Seed], read_length: int) -> float:
+    """Fraction of read bases covered by at least one seed."""
+    if read_length == 0:
+        return 0.0
+    covered = [False] * read_length
+    for seed in seeds:
+        for offset in range(seed.read_start, min(seed.read_end, read_length)):
+            covered[offset] = True
+    return sum(covered) / read_length
+
+
+def verify_seeds(index: FmIndex, read: Sequence[int], seeds: List[Seed]) -> bool:
+    """Check every seed truly occurs in the reference at its claimed
+    positions (test helper)."""
+    for seed in seeds:
+        pattern = [int(c) for c in read[seed.read_start:seed.read_end]]
+        if index.count(pattern) != seed.hits:
+            return False
+    return True

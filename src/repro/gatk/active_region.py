@@ -1,0 +1,174 @@
+"""Active-region determination (HaplotypeCaller's first step).
+
+Section IV-E names "active region determination in the HaplotypeCaller"
+as a Genesis target: it is pure data manipulation — scan every aligned
+base, accumulate per-position *activity* (mismatches and indel events)
+and *depth*, then threshold and merge into candidate windows that the
+expensive local-assembly step will examine.
+
+This module is the software baseline; :mod:`repro.accel.active_region`
+builds the Genesis pipeline that produces the identical activity/depth
+buffers in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..genomics.read import AlignedRead
+from ..genomics.reference import ReferenceGenome
+
+
+@dataclass(frozen=True)
+class ActiveRegion:
+    """One candidate window for local reassembly."""
+
+    chrom: int
+    start: int
+    end: int  # inclusive
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "ActiveRegion") -> bool:
+        """Do the two regions share any position?"""
+        return (self.chrom == other.chrom
+                and self.start <= other.end and other.start <= self.end)
+
+
+@dataclass
+class ActivityProfile:
+    """Per-position activity and depth over one interval."""
+
+    chrom: int
+    start: int
+    activity: np.ndarray
+    depth: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.activity = np.asarray(self.activity, dtype=np.int64)
+        self.depth = np.asarray(self.depth, dtype=np.int64)
+        if len(self.activity) != len(self.depth):
+            raise ValueError("activity and depth must align")
+
+
+def compute_activity(
+    reads: Iterable[AlignedRead],
+    genome: ReferenceGenome,
+    chrom: int,
+    start: int,
+    length: int,
+) -> ActivityProfile:
+    """Accumulate activity/depth over ``[start, start+length)`` of one
+    chromosome.
+
+    Scoring: every aligned base adds 1 depth; a mismatching aligned base
+    adds 1 activity; every deleted reference base adds 1 activity at its
+    position; an insertion adds 1 activity at the anchoring position
+    (the aligned position before the inserted bases).
+    """
+    activity = np.zeros(length, dtype=np.int64)
+    depth = np.zeros(length, dtype=np.int64)
+    ref = genome[chrom].seq
+
+    def bump(array, position):
+        offset = position - start
+        if 0 <= offset < length:
+            array[offset] += 1
+
+    for read in reads:
+        if read.chrom != chrom or read.is_duplicate:
+            continue
+        last_aligned = read.pos
+        for op, ref_pos, read_index in read.cigar.walk(read.pos):
+            if op == "M":
+                bump(depth, ref_pos)
+                if int(read.seq[read_index]) != int(ref[ref_pos]):
+                    bump(activity, ref_pos)
+                last_aligned = ref_pos
+            elif op == "D":
+                bump(activity, ref_pos)
+                last_aligned = ref_pos
+            elif op == "I":
+                bump(activity, last_aligned)
+    return ActivityProfile(chrom, start, activity, depth)
+
+
+@dataclass
+class ActiveRegionConfig:
+    """Thresholds for region extraction."""
+
+    min_depth: int = 4
+    min_activity_fraction: float = 0.12
+    max_gap: int = 10
+    padding: int = 5
+    min_region_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_activity_fraction <= 1.0:
+            raise ValueError("min_activity_fraction must be in (0, 1]")
+
+
+def extract_regions(
+    profile: ActivityProfile,
+    config: ActiveRegionConfig = None,
+) -> List[ActiveRegion]:
+    """Threshold an activity profile into merged, padded regions.
+
+    A position is *active* when its depth clears ``min_depth`` and
+    activity/depth clears ``min_activity_fraction``.  Active positions
+    within ``max_gap`` of each other merge; regions get ``padding`` on
+    both sides (clamped to the profile interval).
+    """
+    config = config or ActiveRegionConfig()
+    active = (
+        (profile.depth >= config.min_depth)
+        & (profile.activity >= config.min_activity_fraction * profile.depth)
+        & (profile.activity > 0)
+    )
+    positions = np.nonzero(active)[0]
+    if positions.size == 0:
+        return []
+    regions: List[Tuple[int, int]] = []
+    run_start = run_end = int(positions[0])
+    for offset in positions[1:]:
+        offset = int(offset)
+        if offset - run_end <= config.max_gap:
+            run_end = offset
+        else:
+            regions.append((run_start, run_end))
+            run_start = run_end = offset
+    regions.append((run_start, run_end))
+
+    out: List[ActiveRegion] = []
+    limit = len(profile.activity) - 1
+    for run_start, run_end in regions:
+        if run_end - run_start + 1 < config.min_region_size:
+            continue
+        out.append(ActiveRegion(
+            chrom=profile.chrom,
+            start=profile.start + max(0, run_start - config.padding),
+            end=profile.start + min(limit, run_end + config.padding),
+        ))
+    return out
+
+
+def determine_active_regions(
+    reads: Iterable[AlignedRead],
+    genome: ReferenceGenome,
+    config: ActiveRegionConfig = None,
+) -> Dict[int, List[ActiveRegion]]:
+    """Whole-genome driver: per-chromosome activity + extraction."""
+    reads = list(reads)
+    out: Dict[int, List[ActiveRegion]] = {}
+    for chrom in genome.chromosomes:
+        profile = compute_activity(
+            reads, genome, chrom, 0, genome.length(chrom)
+        )
+        regions = extract_regions(profile, config)
+        if regions:
+            out[chrom] = regions
+    return out

@@ -1,0 +1,314 @@
+"""Base quality score recalibration (GATK4 BQSR), software baseline.
+
+Section IV-D.  BQSR has two sub-stages:
+
+1. **Covariate table construction** — every aligned (M) base is binned by
+   two policies and, per bin, the number of observations and the number of
+   empirical errors (mismatch vs. reference at a non-known-SNP site) are
+   counted:
+
+   * policy 1 (*cycle*): ``b1 = q * n_cycle_values + cycle`` where cycle is
+     the base's machine cycle.  Forward reads use the read offset directly;
+     reverse reads get their own cycle range (the paper: 302 cycle values
+     for 151 bp reads — 151 forward + 151 reverse).
+   * policy 2 (*context*): ``b2 = q * 16 + context`` where context encodes
+     the dinucleotide (previous base, current base); ``AA=0, AC=1, ...,
+     TT=15`` per the paper.  The first aligned base of a read has no
+     predecessor and is skipped in this table (as is any base following an
+     inserted/deleted/clipped base, where the reference-orientation
+     predecessor is not a sequencing predecessor).
+
+   Bases at known SNP sites are excluded from *both* counters — in the
+   Figure 12 pipeline the ``!IS_SNP`` filter precedes all four SPM
+   updaters.
+
+2. **Quality score update** — per-bin empirical quality scores are computed
+   with the phred-scaled smoothed error rate, and every base's reported
+   quality is shifted by the hierarchy of deltas (read group, reported
+   quality, cycle, context), GATK-style.  This sub-stage runs on the host
+   in the paper; the accelerator only builds the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..genomics.read import AlignedRead
+from ..genomics.reference import ReferenceGenome
+
+#: Number of distinct dinucleotide contexts (4 x 4), fixed by the paper.
+N_CONTEXTS = 16
+
+#: Highest reported quality score modelled (Illumina emits <= 41; GATK
+#: tables allocate some headroom).
+MAX_QUALITY = 64
+
+
+def n_cycle_values(read_length: int) -> int:
+    """Number of cycle covariate values: forward plus reverse cycles
+    (302 for the paper's 151 bp reads)."""
+    return 2 * read_length
+
+
+def cycle_of(read: AlignedRead, read_index: int, read_length: int) -> int:
+    """Machine cycle of base ``read_index``.
+
+    Forward reads: the offset itself.  Reverse reads: the machine read the
+    bases in the opposite order, and the paper assigns reverse reads their
+    own cycle-value range — so the cycle is ``read_length + reversed
+    offset``.
+    """
+    if not read.is_reverse:
+        return read_index
+    return read_length + (len(read.seq) - 1 - read_index)
+
+
+def context_of(read: AlignedRead, read_index: int) -> int:
+    """Dinucleotide context id ``prev * 4 + current`` or -1 when the base
+    has no in-read predecessor (first base)."""
+    if read_index <= 0:
+        return -1
+    prev = int(read.seq[read_index - 1])
+    current = int(read.seq[read_index])
+    if prev > 3 or current > 3:
+        return -1
+    return prev * 4 + current
+
+
+@dataclass
+class CovariateTables:
+    """The BQSR covariate tables for one read group.
+
+    Four arrays, exactly the four SPM buffers of Figure 12: total and
+    error counts for the cycle policy (indexed by ``b1``) and for the
+    context policy (indexed by ``b2``).
+    """
+
+    read_length: int
+    total_cycle: np.ndarray = field(default=None)
+    error_cycle: np.ndarray = field(default=None)
+    total_context: np.ndarray = field(default=None)
+    error_context: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        n_b1 = MAX_QUALITY * n_cycle_values(self.read_length)
+        n_b2 = MAX_QUALITY * N_CONTEXTS
+        if self.total_cycle is None:
+            self.total_cycle = np.zeros(n_b1, dtype=np.int64)
+        if self.error_cycle is None:
+            self.error_cycle = np.zeros(n_b1, dtype=np.int64)
+        if self.total_context is None:
+            self.total_context = np.zeros(n_b2, dtype=np.int64)
+        if self.error_context is None:
+            self.error_context = np.zeros(n_b2, dtype=np.int64)
+
+    def bin_cycle(self, quality: int, cycle: int) -> int:
+        """``b1 = q * n_cycle_values + cycle`` (paper Section IV-D)."""
+        return quality * n_cycle_values(self.read_length) + cycle
+
+    def bin_context(self, quality: int, context: int) -> int:
+        """``b2 = q * 16 + context`` (paper Section IV-D)."""
+        return quality * N_CONTEXTS + context
+
+    def merge(self, other: "CovariateTables") -> None:
+        """Accumulate another table (e.g. another partition's results)."""
+        if other.read_length != self.read_length:
+            raise ValueError("cannot merge tables with different read lengths")
+        self.total_cycle += other.total_cycle
+        self.error_cycle += other.error_cycle
+        self.total_context += other.total_context
+        self.error_context += other.error_context
+
+    def observations(self) -> int:
+        """Total observations in the cycle table (sanity metric)."""
+        return int(self.total_cycle.sum())
+
+    def errors(self) -> int:
+        """Total errors in the cycle table (sanity metric)."""
+        return int(self.error_cycle.sum())
+
+
+def build_covariate_tables(
+    reads: Sequence[AlignedRead],
+    genome: ReferenceGenome,
+    read_length: int,
+) -> Dict[int, CovariateTables]:
+    """Covariate-table construction over all reads, grouped by read group.
+
+    Returns one :class:`CovariateTables` per read group — the same results
+    the Figure 12 accelerator produces per (partition, read-group)
+    invocation after host-side merging.
+    """
+    tables: Dict[int, CovariateTables] = {}
+    for read in reads:
+        table = tables.get(read.read_group)
+        if table is None:
+            table = CovariateTables(read_length)
+            tables[read.read_group] = table
+        accumulate_read(table, read, genome)
+    return tables
+
+
+def accumulate_read(
+    table: CovariateTables, read: AlignedRead, genome: ReferenceGenome
+) -> None:
+    """Add one read's aligned bases into a covariate table."""
+    chromosome = genome[read.chrom]
+    ref = chromosome.seq
+    is_snp = chromosome.is_snp
+    for op, ref_pos, read_index in read.cigar.walk(read.pos):
+        if op != "M":
+            continue
+        if is_snp[ref_pos]:
+            continue
+        quality = int(read.qual[read_index])
+        error = int(read.seq[read_index]) != int(ref[ref_pos])
+        cycle = cycle_of(read, read_index, table.read_length)
+        b1 = table.bin_cycle(quality, cycle)
+        table.total_cycle[b1] += 1
+        if error:
+            table.error_cycle[b1] += 1
+        context = context_of(read, read_index)
+        if context >= 0:
+            b2 = table.bin_context(quality, context)
+            table.total_context[b2] += 1
+            if error:
+                table.error_context[b2] += 1
+
+
+# -- quality score update (host-side sub-stage) --------------------------------------
+
+
+def empirical_quality(errors: int, observations: int) -> float:
+    """Phred-scaled smoothed empirical quality: ``-10 log10((e+1)/(n+2))``.
+
+    The +1/+2 smoothing matches GATK's approach of seeding each bin with a
+    weak prior so empty bins do not explode.
+    """
+    rate = (errors + 1) / (observations + 2)
+    return -10.0 * math.log10(rate)
+
+
+def _expected_errors(total_by_q: Dict[int, int], errors: float = None) -> float:
+    return sum(n * 10 ** (-q / 10.0) for q, n in total_by_q.items())
+
+
+@dataclass
+class RecalibrationModel:
+    """The per-read-group hierarchical delta model GATK derives from the
+    covariate tables: a global shift, per-reported-quality deltas, and
+    per-cycle / per-context residual deltas."""
+
+    read_length: int
+    global_delta: float
+    quality_delta: Dict[int, float]
+    cycle_delta: Dict[Tuple[int, int], float]
+    context_delta: Dict[Tuple[int, int], float]
+
+    def recalibrate(self, quality: int, cycle: int, context: int) -> int:
+        """Recalibrated quality for one base (clamped to [1, 41 + 10])."""
+        value = (
+            quality
+            + self.global_delta
+            + self.quality_delta.get(quality, 0.0)
+            + self.cycle_delta.get((quality, cycle), 0.0)
+            + self.context_delta.get((quality, context), 0.0)
+        )
+        return int(min(51, max(1, round(value))))
+
+
+def fit_recalibration_model(table: CovariateTables) -> RecalibrationModel:
+    """Derive the hierarchical recalibration model from one read group's
+    covariate tables (GATK's BaseRecalibrator math, simplified to the
+    cycle/context covariates the paper uses)."""
+    n_cycles = n_cycle_values(table.read_length)
+
+    total_by_q: Dict[int, int] = {}
+    errors_by_q: Dict[int, int] = {}
+    for q in range(MAX_QUALITY):
+        start, end = q * n_cycles, (q + 1) * n_cycles
+        n = int(table.total_cycle[start:end].sum())
+        if n == 0:
+            continue
+        total_by_q[q] = n
+        errors_by_q[q] = int(table.error_cycle[start:end].sum())
+
+    total = sum(total_by_q.values())
+    errors = sum(errors_by_q.values())
+    if total == 0:
+        return RecalibrationModel(table.read_length, 0.0, {}, {}, {})
+
+    expected_q = -10.0 * math.log10(
+        max(1e-12, _expected_errors(total_by_q) / total)
+    )
+    global_delta = empirical_quality(errors, total) - expected_q
+
+    quality_delta: Dict[int, float] = {}
+    for q, n in total_by_q.items():
+        quality_delta[q] = (
+            empirical_quality(errors_by_q[q], n) - q - global_delta
+        )
+
+    cycle_delta: Dict[Tuple[int, int], float] = {}
+    context_delta: Dict[Tuple[int, int], float] = {}
+    for q in total_by_q:
+        base = q + global_delta + quality_delta[q]
+        for cycle in range(n_cycles):
+            b1 = table.bin_cycle(q, cycle)
+            n = int(table.total_cycle[b1])
+            if n == 0:
+                continue
+            delta = empirical_quality(int(table.error_cycle[b1]), n) - base
+            if delta:
+                cycle_delta[(q, cycle)] = delta
+        for context in range(N_CONTEXTS):
+            b2 = table.bin_context(q, context)
+            n = int(table.total_context[b2])
+            if n == 0:
+                continue
+            delta = empirical_quality(int(table.error_context[b2]), n) - base
+            if delta:
+                context_delta[(q, context)] = delta
+
+    return RecalibrationModel(
+        table.read_length, global_delta, quality_delta, cycle_delta, context_delta
+    )
+
+
+def apply_recalibration(
+    reads: Sequence[AlignedRead],
+    models: Dict[int, RecalibrationModel],
+) -> int:
+    """Quality-score update sub-stage: rewrite every base quality using the
+    fitted models.  Returns the number of bases whose score changed."""
+    changed = 0
+    for read in reads:
+        model = models.get(read.read_group)
+        if model is None:
+            continue
+        new_qual = read.qual.copy()
+        for index in range(len(read.seq)):
+            quality = int(read.qual[index])
+            cycle = cycle_of(read, index, model.read_length)
+            context = context_of(read, index)
+            new_qual[index] = model.recalibrate(quality, cycle, context)
+        changed += int(np.count_nonzero(new_qual != read.qual))
+        read.qual = new_qual
+    return changed
+
+
+def run_bqsr(
+    reads: Sequence[AlignedRead],
+    genome: ReferenceGenome,
+    read_length: int,
+) -> Tuple[Dict[int, CovariateTables], int]:
+    """Both BQSR sub-stages: build tables, fit models, update qualities.
+    Returns the tables and the number of changed base scores."""
+    tables = build_covariate_tables(reads, genome, read_length)
+    models = {rg: fit_recalibration_model(t) for rg, t in tables.items()}
+    changed = apply_recalibration(reads, models)
+    return tables, changed

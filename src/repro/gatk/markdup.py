@@ -1,0 +1,138 @@
+"""Mark-duplicates stage (GATK4 MarkDuplicates), software baseline.
+
+Section IV-B of the paper: reads originating from the same DNA fragment
+(PCR amplification copies) are identified by their *unclipped 5' position*
+key — POS minus the leading soft clip for forward reads, the alignment end
+plus the trailing soft clip for reverse reads.  Among reads sharing a key,
+all but the one with the highest sum of base quality scores are marked as
+duplicates.  The stage also coordinate-sorts the reads.
+
+The Genesis accelerator only computes the per-read quality-score sums
+(Figure 10); key generation and duplicate selection stay on the host.  This
+module is both the software baseline and that host-side remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+from ..genomics.read import AlignedRead, pair_key
+
+
+@dataclass
+class MarkDuplicatesResult:
+    """Outcome of the mark-duplicates stage."""
+
+    #: Reads in coordinate-sorted order (duplicate flags set in place).
+    sorted_reads: List[AlignedRead]
+    #: Indices (into ``sorted_reads``) of the reads marked duplicate.
+    duplicate_indices: List[int]
+    #: Number of duplicate sets that contained more than one read.
+    duplicate_sets: int
+
+    @property
+    def num_duplicates(self) -> int:
+        """How many reads were marked as duplicates."""
+        return len(self.duplicate_indices)
+
+
+def duplicate_key(read: AlignedRead, mate: Optional[AlignedRead] = None) -> tuple:
+    """The mark-duplicates key for a read (or pair); see
+    :func:`repro.genomics.read.pair_key`."""
+    return pair_key(read, mate)
+
+
+def select_survivor(
+    members: Sequence[int], quality_sums: Sequence[int]
+) -> Tuple[int, List[int]]:
+    """Given member indices of one duplicate set and each read's quality
+    sum, return ``(survivor, duplicates)``.
+
+    The survivor is the member with the highest quality sum; ties break
+    toward the earliest read, matching Picard's deterministic behaviour.
+    """
+    best = max(members, key=lambda index: (quality_sums[index], -index))
+    return best, [index for index in members if index != best]
+
+
+def mark_duplicates(
+    reads: Sequence[AlignedRead],
+    quality_sums: Optional[Sequence[int]] = None,
+) -> MarkDuplicatesResult:
+    """Run the full mark-duplicates stage.
+
+    ``quality_sums`` lets a caller inject externally computed per-read
+    quality sums — this is exactly the seam where the Genesis accelerator
+    plugs in (it computes the sums; the host does everything else).  When
+    omitted, sums are computed in software.
+    """
+    ordered = sorted(
+        range(len(reads)), key=lambda i: (reads[i].chrom, reads[i].pos)
+    )
+    sorted_reads = [reads[i] for i in ordered]
+    if quality_sums is None:
+        sums = [read.quality_sum() for read in sorted_reads]
+    else:
+        if len(quality_sums) != len(reads):
+            raise ValueError("quality_sums length must match reads")
+        sums = [quality_sums[i] for i in ordered]
+
+    # Group *fragments* (a pair counts as one unit with the summed
+    # quality of both mates, footnote 1) by their unclipped-5' key.
+    # Pair keys and single keys have different shapes, so singles never
+    # collide with pairs.
+    mates = _mate_map(sorted_reads)
+    by_key: Dict[tuple, List[Tuple[Tuple[int, ...], int]]] = {}
+    visited: set = set()
+    for index, read in enumerate(sorted_reads):
+        read.set_duplicate(False)
+        if index in visited:
+            continue
+        mate = mates.get(index)
+        if mate is not None:
+            visited.add(mate)
+            key = duplicate_key(read, sorted_reads[mate])
+            members: Tuple[int, ...] = (index, mate)
+            quality = sums[index] + sums[mate]
+        else:
+            key = duplicate_key(read)
+            members = (index,)
+            quality = sums[index]
+        visited.add(index)
+        by_key.setdefault(key, []).append((members, quality))
+
+    duplicate_indices: List[int] = []
+    duplicate_sets = 0
+    for fragments in by_key.values():
+        if len(fragments) < 2:
+            continue
+        duplicate_sets += 1
+        best = max(
+            range(len(fragments)),
+            key=lambda i: (fragments[i][1], -fragments[i][0][0]),
+        )
+        for position, (members, _quality) in enumerate(fragments):
+            if position == best:
+                continue
+            for index in members:
+                sorted_reads[index].set_duplicate(True)
+                duplicate_indices.append(index)
+    duplicate_indices.sort()
+    return MarkDuplicatesResult(sorted_reads, duplicate_indices, duplicate_sets)
+
+
+def _mate_map(reads: Sequence[AlignedRead]) -> Dict[int, int]:
+    """Pair up reads that share a name (paired-end mates).  Returns a map
+    from read index to its mate's index."""
+    by_name: Dict[str, List[int]] = {}
+    for index, read in enumerate(reads):
+        if read.is_paired:
+            by_name.setdefault(read.name, []).append(index)
+    mates: Dict[int, int] = {}
+    for indices in by_name.values():
+        if len(indices) == 2:
+            first, second = indices
+            mates[first] = second
+            mates[second] = first
+    return mates

@@ -1,0 +1,181 @@
+"""Alignment-summary and insert-size metrics (the Picard QC companions).
+
+Pipelines always bracket the preprocessing stages with QC passes —
+CollectAlignmentSummaryMetrics, CollectInsertSizeMetrics — which are pure
+data-manipulation sweeps over the reads, squarely inside the class of
+operations Genesis targets.  This module provides the software metrics
+plus a Genesis pipeline (:func:`run_metrics_pipeline`) that computes the
+reductions in hardware: sums, counts, min/max via Reducer modules over
+the relevant columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..genomics.read import AlignedRead
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import MemoryReader, MemoryWriter, Reducer
+
+
+@dataclass
+class AlignmentSummary:
+    """Whole-set alignment statistics."""
+
+    total_reads: int
+    total_bases: int
+    duplicate_reads: int
+    reverse_reads: int
+    soft_clipped_reads: int
+    mean_read_length: float
+    mean_quality: float
+    indel_reads: int
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of reads flagged duplicate."""
+        if self.total_reads == 0:
+            return 0.0
+        return self.duplicate_reads / self.total_reads
+
+
+def alignment_summary(reads: Sequence[AlignedRead]) -> AlignmentSummary:
+    """Software CollectAlignmentSummaryMetrics."""
+    total_reads = len(reads)
+    total_bases = sum(len(read.seq) for read in reads)
+    quality_total = sum(read.quality_sum() for read in reads)
+    duplicate_reads = sum(1 for read in reads if read.is_duplicate)
+    reverse_reads = sum(1 for read in reads if read.is_reverse)
+    soft_clipped = sum(
+        1 for read in reads
+        if read.cigar.leading_soft_clip() or read.cigar.trailing_soft_clip()
+    )
+    indel_reads = sum(
+        1 for read in reads if any(e.op in "ID" for e in read.cigar)
+    )
+    return AlignmentSummary(
+        total_reads=total_reads,
+        total_bases=total_bases,
+        duplicate_reads=duplicate_reads,
+        reverse_reads=reverse_reads,
+        soft_clipped_reads=soft_clipped,
+        mean_read_length=total_bases / total_reads if total_reads else 0.0,
+        mean_quality=quality_total / total_bases if total_bases else 0.0,
+        indel_reads=indel_reads,
+    )
+
+
+@dataclass
+class InsertSizeMetrics:
+    """Paired-end fragment-length statistics."""
+
+    pairs: int
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+
+
+def insert_sizes(reads: Iterable[AlignedRead]) -> List[int]:
+    """Fragment lengths of proper pairs (counted once per pair, from the
+    leftmost mate)."""
+    by_name = {}
+    for read in reads:
+        if read.is_paired:
+            by_name.setdefault(read.name, []).append(read)
+    sizes = []
+    for mates in by_name.values():
+        if len(mates) != 2:
+            continue
+        left = min(mates, key=lambda r: r.pos)
+        right = max(mates, key=lambda r: r.pos)
+        sizes.append(right.end_pos - left.pos + 1)
+    return sizes
+
+
+def insert_size_metrics(reads: Iterable[AlignedRead]) -> InsertSizeMetrics:
+    """Software CollectInsertSizeMetrics."""
+    sizes = insert_sizes(reads)
+    if not sizes:
+        return InsertSizeMetrics(0, 0.0, 0.0, 0, 0)
+    mean = sum(sizes) / len(sizes)
+    variance = sum((s - mean) ** 2 for s in sizes) / len(sizes)
+    return InsertSizeMetrics(
+        pairs=len(sizes),
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(sizes),
+        maximum=max(sizes),
+    )
+
+
+@dataclass
+class HwMetricsResult:
+    """Hardware-computed reductions plus simulation statistics."""
+
+    total_bases: int
+    quality_total: int
+    min_length: int
+    max_length: int
+    stats: RunStats
+
+
+def run_metrics_pipeline(
+    reads: Sequence[AlignedRead],
+    memory_config: Optional[MemoryConfig] = None,
+) -> HwMetricsResult:
+    """The Genesis QC pipeline: stream SEQ lengths and QUAL through
+    whole-stream Reducers (count/sum/min/max) — four reductions sharing
+    one pass over the data, one flit per cycle each."""
+    engine = Engine(MemorySystem(memory_config))
+    qual_reader = engine.add_module(
+        MemoryReader("qc.qual", engine.memory, elem_size=1)
+    )
+    len_reader = engine.add_module(
+        MemoryReader("qc.len", engine.memory, elem_size=4)
+    )
+    base_count = engine.add_module(
+        Reducer("qc.bases", op="count", field="value", per_item=False)
+    )
+    qual_sum = engine.add_module(
+        Reducer("qc.qsum", op="sum", field="value", per_item=False)
+    )
+    len_min = engine.add_module(
+        Reducer("qc.lmin", op="min", field="value", per_item=False)
+    )
+    len_max = engine.add_module(
+        Reducer("qc.lmax", op="max", field="value", per_item=False)
+    )
+    from ..hw.modules import Fork
+
+    qual_fork = engine.add_module(Fork("qc.qfork", ports=2))
+    len_fork = engine.add_module(Fork("qc.lfork", ports=2))
+    sink_a = engine.add_module(MemoryWriter("qc.wa", engine.memory))
+    sink_b = engine.add_module(MemoryWriter("qc.wb", engine.memory))
+    sink_c = engine.add_module(MemoryWriter("qc.wc", engine.memory))
+    sink_d = engine.add_module(MemoryWriter("qc.wd", engine.memory))
+
+    engine.connect(qual_reader, qual_fork)
+    engine.connect(qual_fork, base_count, out_port="out0")
+    engine.connect(qual_fork, qual_sum, out_port="out1")
+    engine.connect(len_reader, len_fork)
+    engine.connect(len_fork, len_min, out_port="out0")
+    engine.connect(len_fork, len_max, out_port="out1")
+    engine.connect(base_count, sink_a)
+    engine.connect(qual_sum, sink_b)
+    engine.connect(len_min, sink_c)
+    engine.connect(len_max, sink_d)
+
+    qual_reader.set_items([[int(q) for q in read.qual] for read in reads])
+    len_reader.set_scalars([len(read.seq) for read in reads])
+    stats = engine.run()
+    return HwMetricsResult(
+        total_bases=base_count.stream_result(),
+        quality_total=qual_sum.stream_result(),
+        min_length=len_min.stream_result(),
+        max_length=len_max.stream_result(),
+        stats=stats,
+    )

@@ -1,0 +1,54 @@
+"""The GATK4 Best Practices data-preprocessing pipeline, end to end.
+
+Section IV-A: the preprocessing phase is alignment -> mark duplicates ->
+metadata update -> base quality score recalibration.  Genesis accelerates
+the last three; alignment is out of scope (the paper assumes a GenAx-class
+alignment accelerator) and our simulator emits already-aligned reads, so
+the pipeline here starts post-alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..genomics.read import AlignedRead
+from ..genomics.reference import ReferenceGenome
+from .bqsr import CovariateTables, run_bqsr
+from .markdup import MarkDuplicatesResult, mark_duplicates
+from .metadata import ReadMetadata, update_metadata
+
+
+@dataclass
+class PreprocessingResult:
+    """Everything the preprocessing phase produced."""
+
+    reads: List[AlignedRead]
+    markdup: MarkDuplicatesResult
+    metadata: List[ReadMetadata]
+    covariate_tables: Dict[int, CovariateTables]
+    recalibrated_bases: int
+
+
+def run_preprocessing(
+    reads: Sequence[AlignedRead],
+    genome: ReferenceGenome,
+    read_length: int,
+) -> PreprocessingResult:
+    """Run mark-duplicates, metadata-update, and BQSR in order.
+
+    Duplicates remain in the read list (flagged) but are excluded from the
+    BQSR covariate statistics, as GATK4 does.
+    """
+    markdup_result = mark_duplicates(reads)
+    sorted_reads = markdup_result.sorted_reads
+    metadata = update_metadata(sorted_reads, genome)
+    non_duplicates = [read for read in sorted_reads if not read.is_duplicate]
+    tables, changed = run_bqsr(non_duplicates, genome, read_length)
+    return PreprocessingResult(
+        reads=sorted_reads,
+        markdup=markdup_result,
+        metadata=metadata,
+        covariate_tables=tables,
+        recalibrated_bases=changed,
+    )

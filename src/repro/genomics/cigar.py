@@ -1,0 +1,201 @@
+"""CIGAR (Concise Idiosyncratic Gapped Alignment Report) arithmetic.
+
+Section II of the Genesis paper describes aligned-read metadata as a list of
+``(length, operation)`` pairs where the operation is one of
+
+* ``M`` — aligned to the reference (match *or* mismatch),
+* ``I`` — inserted relative to the reference,
+* ``D`` — deleted relative to the reference,
+* ``S`` — soft-clipped (present in the read, ignored by the aligner).
+
+This module implements parsing/formatting plus the alignment arithmetic the
+GATK4 preprocessing stages need: how many reference/read bases a CIGAR
+consumes, the unclipped 5' positions used as mark-duplicates keys
+(Section IV-B), and per-base walk used by ``ReadExplode`` (Figure 3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+#: The CIGAR operations Genesis models (paper Section II).
+OPS = "MIDS"
+
+#: Operations that consume bases from the read sequence.
+CONSUMES_READ = frozenset("MIS")
+
+#: Operations that consume positions on the reference.
+CONSUMES_REF = frozenset("MD")
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDS])")
+
+
+@dataclass(frozen=True)
+class CigarElement:
+    """A single ``(length, op)`` CIGAR element."""
+
+    length: int
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unsupported CIGAR op: {self.op!r}")
+        if self.length <= 0:
+            raise ValueError(f"CIGAR element length must be positive: {self.length}")
+
+    def __str__(self) -> str:
+        return f"{self.length}{self.op}"
+
+
+class Cigar:
+    """An immutable CIGAR: a sequence of :class:`CigarElement`.
+
+    >>> c = Cigar.parse("7M1I5M")
+    >>> c.read_length(), c.reference_length()
+    (13, 12)
+    """
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Sequence[CigarElement]):
+        self.elements: Tuple[CigarElement, ...] = tuple(elements)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Cigar":
+        """Parse a CIGAR string such as ``"3S6M1D2M"``."""
+        if not text:
+            raise ValueError("empty CIGAR string")
+        pos = 0
+        elements: List[CigarElement] = []
+        for match in _CIGAR_RE.finditer(text):
+            if match.start() != pos:
+                raise ValueError(f"malformed CIGAR: {text!r}")
+            elements.append(CigarElement(int(match.group(1)), match.group(2)))
+            pos = match.end()
+        if pos != len(text):
+            raise ValueError(f"malformed CIGAR: {text!r}")
+        return cls(elements)
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[int, str]]) -> "Cigar":
+        """Build a CIGAR from ``(length, op)`` pairs."""
+        return cls([CigarElement(length, op) for length, op in pairs])
+
+    # -- dunder protocol ---------------------------------------------------
+
+    def __str__(self) -> str:
+        return "".join(str(element) for element in self.elements)
+
+    def __repr__(self) -> str:
+        return f"Cigar({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cigar):
+            return NotImplemented
+        return self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(self.elements)
+
+    def __iter__(self) -> Iterator[CigarElement]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    # -- alignment arithmetic ---------------------------------------------
+
+    def read_length(self) -> int:
+        """Number of read bases this CIGAR describes (M + I + S)."""
+        return sum(e.length for e in self.elements if e.op in CONSUMES_READ)
+
+    def reference_length(self) -> int:
+        """Number of reference positions this alignment spans (M + D)."""
+        return sum(e.length for e in self.elements if e.op in CONSUMES_REF)
+
+    def leading_soft_clip(self) -> int:
+        """Length of the soft clip at the front of the read, if any."""
+        if self.elements and self.elements[0].op == "S":
+            return self.elements[0].length
+        return 0
+
+    def trailing_soft_clip(self) -> int:
+        """Length of the soft clip at the end of the read, if any."""
+        if self.elements and self.elements[-1].op == "S":
+            return self.elements[-1].length
+        return 0
+
+    def is_canonical(self) -> bool:
+        """True when soft clips appear only at the ends and no two adjacent
+        elements share an operation (the form real aligners emit)."""
+        for i, element in enumerate(self.elements):
+            if element.op == "S" and i not in (0, len(self.elements) - 1):
+                return False
+            if i > 0 and self.elements[i - 1].op == element.op:
+                return False
+        return True
+
+    # -- per-base walk (ReadExplode semantics, Figure 3) --------------------
+
+    def walk(self, pos: int) -> Iterator[Tuple[str, int, int]]:
+        """Yield ``(op, ref_pos, read_index)`` for every base the alignment
+        touches, starting at reference position ``pos``.
+
+        Soft-clipped bases are *skipped entirely* (the paper's ReadExplode
+        drops them from the output).  For insertions ``ref_pos`` is ``-1``;
+        for deletions ``read_index`` is ``-1``.
+        """
+        ref_pos = pos
+        read_index = 0
+        for element in self.elements:
+            if element.op == "S":
+                read_index += element.length
+            elif element.op == "M":
+                for _ in range(element.length):
+                    yield ("M", ref_pos, read_index)
+                    ref_pos += 1
+                    read_index += 1
+            elif element.op == "I":
+                for _ in range(element.length):
+                    yield ("I", -1, read_index)
+                    read_index += 1
+            elif element.op == "D":
+                for _ in range(element.length):
+                    yield ("D", ref_pos, -1)
+                    ref_pos += 1
+
+    # -- unclipped ends (mark-duplicates keys, Section IV-B) ----------------
+
+    def unclipped_start(self, pos: int) -> int:
+        """Unclipped 5' position of a forward read: ``POS`` minus the
+        leading soft clip (paper Section IV-B)."""
+        return pos - self.leading_soft_clip()
+
+    def unclipped_end(self, pos: int) -> int:
+        """Unclipped 5' position of a reverse read: the alignment end plus
+        the trailing soft clip (footnote 1 in the paper)."""
+        return pos + self.reference_length() - 1 + self.trailing_soft_clip()
+
+
+def encode_elements(cigar: Cigar) -> List[int]:
+    """Pack a CIGAR into ``uint16`` codes as the READS table stores it.
+
+    Table I gives the CIGAR column type ``uint16_t[CLEN]``.  We use the SAM
+    binary convention: ``code = (length << 2) | op_index`` with op order
+    ``M, I, D, S``; lengths must fit in 14 bits.
+    """
+    codes = []
+    for element in cigar:
+        if element.length >= 1 << 14:
+            raise ValueError("CIGAR element too long for uint16 encoding")
+        codes.append((element.length << 2) | OPS.index(element.op))
+    return codes
+
+
+def decode_elements(codes: Sequence[int]) -> Cigar:
+    """Inverse of :func:`encode_elements`."""
+    return Cigar.from_pairs([(int(code) >> 2, OPS[int(code) & 0x3]) for code in codes])

@@ -1,0 +1,95 @@
+"""Base-pair sequences and encodings.
+
+The Genesis paper (Section II) represents every base pair as one character
+from the DNA alphabet ``A, C, G, T``.  This module provides the canonical
+encoding used throughout the reproduction: bases are stored as small unsigned
+integers (``uint8``) so they can flow through the relational tables
+(:mod:`repro.tables`) and the hardware dataflow simulator (:mod:`repro.hw`)
+as fixed-width flits, exactly like the hardware in the paper streams them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The DNA alphabet in canonical order.  Index == encoded value.
+BASES = "ACGT"
+
+#: Sentinel encoding for an unknown/ambiguous base ("N" in FASTA parlance).
+N_CODE = 4
+
+#: Characters for decoding, index N_CODE maps back to ``N``.
+_DECODE = BASES + "N"
+
+_ENCODE = {base: code for code, base in enumerate(_DECODE)}
+_ENCODE["N"] = N_CODE
+
+#: Complement lookup: A<->T, C<->G, N->N.
+_COMPLEMENT_CODE = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def encode_base(base: str) -> int:
+    """Encode a single base character to its ``uint8`` code.
+
+    >>> encode_base("A"), encode_base("T")
+    (0, 3)
+    """
+    try:
+        return _ENCODE[base.upper()]
+    except KeyError:
+        raise ValueError(f"not a DNA base: {base!r}") from None
+
+
+def decode_base(code: int) -> str:
+    """Decode a ``uint8`` base code back to its character."""
+    if not 0 <= code <= N_CODE:
+        raise ValueError(f"not a base code: {code!r}")
+    return _DECODE[code]
+
+
+def encode_sequence(seq: str) -> np.ndarray:
+    """Encode a base-pair string into a ``uint8`` numpy array.
+
+    >>> encode_sequence("ACGTN").tolist()
+    [0, 1, 2, 3, 4]
+    """
+    out = np.empty(len(seq), dtype=np.uint8)
+    for i, base in enumerate(seq):
+        out[i] = encode_base(base)
+    return out
+
+
+def decode_sequence(codes) -> str:
+    """Decode an iterable of base codes into a base-pair string."""
+    return "".join(decode_base(int(code)) for code in codes)
+
+
+def complement(codes: np.ndarray) -> np.ndarray:
+    """Complement an encoded sequence element-wise (A<->T, C<->G)."""
+    return _COMPLEMENT_CODE[np.asarray(codes, dtype=np.uint8)]
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement an encoded sequence.
+
+    Used to derive the reverse-strand mate of a paired-end read in the
+    read simulator.
+    """
+    return complement(codes)[::-1]
+
+
+def random_sequence(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a uniformly random encoded DNA sequence of ``length`` bases."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return rng.integers(0, 4, size=length, dtype=np.uint8)
+
+
+def gc_content(codes: np.ndarray) -> float:
+    """Fraction of G/C bases in an encoded sequence (N bases excluded)."""
+    codes = np.asarray(codes)
+    known = codes[codes != N_CODE]
+    if known.size == 0:
+        return 0.0
+    is_gc = (known == encode_base("G")) | (known == encode_base("C"))
+    return float(np.count_nonzero(is_gc)) / known.size

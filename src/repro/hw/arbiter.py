@@ -1,0 +1,73 @@
+"""Round-robin arbiters for shared resources.
+
+Figure 8: every pipeline's memory ports are arbitrated first by a *local*
+arbiter (one per pipeline) and then by one of four *global* arbiters, each
+fronting one memory channel.  This module provides the round-robin
+primitive both levels use; :mod:`repro.hw.memory` composes them into the
+two-level fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Classic round-robin arbiter over a fixed set of requesters."""
+
+    def __init__(self, name: str, num_requesters: int):
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.name = name
+        self.num_requesters = num_requesters
+        self._next = 0
+        self.grants = 0
+
+    def grant(self, requesting: Sequence[bool]) -> Optional[int]:
+        """Grant one of the currently requesting inputs, rotating priority.
+
+        ``requesting[i]`` is True when requester ``i`` wants the resource
+        this cycle.  Returns the granted index or None.
+        """
+        if len(requesting) != self.num_requesters:
+            raise ValueError(
+                f"{self.name}: expected {self.num_requesters} request lines, "
+                f"got {len(requesting)}"
+            )
+        for offset in range(self.num_requesters):
+            index = (self._next + offset) % self.num_requesters
+            if requesting[index]:
+                self._next = (index + 1) % self.num_requesters
+                self.grants += 1
+                return index
+        return None
+
+
+class TwoLevelArbiter:
+    """The local-then-global fabric of Figure 8.
+
+    ``groups[g]`` is the number of requesters behind local arbiter ``g``.
+    Each cycle, every local arbiter nominates one of its requesters, then
+    the global arbiter picks one nomination.  ``grant`` returns the winning
+    ``(group, member)`` or None.
+    """
+
+    def __init__(self, name: str, groups: Sequence[int]):
+        self.name = name
+        self.locals: List[RoundRobinArbiter] = [
+            RoundRobinArbiter(f"{name}.local{g}", n) for g, n in enumerate(groups)
+        ]
+        self.global_arbiter = RoundRobinArbiter(f"{name}.global", len(groups))
+
+    def grant(self, requesting: Sequence[Sequence[bool]]):
+        """``requesting[g][m]`` — does member m of group g request?"""
+        nominations = []
+        nominated_member = []
+        for local, lines in zip(self.locals, requesting):
+            member = local.grant(lines)
+            nominations.append(member is not None)
+            nominated_member.append(member)
+        group = self.global_arbiter.grant(nominations)
+        if group is None:
+            return None
+        return group, nominated_member[group]

@@ -1,0 +1,126 @@
+"""Cycle-driven simulation engine.
+
+Drives a set of modules, queues, and the memory system cycle by cycle:
+every cycle each module ticks once (moving at most one flit per port),
+memory ticks, and then all queues commit their staged pushes so flits
+advance one hop per cycle.  The run ends when every source has drained,
+every queue is empty, and every module reports idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .memory import MemorySystem
+from .module import Module
+from .queue import HardwareQueue
+
+
+@dataclass
+class RunStats:
+    """Summary of one simulation run."""
+
+    cycles: int
+    flits_by_module: Dict[str, int] = field(default_factory=dict)
+    busy_by_module: Dict[str, int] = field(default_factory=dict)
+    starve_by_module: Dict[str, int] = field(default_factory=dict)
+    memory_bytes: int = 0
+    memory_requests: int = 0
+
+    def throughput(self, flits: int) -> float:
+        """Flits per cycle for a given flit count."""
+        return flits / self.cycles if self.cycles else 0.0
+
+
+class Engine:
+    """Owns the simulated clock and everything attached to it."""
+
+    def __init__(
+        self,
+        memory: Optional[MemorySystem] = None,
+        default_queue_capacity: int = 8,
+    ):
+        self.memory = memory or MemorySystem()
+        self.modules: List[Module] = []
+        self.queues: List[HardwareQueue] = []
+        self.default_queue_capacity = default_queue_capacity
+        self._queue_serial = 0
+        self.cycle = 0
+
+    # -- construction helpers ------------------------------------------------------
+
+    def add_module(self, module: Module) -> Module:
+        """Register a module with the engine."""
+        self.modules.append(module)
+        return module
+
+    def new_queue(self, name: str = None, capacity: int = None) -> HardwareQueue:
+        """Create and register a fresh queue (engine default capacity when
+        none is given)."""
+        self._queue_serial += 1
+        if capacity is None:
+            capacity = self.default_queue_capacity
+        queue = HardwareQueue(name or f"q{self._queue_serial}", capacity)
+        self.queues.append(queue)
+        return queue
+
+    def connect(
+        self,
+        producer: Module,
+        consumer: Module,
+        out_port: str = "out",
+        in_port: str = "in",
+        capacity: int = None,
+    ) -> HardwareQueue:
+        """Wire producer's ``out_port`` to consumer's ``in_port`` through a
+        new queue."""
+        queue = self.new_queue(
+            f"{producer.name}.{out_port}->{consumer.name}.{in_port}", capacity
+        )
+        producer.connect_output(out_port, queue)
+        consumer.connect_input(in_port, queue)
+        return queue
+
+    # -- simulation --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the clock by one cycle."""
+        for module in self.modules:
+            module.tick(self.cycle)
+        self.memory.tick(self.cycle)
+        for queue in self.queues:
+            queue.commit()
+        self.cycle += 1
+
+    def is_quiescent(self) -> bool:
+        """True when no work remains anywhere."""
+        if not self.memory.is_idle():
+            return False
+        if any(not queue.is_empty() for queue in self.queues):
+            return False
+        return all(module.is_idle() for module in self.modules)
+
+    def run(self, max_cycles: int = 100_000_000) -> RunStats:
+        """Run until quiescent (or raise after ``max_cycles``)."""
+        start = self.cycle
+        idle_streak = 0
+        while idle_streak < 2:
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(
+                    f"simulation did not finish within {max_cycles} cycles "
+                    "(deadlock or runaway stream?)"
+                )
+            self.step()
+            idle_streak = idle_streak + 1 if self.is_quiescent() else 0
+        return self._stats(self.cycle - start)
+
+    def _stats(self, cycles: int) -> RunStats:
+        return RunStats(
+            cycles=cycles,
+            flits_by_module={m.name: m.flits_out for m in self.modules},
+            busy_by_module={m.name: m.busy_cycles for m in self.modules},
+            starve_by_module={m.name: m.starve_cycles for m in self.modules},
+            memory_bytes=self.memory.bytes_transferred,
+            memory_requests=self.memory.requests_served,
+        )

@@ -1,0 +1,127 @@
+"""Accelerator-side memory system model.
+
+The AWS F1 card carries 64 GB of DDR4 across four channels; Figure 8 shows
+every pipeline's memory readers/writers arbitrated through local arbiters
+onto per-channel global arbiters.  This model captures the two properties
+that shape Genesis performance:
+
+* **bandwidth** — each channel services one fixed-size access (default
+  64 B) per cycle, so total bandwidth is ``channels * 64 B/cycle``
+  (4 x 16 GB/s at 250 MHz, the F1's DDR4 configuration);
+* **latency** — a fixed response latency per request (default 40 cycles),
+  hidden by the readers' prefetch buffers exactly as in the paper.
+
+Requesters (memory reader/writer modules) register a port; each port is
+assigned to a channel round-robin.  Per cycle, each channel grants one
+outstanding request via a round-robin arbiter over its ports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Tuple
+
+from .arbiter import RoundRobinArbiter
+
+#: Memory access granularity in bytes (the paper's example value).
+ACCESS_BYTES = 64
+
+
+@dataclass
+class MemoryConfig:
+    """Memory system parameters (defaults model the F1's 4-channel DDR4
+    at a 250 MHz accelerator clock)."""
+
+    channels: int = 4
+    access_bytes: int = ACCESS_BYTES
+    latency_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.access_bytes < 1 or self.latency_cycles < 0:
+            raise ValueError("invalid memory configuration")
+
+    def bandwidth_bytes_per_cycle(self) -> int:
+        """Aggregate bandwidth of all channels."""
+        return self.channels * self.access_bytes
+
+
+class MemorySystem:
+    """Request-level memory model with per-channel round-robin arbitration."""
+
+    def __init__(self, config: MemoryConfig = None):
+        self.config = config or MemoryConfig()
+        self._ports: List[Tuple[int, Callable[[int], None]]] = []
+        self._pending: List[Deque[int]] = []
+        self._in_flight: Deque[Tuple[int, int, Callable[[int], None], int]] = deque()
+        self._arbiters: List[RoundRobinArbiter] = []
+        self._ports_by_channel: List[List[int]] = [
+            [] for _ in range(self.config.channels)
+        ]
+        # statistics
+        self.requests_served = 0
+        self.bytes_transferred = 0
+        self.busy_channel_cycles = 0
+
+    # -- port registration ------------------------------------------------------
+
+    def register_port(self, on_response: Callable[[int], None] = None) -> int:
+        """Register a requester.  ``on_response(count)`` is called when its
+        read requests complete (writers pass None).  Returns the port id."""
+        port = len(self._ports)
+        channel = port % self.config.channels
+        self._ports.append((channel, on_response))
+        self._pending.append(deque())
+        self._ports_by_channel[channel].append(port)
+        self._arbiters = [
+            RoundRobinArbiter(f"mem.ch{c}", max(1, len(ports)))
+            for c, ports in enumerate(self._ports_by_channel)
+        ]
+        return port
+
+    # -- request issue -----------------------------------------------------------
+
+    def request(self, port: int, count: int = 1) -> None:
+        """Enqueue ``count`` access-granularity requests from ``port``."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        self._pending[port].extend([1] * count)
+
+    def pending_requests(self, port: int) -> int:
+        """Requests of ``port`` not yet granted a channel slot."""
+        return len(self._pending[port])
+
+    def in_flight(self) -> int:
+        """Requests granted but not yet completed."""
+        return len(self._in_flight)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """One cycle: each channel grants one request; complete responses
+        whose latency elapsed."""
+        for channel, ports in enumerate(self._ports_by_channel):
+            if not ports:
+                continue
+            requesting = [bool(self._pending[p]) for p in ports]
+            if not any(requesting):
+                continue
+            winner = self._arbiters[channel].grant(requesting)
+            if winner is None:
+                continue
+            port = ports[winner]
+            self._pending[port].popleft()
+            self.requests_served += 1
+            self.bytes_transferred += self.config.access_bytes
+            self.busy_channel_cycles += 1
+            _channel, on_response = self._ports[port]
+            ready_at = cycle + self.config.latency_cycles
+            self._in_flight.append((ready_at, port, on_response, 1))
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _ready, _port, on_response, count = self._in_flight.popleft()
+            if on_response is not None:
+                on_response(count)
+
+    def is_idle(self) -> bool:
+        """True when no requests are pending or in flight."""
+        return not self._in_flight and all(not q for q in self._pending)

@@ -1,0 +1,101 @@
+"""Base class for Genesis hardware modules.
+
+Every module (Figure 6) consumes flits from named input queues and produces
+flits into named output queues, at most one flit per port per cycle.  A
+module's ``tick`` is called once per simulated cycle; it must respect queue
+back-pressure (never push to a full queue, never pop from an empty one).
+
+Modules keep busy/starve/stall statistics so the benchmark harness can
+attribute time the way Figure 13(b) does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .queue import HardwareQueue
+
+
+class Module:
+    """A dataflow hardware module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: Dict[str, HardwareQueue] = {}
+        self.outputs: Dict[str, HardwareQueue] = {}
+        # statistics
+        self.busy_cycles = 0
+        self.starve_cycles = 0
+        self.stall_cycles = 0
+        self.flits_out = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect_input(self, port: str, queue: HardwareQueue) -> None:
+        """Attach ``queue`` as input port ``port``."""
+        if port in self.inputs:
+            raise ValueError(f"{self.name}: input port {port} already connected")
+        self.inputs[port] = queue
+
+    def connect_output(self, port: str, queue: HardwareQueue) -> None:
+        """Attach ``queue`` as output port ``port``."""
+        if port in self.outputs:
+            raise ValueError(f"{self.name}: output port {port} already connected")
+        self.outputs[port] = queue
+
+    def input(self, port: str = "in") -> HardwareQueue:
+        """The input queue on ``port`` (raises if unconnected)."""
+        try:
+            return self.inputs[port]
+        except KeyError:
+            raise RuntimeError(f"{self.name}: input port {port} not connected") from None
+
+    def output(self, port: str = "out") -> HardwareQueue:
+        """The output queue on ``port`` (raises if unconnected)."""
+        try:
+            return self.outputs[port]
+        except KeyError:
+            raise RuntimeError(f"{self.name}: output port {port} not connected") from None
+
+    # -- simulation hooks -----------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle.  Subclasses override."""
+        raise NotImplementedError
+
+    def is_idle(self) -> bool:
+        """True when this module holds no internal state that still needs
+        to drain.  The engine stops when all modules are idle and all
+        queues are empty.  Subclasses with internal buffers override."""
+        return True
+
+    # -- bookkeeping helpers ----------------------------------------------------------
+
+    def _note_busy(self) -> None:
+        self.busy_cycles += 1
+        self.flits_out += 1
+
+    def _note_starved(self) -> None:
+        self.starve_cycles += 1
+
+    def _note_stalled(self) -> None:
+        self.stall_cycles += 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class SinkModule(Module):
+    """Base for modules that terminate a stream (memory writers)."""
+
+    def is_done(self) -> bool:
+        """True when the sink has observed the end of its stream."""
+        return self.is_idle()
+
+
+class SourceModule(Module):
+    """Base for modules that originate a stream (memory readers)."""
+
+    def is_done(self) -> bool:
+        """True when the source has emitted its whole stream."""
+        return self.is_idle()

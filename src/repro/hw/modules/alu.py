@@ -1,0 +1,153 @@
+"""Stream ALU and Fork modules.
+
+Figure 6: the stream ALU takes one or two input queues (or one queue and a
+constant) and applies a simple unary/binary operation element-wise, one
+item per cycle, optionally under a bit-mask.
+
+Fork is the stream-replication glue the composed pipelines of Figures 11
+and 12 need: one input stream fanned out to several consumers (the
+left-joiner output feeds the NM filter *and* MDGen; the BQSR filter output
+feeds four SPM updaters).  All output queues must have room before the
+flit advances, which is how a broadcast wire behaves under back-pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..flit import Flit
+from ..module import Module
+
+#: Binary operations the stream ALU supports (Section III-C).
+BINARY_OPS: Dict[str, Callable] = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "CMP": lambda a, b: int(a == b),
+    "MIN": min,
+    "MAX": max,
+    "MUL": lambda a, b: a * b,
+}
+
+#: Unary operations.
+UNARY_OPS: Dict[str, Callable] = {
+    "NOT": lambda a: ~a,
+    "NEG": lambda a: -a,
+    "ABS": abs,
+    "ID": lambda a: a,
+}
+
+
+class StreamAlu(Module):
+    """Element-wise ALU over one or two streams."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str,
+        field: str = "value",
+        other_field: Optional[str] = None,
+        constant: Optional[object] = None,
+        out_field: str = "value",
+        mask_field: Optional[str] = None,
+        two_streams: bool = False,
+    ):
+        """``two_streams`` pairs flits from ports ``a`` and ``b``;
+        otherwise the second operand is ``other_field`` of the same flit or
+        ``constant``.  Unary ops ignore the second operand entirely."""
+        super().__init__(name)
+        if op in BINARY_OPS:
+            self._func = BINARY_OPS[op]
+            self._unary = False
+            if not two_streams and (other_field is None) == (constant is None):
+                raise ValueError("binary op needs exactly one of other_field/constant")
+        elif op in UNARY_OPS:
+            self._func = UNARY_OPS[op]
+            self._unary = True
+        else:
+            raise ValueError(f"unsupported ALU op {op!r}")
+        self.op = op
+        self.field = field
+        self.other_field = other_field
+        self.constant = constant
+        self.out_field = out_field
+        self.mask_field = mask_field
+        self.two_streams = two_streams
+
+    def _apply(self, flit: Flit, other: Optional[Flit]) -> Flit:
+        fields = dict(flit.fields)
+        if other is not None:
+            for name, value in other.fields.items():
+                fields.setdefault(name, value)
+        if self.mask_field is not None and not flit.get(self.mask_field):
+            return Flit(fields, last=flit.last)
+        if self.field not in flit:
+            return Flit(fields, last=flit.last)
+        a = flit[self.field]
+        if self._unary:
+            fields[self.out_field] = self._func(a)
+        else:
+            if self.two_streams:
+                b = other[self.field] if other is not None else None
+            elif self.other_field is not None:
+                b = flit[self.other_field]
+            else:
+                b = self.constant
+            fields[self.out_field] = self._func(a, b)
+        return Flit(fields, last=flit.last)
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+        if self.two_streams and not self._unary:
+            queue_a, queue_b = self.input("a"), self.input("b")
+            if not (queue_a.can_pop() and queue_b.can_pop()):
+                self._note_starved()
+                return
+            flit_a, flit_b = queue_a.pop(), queue_b.pop()
+            if not flit_a.fields and not flit_b.fields:
+                out.push(Flit({}, last=flit_a.last or flit_b.last))
+            else:
+                result = self._apply(flit_a, flit_b)
+                result.last = flit_a.last or flit_b.last
+                out.push(result)
+            self._note_busy()
+            return
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        flit = queue.pop()
+        if not flit.fields:
+            out.push(Flit({}, last=flit.last))
+        else:
+            out.push(self._apply(flit, None))
+        self._note_busy()
+
+
+class Fork(Module):
+    """Replicates every input flit to all connected output ports."""
+
+    def __init__(self, name: str, ports: int = 2):
+        super().__init__(name)
+        if ports < 2:
+            raise ValueError("a fork needs at least two output ports")
+        self.port_names = [f"out{i}" for i in range(ports)]
+
+    def tick(self, cycle: int) -> None:
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        outs = [self.output(port) for port in self.port_names]
+        if not all(out.can_push() for out in outs):
+            self._note_stalled()
+            return
+        flit = queue.pop()
+        for out in outs:
+            out.push(Flit(dict(flit.fields), last=flit.last))
+        self._note_busy()

@@ -1,0 +1,104 @@
+"""BinIDGen — the custom BQSR bin-ID generator module (Section IV-D).
+
+Sits between ReadToBases and the Joiner in the Figure 12 pipeline.  For
+every aligned (M) base with quality ``q`` it computes the two covariate
+bin IDs the paper defines:
+
+* ``b1 = q * n_cycle_values + cycle`` — the cycle covariate.  Forward
+  reads use the base's index in the stored sequence; reverse reads get
+  their own cycle-value range (302 values for 151 bp reads: 151 forward +
+  151 reverse).
+* ``b2 = q * 16 + context`` — the dinucleotide context covariate with
+  ``AA=0, AC=1, ..., TT=15``.  The context of the first stored base is
+  undefined; such flits carry ``b2 = -1`` and a small filter in front of
+  the context-table SPM updaters drops them.
+
+The module tracks the previous *stored-sequence* base across M/I/S flits
+(soft-clipped bases participate in context even though they never reach
+the joiner), needs each read's strand and length, and passes M flits
+through with ``b1``/``b2`` attached; S, I and D flits are consumed and
+dropped — BQSR only bins aligned bases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flit import Flit
+from ..module import Module
+
+
+class BinIdGen(Module):
+    """Computes per-base BQSR bin IDs."""
+
+    def __init__(self, name: str, read_length: int, n_contexts: int = 16):
+        super().__init__(name)
+        if read_length < 1:
+            raise ValueError("read_length must be positive")
+        self.read_length = read_length
+        self.n_cycle_values = 2 * read_length
+        self.n_contexts = n_contexts
+        self._reverse: Optional[bool] = None
+        self._seqlen: Optional[int] = None
+        self._prev_base: Optional[int] = None
+
+    def _cycle(self, ridx: int) -> int:
+        if not self._reverse:
+            return ridx
+        return self.read_length + (self._seqlen - 1 - ridx)
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+
+        # Latch the per-read header (strand, stored length) first.
+        if self._reverse is None:
+            meta = self.input("meta")
+            if not meta.can_pop():
+                self._note_starved()
+                return
+            flit = meta.pop()
+            if not flit.fields:
+                out.push(Flit({}, last=True))
+                self._note_busy()
+                return
+            self._reverse = bool(flit["reverse"])
+            self._seqlen = int(flit["seqlen"])
+            self._prev_base = None
+            return
+
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        flit = queue.pop()
+        if flit.last:
+            out.push(Flit({}, last=True))
+            self._note_busy()
+            self._reverse = None
+            self._seqlen = None
+            return
+        op = flit.get("op")
+        if op in ("S", "I"):
+            self._prev_base = int(flit["base"])
+            return
+        if op == "D":
+            return
+        # Aligned base: attach both bin IDs.
+        quality = int(flit["qual"])
+        b1 = quality * self.n_cycle_values + self._cycle(int(flit["ridx"]))
+        if self._prev_base is None:
+            b2 = -1
+        else:
+            b2 = quality * self.n_contexts + (self._prev_base * 4 + int(flit["base"]))
+        self._prev_base = int(flit["base"])
+        fields = dict(flit.fields)
+        fields["b1"] = b1
+        fields["b2"] = b2
+        out.push(Flit(fields, last=False))
+        self._note_busy()
+
+    def is_idle(self) -> bool:
+        return self._reverse is None

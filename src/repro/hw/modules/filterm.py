@@ -1,0 +1,92 @@
+"""Filter module.
+
+Figure 6: takes input data from a single queue, checks a comparison
+condition (between two fields or a field and a constant), and outputs the
+item only when the condition holds.
+
+Item framing is preserved: when the flit carrying ``last`` is dropped, a
+payload-less boundary flit with ``last`` set is emitted instead, so
+downstream per-item reducers stay aligned.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional
+
+from ..flit import Flit
+from ..module import Module
+
+#: Comparison operators the hardware comparator supports.
+COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Filter(Module):
+    """Streaming comparison filter."""
+
+    def __init__(
+        self,
+        name: str,
+        field: str,
+        op: str = "==",
+        other_field: Optional[str] = None,
+        constant: Optional[object] = None,
+        predicate: Optional[Callable[[Flit], bool]] = None,
+    ):
+        """Configure the condition.
+
+        Either compare ``field`` against ``other_field`` / ``constant``
+        with one of :data:`COMPARATORS`, or supply a custom ``predicate``
+        over the whole flit (drivers use this for sentinel-aware checks).
+        """
+        super().__init__(name)
+        if predicate is None and op not in COMPARATORS:
+            raise ValueError(f"unsupported comparator {op!r}")
+        if predicate is None and (other_field is None) == (constant is None):
+            raise ValueError("provide exactly one of other_field/constant")
+        self.field = field
+        self.op = op
+        self.other_field = other_field
+        self.constant = constant
+        self.predicate = predicate
+        self.dropped = 0
+
+    def _passes(self, flit: Flit) -> bool:
+        if self.predicate is not None:
+            return self.predicate(flit)
+        left = flit[self.field]
+        right = (
+            flit[self.other_field] if self.other_field is not None else self.constant
+        )
+        return COMPARATORS[self.op](left, right)
+
+    def tick(self, cycle: int) -> None:
+        queue = self.input()
+        out = self.output()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        if not out.can_push():
+            self._note_stalled()
+            return
+        flit = queue.pop()
+        if not flit.fields:
+            # Pure boundary flit: forward as-is.
+            out.push(Flit({}, last=flit.last))
+            self._note_busy()
+            return
+        if self._passes(flit):
+            out.push(Flit(dict(flit.fields), last=flit.last))
+            self._note_busy()
+        else:
+            self.dropped += 1
+            if flit.last:
+                out.push(Flit({}, last=True))
+                self._note_busy()

@@ -1,0 +1,166 @@
+"""Joiner module.
+
+Figure 6: merges flits from two input queues whose flits carry a key field
+and arrive in ascending key order.  Each cycle the module compares the two
+head keys and outputs or discards the flit with the smaller key; equal keys
+merge their data fields.  Configurations (Section III-C):
+
+* ``inner`` — discard flits without a matching key on the other side;
+* ``left``  — keep every left flit (unmatched ones carry no right fields),
+  discard unmatched right flits;
+* ``outer`` — never discard.
+
+Streams are *item-aligned*: item ``i`` on the left corresponds to item
+``i`` on the right (e.g. a read's exploded bases vs. the read's reference
+interval).  When both sides of an item are consumed, the joiner emits a
+payload-less boundary flit with ``last`` set, so downstream reducers see
+per-item framing even when the final data flits were discarded.
+
+Left-side keys equal to a configured *passthrough* sentinel (the ``INS``
+reference position of inserted bases) are emitted immediately without
+consuming the right side — inserted bases have no reference counterpart
+but must flow through left joins (metadata update needs them for NM).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..flit import INS, Flit
+from ..module import Module
+
+_MODES = ("inner", "left", "outer")
+
+
+class Joiner(Module):
+    """Streaming merge-joiner over two item-aligned keyed inputs."""
+
+    def __init__(
+        self,
+        name: str,
+        mode: str = "inner",
+        key_a: str = "key",
+        key_b: str = "key",
+        passthrough_keys: FrozenSet[object] = frozenset({INS}),
+    ):
+        super().__init__(name)
+        if mode not in _MODES:
+            raise ValueError(f"join mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.key_a = key_a
+        self.key_b = key_b
+        self.passthrough_keys = passthrough_keys
+        self._a_done = False
+        self._b_done = False
+        self.discarded = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _emit(self, flit: Flit) -> None:
+        self.output().push(flit)
+        self._note_busy()
+
+    def _consume(self, side: str, flit: Flit) -> None:
+        if flit.last:
+            if side == "a":
+                self._a_done = True
+            else:
+                self._b_done = True
+
+    def _merge(self, a: Flit, b: Flit) -> Flit:
+        fields = dict(a.fields)
+        for name, value in b.fields.items():
+            if name != self.key_b:
+                fields[name] = value
+        return Flit(fields, last=False)
+
+    # -- simulation ----------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+
+        # Item boundary: both sides consumed -> emit the boundary flit.
+        if self._a_done and self._b_done:
+            self._emit(Flit({}, last=True))
+            self._a_done = False
+            self._b_done = False
+            return
+
+        queue_a = self.input("a")
+        queue_b = self.input("b")
+        head_a = queue_a.peek() if not self._a_done else None
+        head_b = queue_b.peek() if not self._b_done else None
+
+        # Drain phases: one side's item ended, flush the other.
+        if self._a_done and head_b is not None:
+            queue_b.pop()
+            self._consume("b", head_b)
+            if self.mode == "outer" and head_b.fields:
+                self._emit(Flit(dict(head_b.fields), last=False))
+            else:
+                self.discarded += 1
+            return
+        if self._b_done and head_a is not None:
+            queue_a.pop()
+            self._consume("a", head_a)
+            if self.mode in ("left", "outer") and head_a.fields:
+                self._emit(Flit(dict(head_a.fields), last=False))
+            else:
+                self.discarded += 1
+            return
+
+        if head_a is None or head_b is None:
+            self._note_starved()
+            return
+
+        # Boundary flits (payload-less) just close their side.
+        if not head_a.fields:
+            queue_a.pop()
+            self._consume("a", head_a)
+            return
+        if not head_b.fields:
+            queue_b.pop()
+            self._consume("b", head_b)
+            return
+
+        a_key = head_a[self.key_a]
+        if a_key in self.passthrough_keys:
+            # Sentinel-keyed flits (inserted bases) have no reference
+            # counterpart: an inner join discards them, a left/outer join
+            # forwards them unmatched.
+            queue_a.pop()
+            self._consume("a", head_a)
+            if self.mode == "inner":
+                self.discarded += 1
+            else:
+                self._emit(Flit(dict(head_a.fields), last=False))
+            return
+
+        b_key = head_b[self.key_b]
+        if a_key == b_key:
+            merged = self._merge(head_a, head_b)
+            queue_a.pop()
+            queue_b.pop()
+            self._consume("a", head_a)
+            self._consume("b", head_b)
+            self._emit(merged)
+        elif a_key < b_key:
+            queue_a.pop()
+            self._consume("a", head_a)
+            if self.mode in ("left", "outer"):
+                self._emit(Flit(dict(head_a.fields), last=False))
+            else:
+                self.discarded += 1
+        else:
+            queue_b.pop()
+            self._consume("b", head_b)
+            if self.mode == "outer":
+                self._emit(Flit(dict(head_b.fields), last=False))
+            else:
+                self.discarded += 1
+
+    def is_idle(self) -> bool:
+        return not self._a_done and not self._b_done

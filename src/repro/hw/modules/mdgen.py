@@ -1,0 +1,115 @@
+"""MDGen — the custom MD-tag generator module (Section IV-C).
+
+Consumes the left-joiner output of the metadata-update pipeline (per-base
+flits carrying the read base and the reference base) and emits MD-string
+tokens: it counts consecutive matching bases; on a mismatch it flushes the
+match counter and outputs the reference base; on a deletion it outputs
+``^`` plus the deleted reference bases (one ``^`` per deletion run).
+Inserted bases do not appear in MD.  At the end of each read the final
+match count is emitted and the item is closed.
+
+This is the module a Genesis user adds through the custom-operation
+interface (Section III-F); its software reference is
+:class:`repro.gatk.metadata.MdBuilder`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ...genomics.sequences import decode_base
+from ..flit import Flit
+from ..module import Module
+
+_BOUNDARY = object()
+
+
+class MdGen(Module):
+    """Streaming MD-token generator."""
+
+    def __init__(
+        self,
+        name: str,
+        base_field: str = "base",
+        ref_field: str = "ref",
+        op_field: str = "op",
+        out_field: str = "md",
+    ):
+        super().__init__(name)
+        self.base_field = base_field
+        self.ref_field = ref_field
+        self.op_field = op_field
+        self.out_field = out_field
+        self._tokens: Deque[object] = deque()
+        self._match_run = 0
+        self._in_deletion = False
+
+    # -- token production -------------------------------------------------------
+
+    def _flush_run(self) -> None:
+        self._tokens.append(str(self._match_run))
+        self._match_run = 0
+
+    def _process(self, flit: Flit) -> None:
+        op = flit.get(self.op_field)
+        if op == "I":
+            # Inserted bases are invisible to MD and, consuming no
+            # reference, do not interrupt a deletion run (matching the
+            # software MdBuilder's reference-walk semantics).
+            return
+        if op == "D":
+            if not self._in_deletion:
+                self._flush_run()
+                self._tokens.append("^")
+                self._in_deletion = True
+            self._tokens.append(decode_base(int(flit[self.ref_field])))
+            return
+        if op != "M":
+            return
+        self._in_deletion = False
+        if int(flit[self.base_field]) == int(flit[self.ref_field]):
+            self._match_run += 1
+        else:
+            self._flush_run()
+            self._tokens.append(decode_base(int(flit[self.ref_field])))
+
+    def _close_item(self) -> None:
+        self._flush_run()
+        self._in_deletion = False
+        self._tokens.append(_BOUNDARY)
+
+    # -- simulation ----------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+        # Drain pending tokens first, one per cycle.
+        if self._tokens:
+            token = self._tokens.popleft()
+            if token is _BOUNDARY:
+                out.push(Flit({}, last=True))
+            else:
+                out.push(Flit({self.out_field: token}, last=False))
+            self._note_busy()
+            return
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        flit = queue.pop()
+        if flit.fields:
+            self._process(flit)
+        if flit.last:
+            self._close_item()
+
+    def is_idle(self) -> bool:
+        return not self._tokens
+
+
+def join_md_tokens(tokens) -> str:
+    """Assemble one read's MD tokens into the final MD string, merging the
+    token stream the way the host's output formatter does."""
+    return "".join(str(token) for token in tokens)

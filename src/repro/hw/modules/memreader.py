@@ -1,0 +1,108 @@
+"""Memory Reader module.
+
+Section III-C: given a starting address and a total amount of data, the
+memory reader continuously issues memory requests at access granularity as
+long as its internal prefetch buffer has room, and feeds returned data to
+the next module at one flit per cycle.
+
+The functional payload is configured as a pre-framed flit stream (the
+column contents, one flit per element, ``last`` marking item boundaries);
+the performance behaviour — request pacing, prefetch-buffer credits,
+latency hiding — is simulated against the shared :class:`MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..flit import Flit, item_flits
+from ..memory import MemorySystem
+from ..module import SourceModule
+
+
+class MemoryReader(SourceModule):
+    """Streams one column of a table from accelerator memory."""
+
+    def __init__(
+        self,
+        name: str,
+        memory: MemorySystem,
+        elem_size: int = 1,
+        prefetch_lines: int = 8,
+    ):
+        super().__init__(name)
+        if elem_size < 1:
+            raise ValueError("elem_size must be positive")
+        self.memory = memory
+        self.elem_size = elem_size
+        self.prefetch_lines = prefetch_lines
+        self._port = memory.register_port(self._on_response)
+        self._elems_per_line = max(1, memory.config.access_bytes // elem_size)
+        self._flits: List[Flit] = []
+        self._cursor = 0
+        self._credits = 0
+        self._lines_requested = 0
+        self._lines_completed = 0
+        self._lines_total = 0
+
+    # -- configuration (the configure_mem host call lands here) ----------------
+
+    def set_stream(self, flits: Sequence[Flit]) -> None:
+        """Load the pre-framed column contents this reader will stream."""
+        self._flits = list(flits)
+        self._cursor = 0
+        self._credits = 0
+        self._lines_requested = 0
+        self._lines_completed = 0
+        payload = sum(1 for flit in self._flits if flit.fields)
+        self._lines_total = (
+            payload + self._elems_per_line - 1
+        ) // self._elems_per_line
+
+    def set_items(self, items: Iterable[Iterable], field: str = "value") -> None:
+        """Convenience: frame ``items`` (an iterable of per-item element
+        sequences) and load them."""
+        flits: List[Flit] = []
+        for item in items:
+            flits.extend(item_flits(item, field))
+        self.set_stream(flits)
+
+    def set_scalars(self, values: Iterable, field: str = "value") -> None:
+        """Convenience: one single-flit item per scalar value."""
+        flits = [Flit({field: value}, last=True) for value in values]
+        self.set_stream(flits)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def _on_response(self, count: int) -> None:
+        self._lines_completed += count
+        self._credits += count * self._elems_per_line
+
+    def tick(self, cycle: int) -> None:
+        # Issue up to one request per cycle while the prefetch window has room.
+        outstanding = self._lines_requested - self._lines_completed
+        if self._lines_requested < self._lines_total and outstanding < self.prefetch_lines:
+            self.memory.request(self._port, 1)
+            self._lines_requested += 1
+        # Emit one flit per cycle once data has "arrived".
+        if self._cursor >= len(self._flits):
+            return
+        if self._credits <= 0 and self._flits[self._cursor].fields:
+            self._note_starved()
+            return
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+        flit = self._flits[self._cursor]
+        self._cursor += 1
+        if flit.fields:
+            self._credits -= 1
+        out.push(Flit(dict(flit.fields), last=flit.last))
+        self._note_busy()
+
+    def is_idle(self) -> bool:
+        return (
+            self._cursor >= len(self._flits)
+            and self._lines_requested >= self._lines_total
+        )

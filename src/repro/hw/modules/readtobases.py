@@ -1,0 +1,163 @@
+"""ReadToBases module — the hardware ReadExplode (Figure 3).
+
+Takes per-read streams of POS (scalar), CIGAR (encoded elements), SEQ and
+optionally QUAL (one flit per base) and emits one flit per exploded base:
+
+* aligned bases:   ``{op:'M', pos, base, qual, ridx}``
+* inserted bases:  ``{op:'I', pos:INS, base, qual, ridx}``
+* deleted bases:   ``{op:'D', pos, base:DEL, qual:DEL}``
+* soft-clipped bases are consumed silently (the paper drops them), or
+  emitted as ``{op:'S', base, qual, ridx}`` when ``emit_clips`` is set —
+  the BQSR BinIDGen needs them to track the dinucleotide context across
+  clip boundaries.
+
+``ridx`` is the base's index in the stored read sequence (soft clips
+included), which is what the BQSR cycle covariate is defined over.  Every
+read's output item is terminated by a payload-less boundary flit with
+``last`` set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...genomics.cigar import OPS
+from ..flit import DEL, INS, Flit
+from ..module import Module
+
+
+class ReadToBases(Module):
+    """Explodes reads into per-base flits, one base per cycle."""
+
+    def __init__(self, name: str, with_qual: bool = True, emit_clips: bool = False):
+        super().__init__(name)
+        self.with_qual = with_qual
+        self.emit_clips = emit_clips
+        # per-read decode state
+        self._pos: Optional[int] = None
+        self._ridx = 0
+        self._element_op: Optional[str] = None
+        self._element_left = 0
+        self._cigar_done = False
+        self.reads_exploded = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pop_value(self, port: str):
+        """Pop the next payload flit from ``port``; returns (value, last)
+        or None when the queue has nothing consumable."""
+        queue = self.input(port)
+        if not queue.can_pop():
+            return None
+        flit = queue.pop()
+        if not flit.fields:
+            return (None, flit.last)
+        return (flit["value"], flit.last)
+
+    def _need_seq(self) -> bool:
+        return self._element_op in ("M", "I", "S")
+
+    def _start_element(self) -> bool:
+        """Load the next CIGAR element; returns False on starve."""
+        queue = self.input("cigar")
+        if not queue.can_pop():
+            return False
+        flit = queue.pop()
+        if not flit.fields:
+            self._cigar_done = True
+            return True
+        code = int(flit["value"])
+        self._element_op = OPS[code & 0x3]
+        self._element_left = code >> 2
+        if flit.last:
+            self._cigar_done = True
+        return True
+
+    def _finish_read(self) -> None:
+        self.output().push(Flit({}, last=True))
+        self._note_busy()
+        self.reads_exploded += 1
+        self._pos = None
+        self._ridx = 0
+        self._element_op = None
+        self._element_left = 0
+        self._cigar_done = False
+
+    # -- simulation ---------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+
+        if self._pos is None:
+            popped = self._pop_value("pos")
+            if popped is None:
+                self._note_starved()
+                return
+            value, _last = popped
+            if value is None:
+                # Degenerate empty read: emit a boundary and move on.
+                out.push(Flit({}, last=True))
+                self._note_busy()
+                return
+            self._pos = int(value)
+            self._cigar_done = False
+            return
+
+        if self._element_left == 0:
+            if self._cigar_done:
+                self._finish_read()
+                return
+            if not self._start_element():
+                self._note_starved()
+                return
+            if self._element_left == 0 and self._cigar_done and self._element_op is None:
+                self._finish_read()
+            return
+
+        op = self._element_op
+        if self._need_seq():
+            popped = self._pop_value("seq")
+            if popped is None:
+                self._note_starved()
+                return
+            base, _ = popped
+            qual = None
+            if self.with_qual:
+                qpopped = self._pop_value("qual")
+                if qpopped is None:
+                    raise RuntimeError(f"{self.name}: SEQ/QUAL streams diverged")
+                qual, _ = qpopped
+            self._element_left -= 1
+            ridx = self._ridx
+            self._ridx += 1
+            if op == "S":
+                if self.emit_clips:
+                    fields = {"op": "S", "base": base, "ridx": ridx}
+                    if self.with_qual:
+                        fields["qual"] = qual
+                    out.push(Flit(fields, last=False))
+                    self._note_busy()
+                return
+            if op == "M":
+                fields = {"op": "M", "pos": self._pos, "base": base, "ridx": ridx}
+                self._pos += 1
+            else:  # I
+                fields = {"op": "I", "pos": INS, "base": base, "ridx": ridx}
+            if self.with_qual:
+                fields["qual"] = qual
+            out.push(Flit(fields, last=False))
+            self._note_busy()
+        else:  # D
+            fields = {"op": "D", "pos": self._pos, "base": DEL}
+            if self.with_qual:
+                fields["qual"] = DEL
+            self._pos += 1
+            self._element_left -= 1
+            out.push(Flit(fields, last=False))
+            self._note_busy()
+
+    def is_idle(self) -> bool:
+        return self._pos is None

@@ -1,0 +1,94 @@
+"""Reducer module.
+
+Figure 6: performs a reduction (Sum, Max, Min, Count) over a stream.  The
+hardware uses a reduction tree to sustain one flit per cycle; reductions
+can run at *item* granularity (reset at every ``last`` flit, one result per
+item) or over the whole stream, and support *masked* reduction — a mask
+field selects which values contribute (Section III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..flit import DEL, Flit
+from ..module import Module
+
+_IDENTITY = {"sum": 0, "count": 0, "max": None, "min": None}
+
+
+class Reducer(Module):
+    """Streaming reduction at item or stream granularity."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str = "sum",
+        field: str = "value",
+        mask_field: Optional[str] = None,
+        per_item: bool = True,
+        out_field: str = "value",
+    ):
+        super().__init__(name)
+        if op not in _IDENTITY:
+            raise ValueError(f"unsupported reduction {op!r}")
+        self.op = op
+        self.field = field
+        self.mask_field = mask_field
+        self.per_item = per_item
+        self.out_field = out_field
+        self._acc = _IDENTITY[op]
+        self._saw_stream_end = False
+        self._emitted_stream_result = False
+
+    # -- accumulate --------------------------------------------------------------
+
+    def _contributes(self, flit: Flit) -> bool:
+        if self.field not in flit:
+            return False
+        if flit[self.field] is DEL:
+            return False
+        if self.mask_field is not None and not flit.get(self.mask_field):
+            return False
+        return True
+
+    def _accumulate(self, value) -> None:
+        if self.op == "count":
+            self._acc += 1
+        elif self.op == "sum":
+            self._acc += value
+        elif self.op == "max":
+            self._acc = value if self._acc is None else max(self._acc, value)
+        elif self.op == "min":
+            self._acc = value if self._acc is None else min(self._acc, value)
+
+    def _result(self):
+        if self._acc is None:
+            return 0
+        return self._acc
+
+    # -- simulation ---------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        queue = self.input()
+        out = self.output()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        head = queue.peek()
+        emits = head.last and self.per_item
+        if emits and not out.can_push():
+            self._note_stalled()
+            return
+        flit = queue.pop()
+        if self._contributes(flit):
+            self._accumulate(flit[self.field])
+        if emits:
+            out.push(Flit({self.out_field: self._result()}, last=True))
+            self._note_busy()
+            self._acc = _IDENTITY[self.op]
+
+    def stream_result(self):
+        """For whole-stream reductions: the final value (drivers read this
+        after the run instead of wiring a drain)."""
+        return self._result()

@@ -1,0 +1,144 @@
+"""Merge-sort hardware: MergeUnit modules and sorter-tree construction.
+
+Sorting is a staple relational operator (the paper's Q100/SDA comparisons
+both accelerate it) and the mark-duplicates stage coordinate-sorts all
+reads (Section IV-B) — in the paper on the host, here optionally in
+hardware.  The building block is a :class:`MergeUnit` that merges two
+key-sorted input streams into one at a flit per cycle;
+:func:`build_merge_tree` composes ``k`` leaf streams into a ``log2(k)``
+deep tree that emits the fully merged stream, the classic FPGA merge-sort
+network.
+
+Streams here are *runs*: whole-stream sorted sequences terminated by a
+single ``last`` flit (one item per stream), unlike the per-read items of
+the genomics pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..engine import Engine
+from ..flit import Flit
+from ..module import Module
+from ..queue import HardwareQueue
+
+
+class MergeUnit(Module):
+    """Merges two key-sorted streams into one sorted stream.
+
+    Each input is one run (``last`` on its final flit).  The output is a
+    single run.  Ties pop the left input first, making multi-level trees
+    stable.
+    """
+
+    def __init__(self, name: str, key: str = "key"):
+        super().__init__(name)
+        self.key = key
+        self._a_done = False
+        self._b_done = False
+
+    def _pop_side(self, queue: HardwareQueue, side: str) -> Flit:
+        flit = queue.pop()
+        if flit.last:
+            if side == "a":
+                self._a_done = True
+            else:
+                self._b_done = True
+        return flit
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+        queue_a = self.input("a")
+        queue_b = self.input("b")
+
+        if self._a_done and self._b_done:
+            out.push(Flit({}, last=True))
+            self._note_busy()
+            self._a_done = self._b_done = False
+            return
+
+        head_a = queue_a.peek() if not self._a_done else None
+        head_b = queue_b.peek() if not self._b_done else None
+
+        if self._a_done:
+            if head_b is None:
+                self._note_starved()
+                return
+            flit = self._pop_side(queue_b, "b")
+        elif self._b_done:
+            if head_a is None:
+                self._note_starved()
+                return
+            flit = self._pop_side(queue_a, "a")
+        else:
+            if head_a is None or head_b is None:
+                self._note_starved()
+                return
+            # Empty-payload terminators just close their side.
+            if not head_a.fields:
+                self._pop_side(queue_a, "a")
+                return
+            if not head_b.fields:
+                self._pop_side(queue_b, "b")
+                return
+            if head_a[self.key] <= head_b[self.key]:
+                flit = self._pop_side(queue_a, "a")
+            else:
+                flit = self._pop_side(queue_b, "b")
+        if flit.fields:
+            out.push(Flit(dict(flit.fields), last=False))
+            self._note_busy()
+        # The run terminator is emitted once both sides close (top branch).
+
+    def is_idle(self) -> bool:
+        return not self._a_done and not self._b_done
+
+
+def build_merge_tree(
+    engine: Engine,
+    name: str,
+    leaves: int,
+    key: str = "key",
+) -> Tuple[List[HardwareQueue], HardwareQueue, List[MergeUnit]]:
+    """Construct a binary merge tree with ``leaves`` input queues.
+
+    Returns ``(leaf_queues, output_queue, units)``.  ``leaves`` must be a
+    power of two; feed each leaf one sorted run and read the fully merged
+    run from the output queue.
+    """
+    if leaves < 2 or leaves & (leaves - 1):
+        raise ValueError("leaves must be a power of two >= 2")
+    units: List[MergeUnit] = []
+    level_queues = [
+        engine.new_queue(f"{name}.leaf{i}") for i in range(leaves)
+    ]
+    leaf_queues = list(level_queues)
+    level = 0
+    while len(level_queues) > 1:
+        next_queues: List[HardwareQueue] = []
+        for pair in range(0, len(level_queues), 2):
+            unit = MergeUnit(f"{name}.m{level}_{pair // 2}", key=key)
+            engine.add_module(unit)
+            unit.connect_input("a", level_queues[pair])
+            unit.connect_input("b", level_queues[pair + 1])
+            out = engine.new_queue(f"{name}.l{level}_{pair // 2}")
+            unit.connect_output("out", out)
+            next_queues.append(out)
+            units.append(unit)
+        level_queues = next_queues
+        level += 1
+    return leaf_queues, level_queues[0], units
+
+
+def sorted_run_flits(values: Sequence, key: str = "key", payload: dict = None) -> List[Flit]:
+    """Frame one pre-sorted run for a merge-tree leaf."""
+    flits = [Flit({key: value, **(payload or {})}) for value in values]
+    if flits:
+        flits[-1].last = True
+    else:
+        flits = [Flit({}, last=True)]
+    return flits

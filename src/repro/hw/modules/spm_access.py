@@ -1,0 +1,201 @@
+"""SPM Reader and SPM Updater modules.
+
+Section III-C.  The **SPM Updater** supports three operating modes:
+
+* ``sequential`` — writes incoming values to consecutive addresses from a
+  configured start (memory-writer-like initialization of the SPM);
+* ``random`` — writes ``value`` to the ``addr`` carried by each flit;
+* ``rmw`` — read-modify-write with a configured modify function, guarded
+  by the three-stage RAW-hazard interlock the paper describes (an incoming
+  flit whose address is still in the read/modify/write stages stalls).
+
+The **SPM Reader** supports address lookup (one address flit in, one value
+flit out), *interval* reads (a start/end pair in, the whole interval
+streamed out at one element per cycle), and a *drain* mode that streams the
+entire scratchpad contents (used to move the BQSR count buffers back to
+memory at the end of a run).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..flit import Flit
+from ..module import Module
+from ..spm import RmwInterlock, Scratchpad
+
+_UPDATER_MODES = ("sequential", "random", "rmw")
+
+
+class SpmUpdater(Module):
+    """Writes or read-modify-writes the scratchpad."""
+
+    def __init__(
+        self,
+        name: str,
+        spm: Scratchpad,
+        mode: str = "sequential",
+        addr_field: str = "addr",
+        value_field: str = "value",
+        start_address: int = 0,
+        modify: Optional[Callable[[object, object], object]] = None,
+    ):
+        """``modify(old, flit_value)`` computes the new word in ``rmw``
+        mode; the default increments by one (the BQSR counters)."""
+        super().__init__(name)
+        if mode not in _UPDATER_MODES:
+            raise ValueError(f"updater mode must be one of {_UPDATER_MODES}")
+        self.spm = spm
+        self.mode = mode
+        self.addr_field = addr_field
+        self.value_field = value_field
+        self._next_address = start_address
+        self._modify = modify or (lambda old, _value: old + 1)
+        self._interlock = RmwInterlock()
+        self.updates = 0
+
+    @property
+    def hazard_stalls(self) -> int:
+        """Cycles lost to RAW-hazard interlock stalls (rmw mode)."""
+        return self._interlock.hazard_stalls
+
+    def tick(self, cycle: int) -> None:
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        head = queue.peek()
+        if not head.fields:
+            queue.pop()
+            return
+        if self.mode == "sequential":
+            queue.pop()
+            self.spm.write(self._next_address, head[self.value_field])
+            self._next_address += 1
+        elif self.mode == "random":
+            queue.pop()
+            self.spm.write(head[self.addr_field], head[self.value_field])
+        else:  # rmw
+            address = head[self.addr_field]
+            if not self._interlock.try_enter(cycle, address):
+                self._note_stalled()
+                return
+            queue.pop()
+            old = self.spm.read(address)
+            self.spm.write(address, self._modify(old, head.get(self.value_field)))
+        self.updates += 1
+        self._note_busy()
+
+    def is_idle(self) -> bool:
+        return True
+
+
+class SpmReader(Module):
+    """Reads the scratchpad: lookup, interval, or drain mode."""
+
+    def __init__(
+        self,
+        name: str,
+        spm: Scratchpad,
+        mode: str = "interval",
+        base_address: int = 0,
+        out_field: str = "value",
+        addr_out_field: Optional[str] = None,
+    ):
+        """``base_address`` maps stream coordinates (e.g. genome positions)
+        to SPM words: ``word = coordinate - base_address``.  When
+        ``addr_out_field`` is set, output flits also carry the coordinate.
+        """
+        super().__init__(name)
+        if mode not in ("lookup", "interval", "drain"):
+            raise ValueError(f"unknown SPM reader mode {mode!r}")
+        self.spm = spm
+        self.mode = mode
+        self.base_address = base_address
+        self.out_field = out_field
+        self.addr_out_field = addr_out_field
+        # interval state
+        self._cursor: Optional[int] = None
+        self._end: Optional[int] = None
+        # drain state
+        self._drain_cursor = 0
+        self._draining = mode == "drain"
+
+    # -- per-mode behaviour ----------------------------------------------------
+
+    def _emit(self, coordinate: int, last: bool) -> None:
+        word = coordinate - self.base_address
+        fields = {self.out_field: self.spm.read(word)}
+        if self.addr_out_field is not None:
+            fields[self.addr_out_field] = coordinate
+        self.output().push(Flit(fields, last=last))
+        self._note_busy()
+
+    def _tick_lookup(self) -> None:
+        queue = self.input()
+        if not queue.can_pop():
+            self._note_starved()
+            return
+        flit = queue.pop()
+        if not flit.fields:
+            self.output().push(Flit({}, last=flit.last))
+            self._note_busy()
+            return
+        self._emit(flit["addr"], flit.last)
+
+    def _tick_interval(self) -> None:
+        if self._cursor is None:
+            starts = self.input("start")
+            ends = self.input("end")
+            if not (starts.can_pop() and ends.can_pop()):
+                self._note_starved()
+                return
+            start_flit = starts.pop()
+            end_flit = ends.pop()
+            if not start_flit.fields:
+                self.output().push(Flit({}, last=True))
+                self._note_busy()
+                return
+            self._cursor = int(start_flit["value"])
+            self._end = int(end_flit["value"])
+            if self._cursor > self._end:
+                self.output().push(Flit({}, last=True))
+                self._note_busy()
+                self._cursor = self._end = None
+            return
+        last = self._cursor == self._end
+        self._emit(self._cursor, last)
+        self._cursor += 1
+        if last:
+            self._cursor = self._end = None
+
+    def _tick_drain(self) -> None:
+        if self._drain_cursor >= len(self.spm):
+            self._draining = False
+            return
+        last = self._drain_cursor == len(self.spm) - 1
+        fields = {self.out_field: self.spm.read(self._drain_cursor)}
+        if self.addr_out_field is not None:
+            fields[self.addr_out_field] = self._drain_cursor
+        self.output().push(Flit(fields, last=last))
+        self._drain_cursor += 1
+        self._note_busy()
+
+    def tick(self, cycle: int) -> None:
+        out = self.output()
+        if not out.can_push():
+            self._note_stalled()
+            return
+        if self.mode == "lookup":
+            self._tick_lookup()
+        elif self.mode == "interval":
+            self._tick_interval()
+        else:
+            self._tick_drain()
+
+    def is_idle(self) -> bool:
+        if self.mode == "interval":
+            return self._cursor is None
+        if self.mode == "drain":
+            return not self._draining
+        return True

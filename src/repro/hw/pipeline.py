@@ -1,0 +1,78 @@
+"""Pipeline containers: named module groups and parallel replication.
+
+Section III-D: a Genesis accelerator is one dataflow pipeline, optionally
+replicated N times (Figure 8) with all replicas sharing the memory system
+through the arbitration fabric.  :class:`Pipeline` names and tracks the
+modules of one replica; :func:`replicate` stamps out N copies of a builder
+function into one engine so the shared-memory contention is simulated for
+real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .engine import Engine
+from .module import Module
+
+
+class Pipeline:
+    """One hardware pipeline: a named bag of modules wired into an engine."""
+
+    def __init__(self, name: str, engine: Engine):
+        self.name = name
+        self.engine = engine
+        self.modules: Dict[str, Module] = {}
+
+    def add(self, module: Module) -> Module:
+        """Register a module under its own name and add it to the engine."""
+        if module.name in self.modules:
+            raise ValueError(f"{self.name}: duplicate module {module.name}")
+        self.modules[module.name] = module
+        self.engine.add_module(module)
+        return module
+
+    def module_census(self) -> Dict[str, int]:
+        """Count of module instances by type name (resource modelling)."""
+        census: Dict[str, int] = {}
+        for module in self.modules.values():
+            type_name = type(module).__name__
+            census[type_name] = census.get(type_name, 0) + 1
+        return census
+
+    def total_flits(self) -> int:
+        """Total flits emitted by all modules in this pipeline."""
+        return sum(module.flits_out for module in self.modules.values())
+
+
+@dataclass
+class ReplicaSet:
+    """N replicas of one pipeline sharing an engine (Figure 8)."""
+
+    engine: Engine
+    replicas: List[Pipeline]
+
+    @property
+    def n(self) -> int:
+        """Number of parallel pipelines."""
+        return len(self.replicas)
+
+
+def replicate(
+    engine: Engine,
+    n: int,
+    builder: Callable[[Engine, str], Pipeline],
+    prefix: str = "pipe",
+) -> ReplicaSet:
+    """Instantiate ``n`` copies of ``builder`` into one engine.
+
+    ``builder(engine, name)`` must construct one pipeline's modules and
+    wiring and return the :class:`Pipeline`.  All replicas share the
+    engine's memory system, so channel arbitration and bandwidth
+    saturation emerge naturally.
+    """
+    if n < 1:
+        raise ValueError("need at least one replica")
+    replicas = [builder(engine, f"{prefix}{i}") for i in range(n)]
+    return ReplicaSet(engine, replicas)

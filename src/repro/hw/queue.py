@@ -1,0 +1,85 @@
+"""Bounded hardware queues connecting dataflow modules.
+
+Section III-C: "multiple independent modules are connected to each other
+via hardware queues".  A queue here is a bounded FIFO with *registered*
+semantics: a flit pushed in cycle N becomes visible to the consumer in
+cycle N+1 (the engine commits staged pushes at the end of every cycle).
+That single-cycle hop latency is what makes the simulation behave like a
+pipelined circuit regardless of the order modules are ticked in.
+
+Queues track occupancy statistics so benchmarks can report where
+back-pressure accumulates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .flit import Flit
+
+
+class HardwareQueue:
+    """A bounded FIFO of flits with end-of-cycle commit semantics."""
+
+    def __init__(self, name: str, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Flit] = deque()
+        self._staged: List[Flit] = []
+        # statistics
+        self.total_pushed = 0
+        self.max_occupancy = 0
+        self.full_stalls = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def can_push(self) -> bool:
+        """True when there is room for one more flit this cycle."""
+        return len(self._items) + len(self._staged) < self.capacity
+
+    def push(self, flit: Flit) -> None:
+        """Stage one flit; it becomes visible after the cycle commits."""
+        if not self.can_push():
+            self.full_stalls += 1
+            raise RuntimeError(f"push to full queue {self.name}")
+        self._staged.append(flit)
+        self.total_pushed += 1
+
+    # -- consumer side ---------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        """True when a committed flit is available."""
+        return bool(self._items)
+
+    def peek(self) -> Optional[Flit]:
+        """The head flit without consuming it (None when empty)."""
+        return self._items[0] if self._items else None
+
+    def pop(self) -> Flit:
+        """Consume and return the head flit."""
+        if not self._items:
+            raise RuntimeError(f"pop from empty queue {self.name}")
+        return self._items.popleft()
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def commit(self) -> None:
+        """End-of-cycle: make staged flits visible."""
+        if self._staged:
+            self._items.extend(self._staged)
+            self._staged.clear()
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def is_empty(self) -> bool:
+        """True when nothing is committed or staged."""
+        return not self._items and not self._staged
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"HardwareQueue({self.name}, {len(self._items)}/{self.capacity})"

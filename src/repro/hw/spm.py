@@ -1,0 +1,101 @@
+"""On-chip scratchpad memory (SPM).
+
+Section III-C: Genesis maps frequently reused tables (the reference
+partition, the BQSR count buffers) onto on-chip scratchpads.  The SPM model
+provides word-addressed storage with single-cycle access plus the
+read-modify-write hazard interlock the paper describes for the SPM Updater:
+the update pipeline has three stages (read, modify, write) and an incoming
+flit whose address matches any in-flight address must not enter the read
+stage until the conflict drains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Scratchpad:
+    """Word-addressed on-chip storage."""
+
+    def __init__(self, name: str, size: int, fill: int = 0):
+        if size < 1:
+            raise ValueError("scratchpad size must be positive")
+        self.name = name
+        self.size = size
+        self._data: List[int] = [fill] * size
+        # statistics
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address: int) -> int:
+        """Read one word (single-cycle)."""
+        self._check(address)
+        self.reads += 1
+        return self._data[address]
+
+    def write(self, address: int, value) -> None:
+        """Write one word (single-cycle)."""
+        self._check(address)
+        self.writes += 1
+        self._data[address] = value
+
+    def load(self, values, offset: int = 0) -> None:
+        """Bulk initialization used by tests/drivers (the hardware path
+        goes through an SPM Updater in sequential-write mode)."""
+        for index, value in enumerate(values):
+            self.write(offset + index, value)
+
+    def dump(self) -> List[int]:
+        """A copy of the whole contents (drain-to-memory view)."""
+        return list(self._data)
+
+    def clear(self, fill: int = 0) -> None:
+        """Reset all words to ``fill``."""
+        for index in range(self.size):
+            self._data[index] = fill
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise IndexError(f"{self.name}: address {address} out of range")
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class RmwInterlock:
+    """The three-stage read-modify-write hazard tracker.
+
+    ``try_enter(cycle, address)`` returns False (stall) when the address
+    matches any of the updates still inside the three pipeline stages —
+    i.e. entered fewer than 3 cycles ago.  On True the address is recorded
+    as in flight.
+    """
+
+    STAGES = 3
+
+    def __init__(self) -> None:
+        self._in_flight: Dict[int, int] = {}
+        self.hazard_stalls = 0
+
+    def try_enter(self, cycle: int, address: int) -> bool:
+        """Attempt to admit an update to ``address`` at ``cycle``."""
+        self._expire(cycle)
+        if address in self._in_flight:
+            self.hazard_stalls += 1
+            return False
+        self._in_flight[address] = cycle
+        return True
+
+    def _expire(self, cycle: int) -> None:
+        expired = [
+            address
+            for address, entered in self._in_flight.items()
+            if cycle - entered >= self.STAGES
+        ]
+        for address in expired:
+            del self._in_flight[address]
+
+    def busy(self, cycle: int) -> bool:
+        """True while updates are still in the pipeline stages."""
+        self._expire(cycle)
+        return bool(self._in_flight)

@@ -1,0 +1,141 @@
+"""Cycle tracing: record per-module activity and render text timelines.
+
+A debugging/analysis aid for the dataflow simulator: attach a
+:class:`Tracer` to an engine and every cycle it samples each module's
+state (busy / starved / stalled / idle).  The trace renders as a compact
+text "waveform" — invaluable when a composed pipeline underperforms and
+you need to see where bubbles originate — and computes per-module
+utilization summaries for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .engine import Engine
+
+#: Activity symbols: busy, starved (waiting for input), stalled (output
+#: full), idle.
+SYMBOLS = {"busy": "#", "starved": ".", "stalled": "x", "idle": " "}
+
+
+@dataclass
+class ModuleTrace:
+    """One module's sampled activity."""
+
+    name: str
+    samples: List[str] = field(default_factory=list)
+
+    def utilization(self) -> float:
+        """Fraction of traced cycles the module moved a flit."""
+        if not self.samples:
+            return 0.0
+        return self.samples.count("busy") / len(self.samples)
+
+    def stall_fraction(self) -> float:
+        """Fraction of traced cycles lost to output back-pressure."""
+        if not self.samples:
+            return 0.0
+        return self.samples.count("stalled") / len(self.samples)
+
+    def starve_fraction(self) -> float:
+        """Fraction of traced cycles waiting on inputs."""
+        if not self.samples:
+            return 0.0
+        return self.samples.count("starved") / len(self.samples)
+
+
+class Tracer:
+    """Samples an engine's modules every cycle.
+
+    Usage::
+
+        tracer = Tracer(engine)
+        while not engine.is_quiescent():
+            engine.step()
+            tracer.sample()
+        print(tracer.render())
+    """
+
+    def __init__(self, engine: Engine, max_cycles: int = 10_000):
+        self.engine = engine
+        self.max_cycles = max_cycles
+        self.traces: Dict[str, ModuleTrace] = {
+            module.name: ModuleTrace(module.name) for module in engine.modules
+        }
+        self._previous = {
+            module.name: (module.busy_cycles, module.starve_cycles,
+                          module.stall_cycles)
+            for module in engine.modules
+        }
+        self.cycles_traced = 0
+
+    def sample(self) -> None:
+        """Record one cycle's activity (call after ``engine.step()``)."""
+        if self.cycles_traced >= self.max_cycles:
+            return
+        self.cycles_traced += 1
+        for module in self.engine.modules:
+            previous = self._previous.get(module.name, (0, 0, 0))
+            busy, starved, stalled = (
+                module.busy_cycles, module.starve_cycles, module.stall_cycles
+            )
+            if busy > previous[0]:
+                state = "busy"
+            elif stalled > previous[2]:
+                state = "stalled"
+            elif starved > previous[1]:
+                state = "starved"
+            else:
+                state = "idle"
+            trace = self.traces.get(module.name)
+            if trace is None:
+                trace = ModuleTrace(module.name)
+                self.traces[module.name] = trace
+            trace.samples.append(state)
+            self._previous[module.name] = (busy, starved, stalled)
+
+    def run_traced(self, max_cycles: Optional[int] = None) -> None:
+        """Drive the engine to quiescence while sampling every cycle."""
+        limit = max_cycles or self.max_cycles
+        idle_streak = 0
+        while idle_streak < 2 and self.cycles_traced < limit:
+            self.engine.step()
+            self.sample()
+            idle_streak = idle_streak + 1 if self.engine.is_quiescent() else 0
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self, start: int = 0, width: int = 72) -> str:
+        """A text waveform: one row per module, one column per cycle.
+
+        ``#`` busy, ``.`` starved, ``x`` stalled, space idle.
+        """
+        label_width = max((len(name) for name in self.traces), default=0)
+        lines = [
+            f"cycles {start}..{min(start + width, self.cycles_traced)} "
+            f"(# busy, . starved, x stalled)"
+        ]
+        for name in self.traces:
+            samples = self.traces[name].samples[start:start + width]
+            wave = "".join(SYMBOLS[state] for state in samples)
+            lines.append(f"{name.rjust(label_width)} |{wave}|")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-module utilization/stall/starve fractions."""
+        return {
+            name: {
+                "utilization": trace.utilization(),
+                "stalled": trace.stall_fraction(),
+                "starved": trace.starve_fraction(),
+            }
+            for name, trace in self.traces.items()
+        }
+
+    def bottleneck(self) -> Optional[str]:
+        """The busiest module — where the pipeline's critical path sits."""
+        if not self.traces:
+            return None
+        return max(self.traces.values(), key=ModuleTrace.utilization).name

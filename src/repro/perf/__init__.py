@@ -1,0 +1,71 @@
+"""Performance and cost models (Section V).
+
+Calibrated software-stage timing (Figure 9), the three-component
+accelerated-stage model (Figure 13), and the AWS cost arithmetic
+(Tables II and III).  Calibration constants and their provenance are
+documented in EXPERIMENTS.md.
+"""
+
+from .cost import (
+    F1_2XLARGE,
+    R5_4XLARGE,
+    MachineRate,
+    cost_reduction,
+    performance_per_dollar,
+    table3_row,
+)
+from .cpu_model import (
+    BASELINE_CORES,
+    FIG9_FRACTIONS,
+    FIG9_FRACTIONS_ALIGN_ACCEL,
+    GENAX_READS_PER_SECOND,
+    PAPER_READS,
+    PAPER_READ_LENGTH,
+    SECONDS_PER_READ,
+    THREE_STAGE_SECONDS,
+    CpuModel,
+)
+from .timing import (
+    BQSR_CAL,
+    CALIBRATIONS,
+    CLOCK_HZ,
+    MARKDUP_CAL,
+    METADATA_CAL,
+    PCIE3_BANDWIDTH,
+    PCIE4_BANDWIDTH,
+    StageCalibration,
+    StageTiming,
+    model_stage,
+    model_stage_pcie4,
+    with_pipelines,
+)
+
+__all__ = [
+    "BASELINE_CORES",
+    "BQSR_CAL",
+    "CALIBRATIONS",
+    "CLOCK_HZ",
+    "CpuModel",
+    "F1_2XLARGE",
+    "FIG9_FRACTIONS",
+    "FIG9_FRACTIONS_ALIGN_ACCEL",
+    "GENAX_READS_PER_SECOND",
+    "MARKDUP_CAL",
+    "METADATA_CAL",
+    "MachineRate",
+    "PAPER_READS",
+    "PAPER_READ_LENGTH",
+    "PCIE3_BANDWIDTH",
+    "PCIE4_BANDWIDTH",
+    "R5_4XLARGE",
+    "SECONDS_PER_READ",
+    "StageCalibration",
+    "StageTiming",
+    "THREE_STAGE_SECONDS",
+    "cost_reduction",
+    "model_stage",
+    "model_stage_pcie4",
+    "performance_per_dollar",
+    "table3_row",
+    "with_pipelines",
+]

@@ -1,0 +1,114 @@
+"""Calibrated CPU (GATK4 software) timing model.
+
+We cannot run GATK 4.1.3 on an r5.4xlarge against NA12878, so the software
+baseline's wall-clock is modelled from the paper's own published numbers:
+
+* Figure 9's runtime fractions for the preprocessing stages, with and
+  without an alignment accelerator;
+* Section V-B: the three accelerated stages "take about three and a half
+  hours for a single genome" on the 8-core machine (assuming perfectly
+  scaled metadata update, as the paper does);
+* the evaluated data set: ~700 M Illumina reads of 151 bp.
+
+From these we derive per-read second costs for every stage, which the
+model then scales to any synthetic workload size and core count.  All
+constants are documented here and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Figure 9, first bar: fraction of GATK4 preprocessing runtime per stage
+#: on the 8-core system (no alignment accelerator).
+FIG9_FRACTIONS = {
+    "alignment": 0.634,
+    "markdup": 0.100,
+    "metadata": 0.154,
+    "bqsr_table": 0.046,
+    "bqsr_update": 0.043,
+}
+
+#: Figure 9, second bar: fractions once alignment is accelerated
+#: (alignment shrinks to 0.7%).
+FIG9_FRACTIONS_ALIGN_ACCEL = {
+    "alignment": 0.007,
+    "markdup": 0.272,
+    "metadata": 0.418,
+    "bqsr_table": 0.124,
+    "bqsr_update": 0.116,
+}
+
+#: Section V-B: the three accelerated stages take ~3.5 h for one genome.
+THREE_STAGE_SECONDS = 3.5 * 3600
+
+#: The paper's data set: ~700 M reads of 151 bp.
+PAPER_READS = 700e6
+PAPER_READ_LENGTH = 151
+
+#: The baseline machine's core count (r5.4xlarge: 8C/16T).
+BASELINE_CORES = 8
+
+_THREE_STAGE_FRACTION = (
+    FIG9_FRACTIONS["markdup"]
+    + FIG9_FRACTIONS["metadata"]
+    + FIG9_FRACTIONS["bqsr_table"]
+    + FIG9_FRACTIONS["bqsr_update"]
+)
+
+#: Derived: seconds per read (on 8 cores) for each stage.
+SECONDS_PER_READ = {
+    stage: (THREE_STAGE_SECONDS * FIG9_FRACTIONS[stage] / _THREE_STAGE_FRACTION)
+    / PAPER_READS
+    for stage in ("markdup", "metadata", "bqsr_table", "bqsr_update")
+}
+SECONDS_PER_READ["alignment"] = (
+    THREE_STAGE_SECONDS
+    * FIG9_FRACTIONS["alignment"]
+    / _THREE_STAGE_FRACTION
+    / PAPER_READS
+)
+
+#: GenAx-class alignment accelerator throughput (Section IV-A): 4058K reads/s.
+GENAX_READS_PER_SECOND = 4_058_000
+
+
+@dataclass
+class CpuModel:
+    """Software-stage timing scaled to a workload."""
+
+    cores: int = BASELINE_CORES
+
+    def stage_seconds(self, stage: str, n_reads: float) -> float:
+        """Modelled software runtime of ``stage`` over ``n_reads`` reads."""
+        if stage not in SECONDS_PER_READ:
+            raise KeyError(f"unknown stage {stage!r}")
+        scale = BASELINE_CORES / self.cores
+        return SECONDS_PER_READ[stage] * n_reads * scale
+
+    def preprocessing_breakdown(
+        self, n_reads: float, alignment_accelerated: bool = False
+    ) -> Dict[str, float]:
+        """Per-stage seconds of the whole preprocessing phase (Figure 9).
+
+        With ``alignment_accelerated``, alignment time comes from the
+        GenAx throughput model instead of the software cost.
+        """
+        breakdown = {
+            stage: self.stage_seconds(stage, n_reads)
+            for stage in ("markdup", "metadata", "bqsr_table", "bqsr_update")
+        }
+        if alignment_accelerated:
+            breakdown["alignment"] = n_reads / GENAX_READS_PER_SECOND
+        else:
+            breakdown["alignment"] = self.stage_seconds("alignment", n_reads)
+        return breakdown
+
+    @staticmethod
+    def fractions(breakdown: Dict[str, float]) -> Dict[str, float]:
+        """Normalize a seconds breakdown into runtime fractions."""
+        total = sum(breakdown.values())
+        if total <= 0:
+            return {stage: 0.0 for stage in breakdown}
+        return {stage: seconds / total for stage, seconds in breakdown.items()}

@@ -1,0 +1,141 @@
+"""Device model: FPGA card memory, PCIe link, and a virtual timeline.
+
+The paper's host API (Section III-E) is non-blocking so the host CPU can
+work while the accelerator runs.  To make that overlap observable without
+real hardware, the runtime keeps a *virtual timeline* in simulated
+seconds: blocking calls (``configure_mem``'s copy, ``genesis_flush``)
+advance it by the PCIe transfer time, ``run_genesis`` schedules a
+completion timestamp from simulated cycle counts, and host-side compute
+advances it explicitly.  ``check_genesis`` then genuinely answers "has
+the accelerator finished *yet*".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Measured host->FPGA DMA bandwidth on the F1 (Section V-B): ~7 GB/s.
+PCIE3_BANDWIDTH = 7e9
+
+#: The paper's PCIe 4.0 what-if bandwidth: 32 GB/s.
+PCIE4_BANDWIDTH = 32e9
+
+#: Accelerator clock (Section V-A): 250 MHz.
+CLOCK_HZ = 250e6
+
+
+@dataclass
+class DeviceConfig:
+    """Tunables of the modelled F1 card."""
+
+    pcie_bandwidth: float = PCIE3_BANDWIDTH
+    clock_hz: float = CLOCK_HZ
+    fpga_memory_bytes: int = 64 * 1024 ** 3
+    #: Fixed software/driver overhead charged per DMA transfer.
+    transfer_setup_seconds: float = 20e-6
+
+
+@dataclass
+class TransferRecord:
+    """One host<->device DMA transfer."""
+
+    direction: str  # "h2d" or "d2h"
+    nbytes: int
+    seconds: float
+
+
+class VirtualTimeline:
+    """Simulated wall-clock with separate host and device occupancy."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.host_busy_seconds = 0.0
+        self.transfer_seconds = 0.0
+        self.device_busy_seconds = 0.0
+
+    def advance_host(self, seconds: float) -> None:
+        """The host computes for ``seconds`` (accelerator may overlap)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self.now += seconds
+        self.host_busy_seconds += seconds
+
+    def advance_transfer(self, seconds: float) -> None:
+        """A blocking DMA occupies the host for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self.now += seconds
+        self.transfer_seconds += seconds
+
+    def wait_until(self, timestamp: float) -> None:
+        """Block the host until ``timestamp`` (no-op if already past)."""
+        if timestamp > self.now:
+            self.now = timestamp
+
+
+class GenesisDevice:
+    """The modelled FPGA card: tracks memory, transfers, and pipelines."""
+
+    def __init__(self, config: DeviceConfig = None):
+        self.config = config or DeviceConfig()
+        self.timeline = VirtualTimeline()
+        self.transfers: list = []
+        self._allocated = 0
+        self._completion_at: Dict[int, float] = {}
+
+    # -- memory & transfers --------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve device memory (raises when the 64 GB card is full)."""
+        if self._allocated + nbytes > self.config.fpga_memory_bytes:
+            raise MemoryError(
+                f"device memory exhausted: {self._allocated + nbytes} bytes "
+                f"requested of {self.config.fpga_memory_bytes}"
+            )
+        self._allocated += nbytes
+
+    def free_all(self) -> None:
+        """Release all device memory."""
+        self._allocated = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Currently reserved device memory."""
+        return self._allocated
+
+    def transfer(self, nbytes: int, direction: str) -> float:
+        """Perform a blocking DMA; returns the modelled seconds."""
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"bad transfer direction {direction!r}")
+        seconds = (
+            nbytes / self.config.pcie_bandwidth
+            + self.config.transfer_setup_seconds
+        )
+        self.transfers.append(TransferRecord(direction, nbytes, seconds))
+        self.timeline.advance_transfer(seconds)
+        return seconds
+
+    # -- pipeline execution ------------------------------------------------------------
+
+    def launch(self, pipeline_id: int, cycles: int) -> float:
+        """Schedule pipeline completion ``cycles`` after *now*; returns the
+        completion timestamp."""
+        seconds = cycles / self.config.clock_hz
+        completion = self.timeline.now + seconds
+        self._completion_at[pipeline_id] = completion
+        self.timeline.device_busy_seconds += seconds
+        return completion
+
+    def is_done(self, pipeline_id: int) -> bool:
+        """Has the pipeline's completion timestamp passed?"""
+        completion = self._completion_at.get(pipeline_id)
+        if completion is None:
+            return True
+        return self.timeline.now >= completion
+
+    def wait(self, pipeline_id: int) -> None:
+        """Block the host until the pipeline finishes."""
+        completion = self._completion_at.get(pipeline_id)
+        if completion is not None:
+            self.timeline.wait_until(completion)

@@ -1,0 +1,454 @@
+"""Software executor for the extended-SQL dialect.
+
+Interprets parsed scripts against a catalog of columnar tables.  This is
+the *reference semantics* of Genesis queries: the hardware pipelines built
+from the same logical plans must produce identical results, and the test
+suite checks exactly that for the Figure 4 example query.
+
+Supported surface (everything Figure 4 uses, Section III-B):
+CREATE TABLE [#temp] AS <query>, INSERT INTO, DECLARE/SET @variables,
+FOR row IN table loops, SELECT with INNER/LEFT/OUTER JOIN ... ON,
+WHERE, GROUP BY, ORDER BY ... [ASC|DESC] (keys must appear in the select
+list), LIMIT offset, count, SUM/COUNT/MIN/MAX aggregates, PosExplode,
+ReadExplode, and EXEC <CustomModule> bindings registered by the host
+(Section III-F).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..tables.schema import ColumnSpec, Schema
+from ..tables.table import Table
+from .ast_nodes import (
+    BinOp,
+    ColumnRef,
+    CreateTable,
+    Declare,
+    ExecModule,
+    ForLoop,
+    FuncCall,
+    InsertInto,
+    Literal,
+    Script,
+    SelectItem,
+    SetVar,
+    Star,
+    UnaryOp,
+    VarRef,
+)
+from .explode import pos_explode, read_explode
+from .parser import parse, parse_query
+from .plan import (
+    AggregateNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    PosExplodeNode,
+    ProjectNode,
+    ReadExplodeNode,
+    ScanNode,
+    SortNode,
+    build_plan,
+)
+
+
+class SqlError(ValueError):
+    """Raised on semantic errors during execution."""
+
+
+def _infer_spec(name: str, value) -> ColumnSpec:
+    if isinstance(value, np.ndarray):
+        kind = {
+            np.dtype(np.uint8): "uint8[]",
+            np.dtype(np.uint16): "uint16[]",
+            np.dtype(np.uint32): "uint32[]",
+            np.dtype(np.bool_): "bool[]",
+        }.get(value.dtype)
+        if kind is None:
+            kind = "uint32[]"
+        return ColumnSpec(name, kind)
+    if isinstance(value, (bool, np.bool_)):
+        return ColumnSpec(name, "bool")
+    if isinstance(value, (list, tuple)):
+        return ColumnSpec(name, "uint32[]")
+    return ColumnSpec(name, "int64")
+
+
+def table_from_row_dicts(rows: List[dict]) -> Table:
+    """Build a table from per-row dicts, inferring the schema from the
+    first row's values."""
+    if not rows:
+        return Table.empty(Schema.of(EMPTY="int64"))
+    specs = tuple(_infer_spec(name, value) for name, value in rows[0].items())
+    return Table.from_rows(Schema(specs), rows)
+
+
+class Executor:
+    """Evaluates scripts against a mutable catalog."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+        self.partition_providers: Dict[str, Callable[[object], Table]] = {}
+        self.variables: Dict[str, object] = {}
+        self.custom_modules: Dict[str, Callable] = {}
+        self._row_bindings: Dict[str, dict] = {}
+
+    # -- host-facing registration -------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Expose a table to queries under ``name``."""
+        self.tables[name] = table
+
+    def register_partitioned(
+        self, name: str, provider: Callable[[object], Table]
+    ) -> None:
+        """Expose ``name PARTITION (pid)``: ``provider(pid)`` must return
+        the partition's table."""
+        self.partition_providers[name] = provider
+
+    def set_variable(self, name: str, value) -> None:
+        """Set a ``@variable`` (hosts use this for constants like P)."""
+        self.variables[name] = value
+
+    def register_custom_module(self, name: str, func: Callable) -> None:
+        """Register an ``EXEC``-able custom operation (Section III-F).
+        ``func(executor, **bindings)`` receives evaluated binding values."""
+        self.custom_modules[name] = func
+
+    # -- script execution -----------------------------------------------------------
+
+    def execute(self, text: str) -> None:
+        """Parse and run a whole script."""
+        self.execute_script(parse(text))
+
+    def execute_script(self, script: Script) -> None:
+        """Run a parsed script."""
+        for statement in script.statements:
+            self._execute_statement(statement)
+
+    def query(self, text: str) -> Table:
+        """Parse and evaluate a single query, returning its table."""
+        return self._eval_plan(build_plan(parse_query(text)))
+
+    def _execute_statement(self, statement) -> None:
+        if isinstance(statement, CreateTable):
+            self.tables[statement.name] = self._eval_plan(build_plan(statement.query))
+        elif isinstance(statement, InsertInto):
+            result = self._eval_plan(build_plan(statement.query))
+            existing = self.tables.get(statement.name)
+            if existing is None or existing.num_rows == 0:
+                self.tables[statement.name] = result
+            else:
+                self.tables[statement.name] = existing.concat(result)
+        elif isinstance(statement, Declare):
+            self.variables.setdefault(statement.name, 0)
+        elif isinstance(statement, SetVar):
+            self.variables[statement.name] = self._eval_scalar(statement.expr, None)
+        elif isinstance(statement, ForLoop):
+            table = self.tables.get(statement.table)
+            if table is None:
+                raise SqlError(f"unknown table {statement.table} in FOR loop")
+            for row in table.rows():
+                self._row_bindings[statement.row_var] = row
+                for inner in statement.body:
+                    self._execute_statement(inner)
+            self._row_bindings.pop(statement.row_var, None)
+        elif isinstance(statement, ExecModule):
+            func = self.custom_modules.get(statement.module)
+            if func is None:
+                raise SqlError(f"unknown custom module {statement.module}")
+            bindings = {
+                name: self._eval_scalar(expr, None)
+                for name, expr in statement.bindings
+            }
+            func(self, **bindings)
+        else:
+            raise SqlError(f"unsupported statement {statement!r}")
+
+    # -- plan evaluation ---------------------------------------------------------------
+
+    def _eval_plan(self, plan: PlanNode) -> Table:
+        if isinstance(plan, ScanNode):
+            return self._scan(plan)
+        if isinstance(plan, ProjectNode):
+            return self._project(self._eval_plan(plan.child), plan.items)
+        if isinstance(plan, FilterNode):
+            child = self._eval_plan(plan.child)
+            return child.where(lambda row: bool(self._eval_scalar(plan.predicate, row)))
+        if isinstance(plan, JoinNode):
+            return self._join(plan)
+        if isinstance(plan, GroupByNode):
+            return self._group_by(plan)
+        if isinstance(plan, AggregateNode):
+            return self._aggregate(self._eval_plan(plan.child), plan.items)
+        if isinstance(plan, SortNode):
+            child = self._eval_plan(plan.child)
+            rows = list(child.rows())
+            indices = list(range(len(rows)))
+            # Stable multi-key sort: apply keys right-to-left.
+            for item in reversed(plan.keys):
+                indices.sort(
+                    key=lambda i: self._row_value(
+                        rows[i], item.column.column, item.column.table
+                    ),
+                    reverse=item.descending,
+                )
+            return child.take(indices)
+        if isinstance(plan, LimitNode):
+            child = self._eval_plan(plan.child)
+            offset = int(self._eval_scalar(plan.offset, None))
+            count = int(self._eval_scalar(plan.count, None))
+            return child.limit(count, offset)
+        if isinstance(plan, PosExplodeNode):
+            child = self._eval_plan(plan.child)
+            init_column = plan.init_pos
+            if not isinstance(init_column, ColumnRef):
+                raise SqlError("PosExplode init position must be a column")
+            return pos_explode(child, plan.array.column, init_column.column)
+        if isinstance(plan, ReadExplodeNode):
+            return self._read_explode(plan)
+        raise SqlError(f"cannot evaluate plan node {plan!r}")
+
+    def _scan(self, plan: ScanNode) -> Table:
+        if plan.table in self._row_bindings:
+            return table_from_row_dicts([dict(self._row_bindings[plan.table])])
+        if plan.partition is not None:
+            provider = self.partition_providers.get(plan.table)
+            if provider is None:
+                raise SqlError(f"table {plan.table} is not partitioned")
+            pid = self._eval_scalar(plan.partition, None)
+            return provider(pid)
+        table = self.tables.get(plan.table)
+        if table is None:
+            raise SqlError(f"unknown table {plan.table}")
+        return table
+
+    def _project(self, table: Table, items) -> Table:
+        if len(items) == 1 and isinstance(items[0].expr, Star):
+            return table
+        rows = []
+        for row in table.rows():
+            out = {}
+            for index, item in enumerate(items):
+                name = self._item_name(item, index)
+                out[name] = self._eval_scalar(item.expr, row)
+            rows.append(out)
+        if not rows:
+            specs = tuple(
+                ColumnSpec(self._item_name(item, i), "int64")
+                for i, item in enumerate(items)
+            )
+            return Table.empty(Schema(specs))
+        return table_from_row_dicts(rows)
+
+    @staticmethod
+    def _item_name(item: SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            if item.expr.table:
+                return f"{item.expr.table}__{item.expr.column}"
+            return item.expr.column
+        return f"EXPR{index}"
+
+    def _join(self, plan: JoinNode) -> Table:
+        left = self._eval_plan(plan.left)
+        right = self._eval_plan(plan.right)
+        left_name = self._plan_qualifier(plan.left)
+        right_name = self._plan_qualifier(plan.right)
+        left_rows = list(left.rows())
+        right_rows = list(right.rows())
+        right_key = plan.right_key.column
+        left_key = plan.left_key.column
+        index: Dict[object, List[int]] = {}
+        for i, row in enumerate(right_rows):
+            index.setdefault(self._row_value(row, right_key), []).append(i)
+
+        def qualify(row: dict, qualifier: Optional[str]) -> dict:
+            if qualifier is None:
+                return dict(row)
+            return {f"{qualifier}__{name}": value for name, value in row.items()}
+
+        out_rows: List[dict] = []
+        matched_right: set = set()
+        null_right = {name: _null_like(value) for name, value in
+                      (right_rows[0].items() if right_rows else [])}
+        for row in left_rows:
+            matches = index.get(self._row_value(row, left_key), [])
+            if matches:
+                for j in matches:
+                    matched_right.add(j)
+                    combined = qualify(row, left_name)
+                    combined.update(qualify(right_rows[j], right_name))
+                    out_rows.append(combined)
+            elif plan.kind in ("left", "outer"):
+                combined = qualify(row, left_name)
+                combined.update(qualify(null_right, right_name))
+                out_rows.append(combined)
+        if plan.kind == "outer":
+            null_left = {name: _null_like(value) for name, value in
+                         (left_rows[0].items() if left_rows else [])}
+            for j, row in enumerate(right_rows):
+                if j not in matched_right:
+                    combined = qualify(null_left, left_name)
+                    combined.update(qualify(row, right_name))
+                    out_rows.append(combined)
+        return table_from_row_dicts(out_rows)
+
+    def _plan_qualifier(self, plan: PlanNode) -> Optional[str]:
+        if isinstance(plan, ScanNode):
+            return plan.qualifier
+        for child in plan.children():
+            qualifier = self._plan_qualifier(child)
+            if qualifier is not None:
+                return qualifier
+        return None
+
+    def _group_by(self, plan: GroupByNode) -> Table:
+        child = self._eval_plan(plan.child)
+        groups: Dict[tuple, List[dict]] = {}
+        for row in child.rows():
+            key = tuple(self._row_value(row, k.column) for k in plan.keys)
+            groups.setdefault(key, []).append(row)
+        out_rows = []
+        for key, rows in groups.items():
+            out = {k.column: value for k, value in zip(plan.keys, key)}
+            for index, item in enumerate(plan.items):
+                if isinstance(item.expr, ColumnRef):
+                    continue  # key columns already present
+                name = self._item_name(item, index)
+                out[name] = self._eval_aggregate(item.expr, rows)
+            out_rows.append(out)
+        return table_from_row_dicts(out_rows)
+
+    def _aggregate(self, table: Table, items) -> Table:
+        rows = list(table.rows())
+        out = {}
+        for index, item in enumerate(items):
+            name = self._item_name(item, index)
+            out[name] = self._eval_aggregate(item.expr, rows)
+        return table_from_row_dicts([out])
+
+    def _eval_aggregate(self, expr: FuncCall, rows: List[dict]):
+        if not isinstance(expr, FuncCall):
+            raise SqlError(f"expected aggregate, got {expr!r}")
+        name = expr.name.upper()
+        if name == "COUNT" and (not expr.args or isinstance(expr.args[0], Star)):
+            return len(rows)
+        values = [self._eval_scalar(expr.args[0], row) for row in rows]
+        if name == "SUM":
+            return int(sum(int(v) for v in values))
+        if name == "COUNT":
+            return sum(1 for v in values if v)
+        if name == "MIN":
+            return min(values) if values else 0
+        if name == "MAX":
+            return max(values) if values else 0
+        raise SqlError(f"unsupported aggregate {name}")
+
+    def _read_explode(self, plan: ReadExplodeNode) -> Table:
+        child = self._eval_plan(plan.child)
+        pieces = []
+        for row in child.rows():
+            values = [self._eval_scalar(arg, row) for arg in plan.args]
+            if len(values) == 3:
+                pos, cigar, seq = values
+                pieces.append(read_explode(int(pos), cigar, seq))
+            elif len(values) == 4:
+                pos, cigar, seq, qual = values
+                pieces.append(read_explode(int(pos), cigar, seq, qual))
+            else:
+                raise SqlError("ReadExplode takes POS, CIGAR, SEQ [, QUAL]")
+        if not pieces:
+            return read_explode(0, [], [])
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = result.concat(piece)
+        return result
+
+    # -- scalar expressions ---------------------------------------------------------------
+
+    def _row_value(self, row: Optional[dict], column: str, table: Optional[str] = None):
+        if row is not None:
+            if table is not None:
+                qualified = f"{table}__{column}"
+                if qualified in row:
+                    return row[qualified]
+                # A row binding like SingleRead.POS.
+                binding = self._row_bindings.get(table)
+                if binding is not None and column in binding:
+                    return binding[column]
+            if column in row:
+                return row[column]
+        if table is not None:
+            binding = self._row_bindings.get(table)
+            if binding is not None and column in binding:
+                return binding[column]
+        if column in self.variables:
+            return self.variables[column]
+        raise SqlError(f"cannot resolve column {table or ''}.{column}".strip("."))
+
+    def _eval_scalar(self, expr, row: Optional[dict]):
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name not in self.variables:
+                raise SqlError(f"undeclared variable @{expr.name}")
+            return self.variables[expr.name]
+        if isinstance(expr, ColumnRef):
+            return self._row_value(row, expr.column, expr.table)
+        if isinstance(expr, UnaryOp):
+            value = self._eval_scalar(expr.operand, row)
+            if expr.op == "NOT":
+                return not value
+            return -value
+        if isinstance(expr, BinOp):
+            left = self._eval_scalar(expr.left, row)
+            if expr.op == "AND":
+                return bool(left) and bool(self._eval_scalar(expr.right, row))
+            if expr.op == "OR":
+                return bool(left) or bool(self._eval_scalar(expr.right, row))
+            right = self._eval_scalar(expr.right, row)
+            return _apply_binop(expr.op, left, right)
+        if isinstance(expr, FuncCall):
+            raise SqlError(
+                f"aggregate {expr.name} used outside SELECT/GROUP BY context"
+            )
+        raise SqlError(f"cannot evaluate expression {expr!r}")
+
+
+def _apply_binop(op: str, left, right):
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left // right if isinstance(left, (int, np.integer)) else left / right
+    raise SqlError(f"unsupported operator {op}")
+
+
+def _null_like(value):
+    if isinstance(value, np.ndarray):
+        return np.array([], dtype=value.dtype)
+    if isinstance(value, (bool, np.bool_)):
+        return False
+    return 0

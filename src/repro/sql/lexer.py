@@ -1,0 +1,117 @@
+"""Tokenizer for the Genesis extended-SQL dialect.
+
+Handles the constructs of Figure 4: standard SQL keywords, ``@variables``,
+``#temp_table`` names, qualified column references, ``/* ... */`` comments,
+and the operator set the queries use (including ``==`` which the paper's
+dialect allows alongside ``=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "CREATE", "TABLE", "AS", "SELECT", "FROM", "WHERE", "GROUP", "BY",
+    "INNER", "LEFT", "OUTER", "JOIN", "ON", "LIMIT", "INSERT", "INTO",
+    "DECLARE", "SET", "FOR", "IN", "END", "LOOP", "PARTITION", "EXEC",
+    "SUM", "COUNT", "MIN", "MAX", "AND", "OR", "NOT", "POSEXPLODE",
+    "READEXPLODE", "INT", "ORDER", "ASC", "DESC",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = ["==", "!=", "<=", ">=", "<", ">", "=", "+", "-", "*", "/",
+              "(", ")", ",", ".", ";", ":"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, VAR, TEMP, EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class LexError(ValueError):
+    """Raised on an unrecognizable character sequence."""
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query script into a token list ending with EOF."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at {index}")
+            index = end + 2
+            continue
+        if text.startswith("--", index):
+            end = text.find("\n", index)
+            index = length if end < 0 else end + 1
+            continue
+        if ch == "@":
+            start = index + 1
+            index = _ident_end(text, start)
+            tokens.append(Token("VAR", text[start:index], start - 1))
+            continue
+        if ch == "#":
+            start = index + 1
+            index = _ident_end(text, start)
+            tokens.append(Token("TEMP", text[start:index], start - 1))
+            continue
+        if ch.isdigit():
+            start = index
+            index = _number_end(text, start)
+            tokens.append(Token("NUMBER", text[start:index], start))
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, index + 1)
+            if end < 0:
+                raise LexError(f"unterminated string at {index}")
+            tokens.append(Token("STRING", text[index + 1:end], index))
+            index = end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            index = _ident_end(text, start)
+            word = text[start:index]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            value = word.upper() if kind == "KEYWORD" else word
+            tokens.append(Token(kind, value, start))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, index):
+                tokens.append(Token("OP", op, index))
+                index += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at {index}")
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _ident_end(text: str, start: int) -> int:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    if index == start:
+        raise LexError(f"expected identifier at {start}")
+    return index
+
+
+def _number_end(text: str, start: int) -> int:
+    index = start
+    while index < len(text) and (text[index].isdigit() or text[index] == "."):
+        index += 1
+    return index

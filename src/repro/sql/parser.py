@@ -1,0 +1,389 @@
+"""Recursive-descent parser for the Genesis extended-SQL dialect.
+
+Parses the full Figure 4 script: CREATE TABLE ... AS SELECT/PosExplode/
+ReadExplode, DECLARE/SET variables, FOR row IN table loops, INSERT INTO,
+INNER/LEFT/OUTER JOIN ... ON, WHERE, GROUP BY, LIMIT offset, count, and
+EXEC for custom modules (Section III-F).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    BinOp,
+    ColumnRef,
+    CreateTable,
+    Declare,
+    ExecModule,
+    ForLoop,
+    FuncCall,
+    InsertInto,
+    JoinClause,
+    Literal,
+    OrderItem,
+    PosExplode,
+    ReadExplode,
+    Script,
+    Select,
+    SelectItem,
+    SetVar,
+    Star,
+    SubQuery,
+    TableRef,
+    UnaryOp,
+    VarRef,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on a malformed query script."""
+
+
+class Parser:
+    """One-pass recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise ParseError(
+                f"expected {value or kind}, got {actual.value!r} at {actual.position}"
+            )
+        return token
+
+    # -- entry points -------------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        """Parse a full statement script."""
+        statements = []
+        while not self._check("EOF"):
+            statements.append(self._statement())
+            self._accept("OP", ";")
+        return Script(tuple(statements))
+
+    # -- statements -----------------------------------------------------------------
+
+    def _statement(self):
+        if self._check("KEYWORD", "CREATE"):
+            return self._create_table()
+        if self._check("KEYWORD", "INSERT"):
+            return self._insert()
+        if self._check("KEYWORD", "DECLARE"):
+            return self._declare()
+        if self._check("KEYWORD", "SET"):
+            return self._set_var()
+        if self._check("KEYWORD", "FOR"):
+            return self._for_loop()
+        if self._check("KEYWORD", "EXEC"):
+            return self._exec_module()
+        token = self._peek()
+        raise ParseError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _create_table(self) -> CreateTable:
+        self._expect("KEYWORD", "CREATE")
+        self._expect("KEYWORD", "TABLE")
+        temp = False
+        if self._check("TEMP"):
+            name = self._next().value
+            temp = True
+        else:
+            name = self._expect("IDENT").value
+        self._expect("KEYWORD", "AS")
+        return CreateTable(name, self._query(), temp=temp)
+
+    def _insert(self) -> InsertInto:
+        self._expect("KEYWORD", "INSERT")
+        self._expect("KEYWORD", "INTO")
+        name = self._expect("IDENT").value
+        return InsertInto(name, self._query())
+
+    def _declare(self) -> Declare:
+        self._expect("KEYWORD", "DECLARE")
+        name = self._expect("VAR").value
+        type_token = self._next()
+        if type_token.kind not in ("IDENT", "KEYWORD"):
+            raise ParseError(f"expected type name at {type_token.position}")
+        return Declare(name, type_token.value)
+
+    def _set_var(self) -> SetVar:
+        self._expect("KEYWORD", "SET")
+        name = self._expect("VAR").value
+        self._expect("OP", "=")
+        return SetVar(name, self._expression())
+
+    def _for_loop(self) -> ForLoop:
+        self._expect("KEYWORD", "FOR")
+        row_var = self._expect("IDENT").value
+        self._expect("KEYWORD", "IN")
+        table = self._expect("IDENT").value
+        self._expect("OP", ":")
+        body: List = []
+        while not self._check("KEYWORD", "END"):
+            body.append(self._statement())
+            self._accept("OP", ";")
+        self._expect("KEYWORD", "END")
+        self._expect("KEYWORD", "LOOP")
+        return ForLoop(row_var, table, tuple(body))
+
+    def _exec_module(self) -> ExecModule:
+        self._expect("KEYWORD", "EXEC")
+        module = self._expect("IDENT").value
+        bindings: List[Tuple[str, object]] = []
+        while self._check("IDENT"):
+            stream = self._next().value
+            self._expect("OP", "=")
+            bindings.append((stream, self._expression()))
+        return ExecModule(module, tuple(bindings))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _query(self):
+        if self._check("KEYWORD", "POSEXPLODE"):
+            return self._pos_explode()
+        if self._check("KEYWORD", "READEXPLODE"):
+            return self._read_explode()
+        return self._select()
+
+    def _pos_explode(self) -> PosExplode:
+        self._expect("KEYWORD", "POSEXPLODE")
+        self._expect("OP", "(")
+        array = self._column_ref()
+        self._expect("OP", ",")
+        init = self._expression()
+        self._expect("OP", ")")
+        self._expect("KEYWORD", "FROM")
+        return PosExplode(array, init, self._source())
+
+    def _read_explode(self) -> ReadExplode:
+        self._expect("KEYWORD", "READEXPLODE")
+        self._expect("OP", "(")
+        args = [self._expression()]
+        while self._accept("OP", ","):
+            args.append(self._expression())
+        self._expect("OP", ")")
+        self._expect("KEYWORD", "FROM")
+        return ReadExplode(tuple(args), self._source())
+
+    def _select(self) -> Select:
+        self._expect("KEYWORD", "SELECT")
+        items = [self._select_item()]
+        while self._accept("OP", ","):
+            items.append(self._select_item())
+        self._expect("KEYWORD", "FROM")
+        source = self._source()
+        join = self._join_clause()
+        where = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self._expression()
+        group_by: List[ColumnRef] = []
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by.append(self._column_ref())
+            while self._accept("OP", ","):
+                group_by.append(self._column_ref())
+        order_by: List[OrderItem] = []
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            order_by.append(self._order_item())
+            while self._accept("OP", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept("KEYWORD", "LIMIT"):
+            first = self._expression()
+            if self._accept("OP", ","):
+                limit = (first, self._expression())
+            else:
+                limit = (Literal(0), first)
+        return Select(
+            tuple(items), source, join, where, tuple(group_by),
+            tuple(order_by), limit,
+        )
+
+    def _order_item(self) -> OrderItem:
+        column = self._column_ref()
+        descending = False
+        if self._accept("KEYWORD", "DESC"):
+            descending = True
+        else:
+            self._accept("KEYWORD", "ASC")
+        return OrderItem(column, descending)
+
+    def _select_item(self) -> SelectItem:
+        if self._accept("OP", "*"):
+            return SelectItem(Star())
+        expr = self._expression()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("IDENT").value
+        return SelectItem(expr, alias)
+
+    def _source(self):
+        if self._accept("OP", "("):
+            query = self._query()
+            self._expect("OP", ")")
+            return SubQuery(query)
+        name_token = self._next()
+        if name_token.kind not in ("IDENT", "TEMP"):
+            raise ParseError(f"expected table name at {name_token.position}")
+        partition = None
+        if self._accept("KEYWORD", "PARTITION"):
+            self._expect("OP", "(")
+            partition = self._expression()
+            self._expect("OP", ")")
+        return TableRef(name_token.value, partition)
+
+    def _join_clause(self) -> Optional[JoinClause]:
+        kind = None
+        for candidate in ("INNER", "LEFT", "OUTER"):
+            if self._check("KEYWORD", candidate):
+                self._next()
+                kind = candidate.lower()
+                break
+        if kind is None:
+            if self._accept("KEYWORD", "JOIN"):
+                kind = "inner"
+            else:
+                return None
+        else:
+            self._expect("KEYWORD", "JOIN")
+        source = self._source()
+        self._expect("KEYWORD", "ON")
+        left = self._column_ref()
+        operator = self._next()
+        if operator.value not in ("=", "=="):
+            raise ParseError(f"JOIN condition must be an equality at {operator.position}")
+        right = self._column_ref()
+        return JoinClause(kind, source, left, right)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self._accept("KEYWORD", "OR"):
+            left = BinOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._comparison()
+        while self._accept("KEYWORD", "AND"):
+            left = BinOp("AND", left, self._comparison())
+        return left
+
+    def _comparison(self):
+        left = self._additive()
+        for op in ("==", "!=", "<=", ">=", "<", ">", "="):
+            if self._check("OP", op):
+                self._next()
+                normalized = "==" if op == "=" else op
+                return BinOp(normalized, left, self._additive())
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            if self._accept("OP", "+"):
+                left = BinOp("+", left, self._multiplicative())
+            elif self._accept("OP", "-"):
+                left = BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            if self._accept("OP", "*"):
+                left = BinOp("*", left, self._unary())
+            elif self._accept("OP", "/"):
+                left = BinOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self._accept("KEYWORD", "NOT"):
+            return UnaryOp("NOT", self._unary())
+        if self._accept("OP", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        if self._accept("OP", "("):
+            expr = self._expression()
+            self._expect("OP", ")")
+            return expr
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self._next()
+            return Literal(token.value)
+        if token.kind == "VAR":
+            self._next()
+            return VarRef(token.value)
+        if token.kind == "KEYWORD" and token.value in ("SUM", "COUNT", "MIN", "MAX"):
+            self._next()
+            self._expect("OP", "(")
+            args = []
+            if self._accept("OP", "*"):
+                args.append(Star())
+            elif not self._check("OP", ")"):
+                args.append(self._expression())
+                while self._accept("OP", ","):
+                    args.append(self._expression())
+            self._expect("OP", ")")
+            return FuncCall(token.value, tuple(args))
+        if token.kind in ("IDENT", "TEMP"):
+            return self._column_ref()
+        raise ParseError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _column_ref(self) -> ColumnRef:
+        token = self._next()
+        if token.kind not in ("IDENT", "TEMP"):
+            raise ParseError(f"expected identifier at {token.position}")
+        if self._accept("OP", "."):
+            column = self._expect("IDENT").value
+            return ColumnRef(column, table=token.value)
+        return ColumnRef(token.value)
+
+
+def parse(text: str) -> Script:
+    """Parse a query script into an AST."""
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str):
+    """Parse a single SELECT/PosExplode/ReadExplode query."""
+    parser = Parser(text)
+    query = parser._query()
+    parser._expect("EOF")
+    return query

@@ -1,0 +1,91 @@
+"""Canonical query scripts from the paper, ready to execute.
+
+``FIGURE4_QUERY`` is the Figure 4 example — count, for every read of
+partition P, the number of bases matching the reference — with the
+paper's typos normalized for the executor:
+
+* ``REF``'s position column is ``REFPOS`` in Table I, so I1 aliases it;
+* the loop variable ``rlen`` is referenced as ``@rlen``, and the interval
+  length is ``ENDPOS - POS + 1`` (ENDPOS is inclusive);
+* the LIMIT offset is the read's position *relative to the partition
+  start* (``@refstart``), which the prose implies ("the subset is obtained
+  with the LIMIT base offset clause").
+
+Hosts must provide, via :class:`repro.sql.executor.Executor`:
+``READS``/``REF`` as partitioned tables, and the variables ``@P`` (the
+partition id) and ``@refstart`` (the partition's base position).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..tables.partition import PartitionedReads, PartitionedReference, PartitionId
+from ..tables.table import Table
+from .executor import Executor
+
+FIGURE4_QUERY = """
+/* I1: Extract Reads and Reference Partition P */
+CREATE TABLE ReadPartition AS
+SELECT POS, ENDPOS, CIGAR, SEQ
+FROM READS PARTITION (@P);
+
+CREATE TABLE ReferenceRow AS
+SELECT REFPOS AS POS, SEQ
+FROM REF PARTITION (@P);
+
+/* I2: posExplode on ReferenceRow */
+CREATE TABLE RelevantReference AS
+PosExplode (ReferenceRow.SEQ, ReferenceRow.POS)
+FROM ReferenceRow;
+
+DECLARE @rlen int;
+DECLARE @roff int;
+
+/* Iterate over Rows */
+FOR SingleRead IN ReadPartition:
+  SET @rlen = SingleRead.ENDPOS - SingleRead.POS + 1;
+  SET @roff = SingleRead.POS - @refstart;
+
+  /* Q1: ReadExplode converts a read into a multi-row table */
+  CREATE TABLE #AlignedRead AS
+  ReadExplode (SingleRead.POS, SingleRead.CIGAR, SingleRead.SEQ)
+  FROM SingleRead;
+
+  /* Q2: Inner-join on the base pair's position */
+  CREATE TABLE #ReadAndRef AS
+  SELECT AlignedRead.SEQ, RelevantReference.SEQ
+  FROM #AlignedRead
+  INNER JOIN (SELECT * FROM RelevantReference LIMIT @roff, @rlen)
+  ON AlignedRead.POS = RelevantReference.POS;
+
+  /* Q3: Sum of matching base pairs */
+  INSERT INTO Output
+  SELECT SUM(AlignedRead.SEQ == RelevantReference.SEQ)
+  FROM #ReadAndRef;
+END LOOP;
+"""
+
+
+def run_figure4_query(
+    reads: PartitionedReads,
+    reference: PartitionedReference,
+    pid: PartitionId,
+) -> List[int]:
+    """Execute the Figure 4 script on one partition and return the
+    per-read match counts (the Output table's single column)."""
+    executor = Executor()
+    executor.register_partitioned("READS", lambda p: reads[p])
+
+    def ref_provider(p: PartitionId) -> Table:
+        from ..tables.partition import reference_row_table
+
+        return reference_row_table(reference.lookup(p))
+
+    executor.register_partitioned("REF", ref_provider)
+    executor.set_variable("P", pid)
+    executor.set_variable("refstart", pid.segment * reads.psize)
+    executor.execute(FIGURE4_QUERY)
+    output = executor.tables["Output"]
+    column = output.schema.names[0]
+    return [int(v) for v in output.column(column)]

@@ -1,0 +1,111 @@
+"""Column types and table schemas.
+
+Table I of the Genesis paper types every column (``uint8_t``, ``uint32_t``,
+fixed arrays, bools).  We mirror that with a small schema layer on top of
+numpy dtypes: scalar columns are contiguous numpy arrays; array columns
+(SEQ, QUAL, CIGAR) are ragged and stored as per-row numpy arrays, matching
+how the hardware streams them one element (flit) at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Scalar column kinds mapped to numpy dtypes (Table I's C types).
+SCALAR_DTYPES = {
+    "uint8": np.uint8,
+    "uint16": np.uint16,
+    "uint32": np.uint32,
+    "int32": np.int32,
+    "int64": np.int64,
+    "bool": np.bool_,
+}
+
+#: Array-column kinds: per-row variable-length vectors of these dtypes.
+ARRAY_DTYPES = {
+    "uint8[]": np.uint8,
+    "uint16[]": np.uint16,
+    "uint32[]": np.uint32,
+    "bool[]": np.bool_,
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: a name and a kind from the tables above."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCALAR_DTYPES and self.kind not in ARRAY_DTYPES:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"invalid column name {self.name!r}")
+
+    @property
+    def is_array(self) -> bool:
+        """True for ragged per-row array columns (SEQ/QUAL/CIGAR-style)."""
+        return self.kind in ARRAY_DTYPES
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of this column."""
+        table = ARRAY_DTYPES if self.is_array else SCALAR_DTYPES
+        return np.dtype(table[self.kind])
+
+    @property
+    def element_size(self) -> int:
+        """Bytes per element; the ``elemsize`` the runtime's
+        ``configure_mem`` call takes (paper Section III-E)."""
+        return self.dtype.itemsize
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnSpec`."""
+
+    def __init__(self, columns: Tuple[ColumnSpec, ...]):
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        self.columns = tuple(columns)
+        self._by_name: Dict[str, ColumnSpec] = {c.name: c for c in columns}
+
+    @classmethod
+    def of(cls, **kinds: str) -> "Schema":
+        """Build a schema from ``name=kind`` keyword pairs.
+
+        >>> Schema.of(POS="uint32", SEQ="uint8[]").names
+        ('POS', 'SEQ')
+        """
+        return cls(tuple(ColumnSpec(name, kind) for name, kind in kinds.items()))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{c.name}:{c.kind}" for c in self.columns)
+        return f"Schema({body})"
+
+    def subset(self, names) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema(tuple(self._by_name[name] for name in names))

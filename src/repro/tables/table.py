@@ -1,0 +1,342 @@
+"""Columnar tables with the relational operations Genesis's SQL needs.
+
+The paper conceptualizes genomic data "as a very large relational database"
+(Section III-B).  This module is the software-side realization: a columnar
+:class:`Table` storing scalar columns as numpy arrays and ragged array
+columns as lists of per-row numpy arrays, with the relational verbs the
+extended-SQL executor lowers to (select / where / join / group-by / limit /
+aggregate / explode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import ColumnSpec, Schema
+
+
+class Table:
+    """An immutable-by-convention columnar table."""
+
+    def __init__(self, schema: Schema, columns: Dict[str, object], num_rows: int):
+        self.schema = schema
+        self._columns = columns
+        self.num_rows = num_rows
+        for spec in schema.columns:
+            if spec.name not in columns:
+                raise ValueError(f"missing data for column {spec.name}")
+            data = columns[spec.name]
+            if len(data) != num_rows:
+                raise ValueError(
+                    f"column {spec.name} has {len(data)} rows, expected {num_rows}"
+                )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[dict]) -> "Table":
+        """Build a table from a sequence of per-row dicts."""
+        columns: Dict[str, object] = {}
+        for spec in schema.columns:
+            values = [row[spec.name] for row in rows]
+            columns[spec.name] = cls._pack_column(spec, values)
+        return cls(schema, columns, len(rows))
+
+    @classmethod
+    def from_columns(cls, schema: Schema, **columns) -> "Table":
+        """Build a table from per-column value sequences."""
+        if not columns:
+            raise ValueError("no columns given")
+        num_rows = len(next(iter(columns.values())))
+        packed = {
+            spec.name: cls._pack_column(spec, columns[spec.name])
+            for spec in schema.columns
+        }
+        return cls(schema, packed, num_rows)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        return cls.from_rows(schema, [])
+
+    @staticmethod
+    def _pack_column(spec: ColumnSpec, values) -> object:
+        if spec.is_array:
+            return [np.asarray(value, dtype=spec.dtype) for value in values]
+        return np.asarray(values, dtype=spec.dtype)
+
+    # -- access -------------------------------------------------------------------
+
+    def column(self, name: str):
+        """The raw column: numpy array (scalar) or list of arrays (array)."""
+        return self._columns[name]
+
+    def __getitem__(self, name: str):
+        return self._columns[name]
+
+    def row(self, index: int) -> dict:
+        """Materialize row ``index`` as a dict."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row {index} out of range (num_rows={self.num_rows})")
+        out = {}
+        for spec in self.schema.columns:
+            value = self._columns[spec.name][index]
+            out[spec.name] = value if spec.is_array else value.item()
+        return out
+
+    def rows(self) -> Iterator[dict]:
+        """Iterate rows as dicts (the FOR row IN table clause)."""
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema!r}, rows={self.num_rows})"
+
+    # -- relational verbs -----------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Projection: keep only ``names`` (SQL SELECT col, ...)."""
+        schema = self.schema.subset(names)
+        columns = {name: self._columns[name] for name in names}
+        return Table(schema, columns, self.num_rows)
+
+    def take(self, indices) -> "Table":
+        """Row selection by integer indices (stable order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns: Dict[str, object] = {}
+        for spec in self.schema.columns:
+            data = self._columns[spec.name]
+            if spec.is_array:
+                columns[spec.name] = [data[int(i)] for i in indices]
+            else:
+                columns[spec.name] = data[indices]
+        return Table(self.schema, columns, len(indices))
+
+    def where(self, predicate: Callable[[dict], bool]) -> "Table":
+        """Row filter with a per-row predicate (SQL WHERE)."""
+        keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
+        return self.take(keep)
+
+    def where_mask(self, mask) -> "Table":
+        """Row filter with a boolean mask (vectorized WHERE)."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length must equal num_rows")
+        return self.take(np.nonzero(mask)[0])
+
+    def limit(self, count: int, offset: int = 0) -> "Table":
+        """SQL LIMIT offset, count."""
+        if count < 0 or offset < 0:
+            raise ValueError("limit/offset must be non-negative")
+        end = min(self.num_rows, offset + count)
+        return self.take(np.arange(offset, max(offset, end)))
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        """Stable sort by scalar key columns (leftmost is most significant)."""
+        keys = [np.asarray(self._columns[name]) for name in reversed(names)]
+        order = np.lexsort(keys)
+        return self.take(order)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical concatenation of two same-schema tables."""
+        if other.schema != self.schema:
+            raise ValueError("cannot concat tables with different schemas")
+        columns: Dict[str, object] = {}
+        for spec in self.schema.columns:
+            a, b = self._columns[spec.name], other._columns[spec.name]
+            columns[spec.name] = list(a) + list(b) if spec.is_array else np.concatenate([a, b])
+        return Table(self.schema, columns, self.num_rows + other.num_rows)
+
+    def with_column(self, spec: ColumnSpec, values) -> "Table":
+        """A new table with one extra column appended."""
+        if spec.name in self.schema:
+            raise ValueError(f"column {spec.name} already exists")
+        schema = Schema(self.schema.columns + (spec,))
+        columns = dict(self._columns)
+        columns[spec.name] = self._pack_column(spec, values)
+        return Table(schema, columns, self.num_rows)
+
+    def rename(self, mapping: Dict[str, str]) -> "Table":
+        """A new table with columns renamed per ``mapping``."""
+        specs = tuple(
+            ColumnSpec(mapping.get(c.name, c.name), c.kind)
+            for c in self.schema.columns
+        )
+        columns = {
+            mapping.get(name, name): data for name, data in self._columns.items()
+        }
+        return Table(Schema(specs), columns, self.num_rows)
+
+    # -- joins & aggregation -----------------------------------------------------------
+
+    def join(
+        self,
+        other: "Table",
+        on: str,
+        how: str = "inner",
+        suffix: str = "_R",
+    ) -> "Table":
+        """Equi-join on scalar key column ``on``.
+
+        ``how`` is ``inner``, ``left``, or ``outer``, matching the three
+        configurations of the hardware Joiner (Figure 6).  Right-side
+        columns that collide get ``suffix`` appended.  For left/outer joins,
+        missing scalar values are 0 and missing arrays are empty — mirroring
+        the hardware convention where non-matching flits keep sentinel data.
+        """
+        if how not in ("inner", "left", "outer"):
+            raise ValueError(f"unsupported join type {how!r}")
+        left_keys = np.asarray(self._columns[on])
+        right_keys = np.asarray(other._columns[on])
+        right_index: Dict[object, List[int]] = {}
+        for i, key in enumerate(right_keys):
+            right_index.setdefault(key.item(), []).append(i)
+
+        left_rows: List[int] = []
+        right_rows: List[Optional[int]] = []
+        matched_right: set = set()
+        for i, key in enumerate(left_keys):
+            matches = right_index.get(key.item())
+            if matches:
+                for j in matches:
+                    left_rows.append(i)
+                    right_rows.append(j)
+                    matched_right.add(j)
+            elif how in ("left", "outer"):
+                left_rows.append(i)
+                right_rows.append(None)
+        extra_right: List[int] = []
+        if how == "outer":
+            extra_right = [j for j in range(other.num_rows) if j not in matched_right]
+
+        out_specs: List[ColumnSpec] = list(self.schema.columns)
+        right_names: Dict[str, str] = {}
+        for spec in other.schema.columns:
+            if spec.name == on:
+                continue
+            name = spec.name + suffix if spec.name in self.schema else spec.name
+            right_names[spec.name] = name
+            out_specs.append(ColumnSpec(name, spec.kind))
+        out_schema = Schema(tuple(out_specs))
+
+        columns: Dict[str, List] = {spec.name: [] for spec in out_specs}
+
+        def left_value(spec: ColumnSpec, row: Optional[int]):
+            if row is None:
+                return np.array([], dtype=spec.dtype) if spec.is_array else spec.dtype.type(0)
+            return self._columns[spec.name][row]
+
+        def right_value(spec: ColumnSpec, row: Optional[int]):
+            if row is None:
+                return np.array([], dtype=spec.dtype) if spec.is_array else spec.dtype.type(0)
+            return other._columns[spec.name][row]
+
+        for li, ri in zip(left_rows, right_rows):
+            for spec in self.schema.columns:
+                columns[spec.name].append(left_value(spec, li))
+            for spec in other.schema.columns:
+                if spec.name == on:
+                    continue
+                columns[right_names[spec.name]].append(right_value(spec, ri))
+        for ri in extra_right:
+            for spec in self.schema.columns:
+                if spec.name == on:
+                    columns[on].append(other._columns[on][ri])
+                else:
+                    columns[spec.name].append(left_value(spec, None))
+            for spec in other.schema.columns:
+                if spec.name == on:
+                    continue
+                columns[right_names[spec.name]].append(right_value(spec, ri))
+
+        packed = {
+            spec.name: self._pack_column(spec, columns[spec.name])
+            for spec in out_specs
+        }
+        return Table(out_schema, packed, len(columns[on]))
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregations: Dict[str, Tuple[str, str]],
+    ) -> "Table":
+        """SQL GROUP BY with aggregations.
+
+        ``aggregations`` maps output column name to ``(function, column)``
+        where function is one of ``sum``, ``count``, ``min``, ``max`` — the
+        reductions the hardware Reducer supports (Figure 6).  Output key
+        columns preserve first-appearance order.
+        """
+        funcs = {
+            "sum": lambda v: int(np.sum(v, dtype=np.int64)),
+            "count": len,
+            "min": lambda v: int(np.min(v)),
+            "max": lambda v: int(np.max(v)),
+        }
+        for out_name, (func, _col) in aggregations.items():
+            if func not in funcs:
+                raise ValueError(f"unsupported aggregation {func!r} for {out_name}")
+
+        groups: Dict[tuple, List[int]] = {}
+        key_arrays = [np.asarray(self._columns[k]) for k in keys]
+        for i in range(self.num_rows):
+            key = tuple(arr[i].item() for arr in key_arrays)
+            groups.setdefault(key, []).append(i)
+
+        out_specs = [self.schema[k] for k in keys]
+        out_specs += [ColumnSpec(name, "int64") for name in aggregations]
+        out_schema = Schema(tuple(out_specs))
+        columns: Dict[str, List] = {spec.name: [] for spec in out_specs}
+        for key, rows in groups.items():
+            for name, value in zip(keys, key):
+                columns[name].append(value)
+            for out_name, (func, col) in aggregations.items():
+                values = np.asarray([self._columns[col][r] for r in rows])
+                columns[out_name].append(funcs[func](values))
+        packed = {
+            spec.name: self._pack_column(spec, columns[spec.name])
+            for spec in out_specs
+        }
+        return Table(out_schema, packed, len(groups))
+
+    def aggregate(self, func: str, name: str):
+        """Whole-table scalar aggregate (SUM/COUNT/MIN/MAX over a column)."""
+        values = np.asarray(self._columns[name])
+        if func == "sum":
+            return int(np.sum(values, dtype=np.int64))
+        if func == "count":
+            return int(self.num_rows)
+        if func == "min":
+            return int(np.min(values))
+        if func == "max":
+            return int(np.max(values))
+        raise ValueError(f"unsupported aggregate {func!r}")
+
+    # -- explode operations (Section III-B) ----------------------------------------------
+
+    def pos_explode(self, column: str, init_pos_column: str,
+                    out_pos: str = "POS", out_value: str = "VAL") -> "Table":
+        """PosExplode: expand an array column into one row per element with
+        a generated position column starting at each row's init position.
+
+        Matches Hive/Spark ``posexplode`` as the paper describes: position
+        increments by one per exploded element.
+        """
+        spec = self.schema[column]
+        if not spec.is_array:
+            raise ValueError(f"PosExplode requires an array column, got {column}")
+        positions: List[int] = []
+        values: List = []
+        inits = np.asarray(self._columns[init_pos_column])
+        for i in range(self.num_rows):
+            array = self._columns[column][i]
+            start = int(inits[i])
+            positions.extend(range(start, start + len(array)))
+            values.extend(int(v) for v in array)
+        out_schema = Schema.of(**{out_pos: "uint32", out_value: "uint32"})
+        return Table.from_columns(out_schema, **{out_pos: positions, out_value: values})

@@ -1,0 +1,35 @@
+"""Variant-discovery substrate (Section IV-A's second phase).
+
+Variant records and callsets, a pileup-based germline caller, donor-genome
+truth injection, and VCF-style serialization — the pieces needed to run
+secondary analysis end to end and to exercise the Section IV-E operations
+(callset intersection for VQSR, active-region determination).
+"""
+
+from .caller import (
+    CallerConfig,
+    PileupColumn,
+    build_pileup,
+    call_variants,
+    genotype_likelihoods,
+    inject_true_variants,
+)
+from .records import GENOTYPES, CallSet, Variant, snv
+from .vcf import format_variant, parse_variant, read_vcf, write_vcf
+
+__all__ = [
+    "CallSet",
+    "CallerConfig",
+    "GENOTYPES",
+    "PileupColumn",
+    "Variant",
+    "build_pileup",
+    "call_variants",
+    "format_variant",
+    "genotype_likelihoods",
+    "inject_true_variants",
+    "parse_variant",
+    "read_vcf",
+    "snv",
+    "write_vcf",
+]

@@ -1,0 +1,158 @@
+"""Variant records and genotypes.
+
+The second phase of secondary analysis (Section IV-A) identifies genomic
+variants from the preprocessed reads.  The paper does not accelerate
+variant *calling*, but its Section IV-E argues Genesis applies to the
+data-manipulation parts of the variant pipelines (active-region
+determination, joint genotyping, VQSR set intersection).  This substrate
+provides the variant data model those operations manipulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..genomics.sequences import decode_sequence
+
+#: Genotype codes: homozygous reference, heterozygous, homozygous alt.
+GENOTYPES = ("0/0", "0/1", "1/1")
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One called variant (a VCF-style record).
+
+    ``ref`` and ``alt`` are base strings; SNVs have length-1 strings,
+    insertions have ``len(alt) > len(ref)``, deletions the opposite
+    (VCF anchor-base convention).
+    """
+
+    chrom: int
+    pos: int
+    ref: str
+    alt: str
+    qual: float = 0.0
+    genotype: str = "0/1"
+    depth: int = 0
+    alt_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ref or not self.alt:
+            raise ValueError("ref and alt must be non-empty")
+        if self.genotype not in GENOTYPES:
+            raise ValueError(f"unknown genotype {self.genotype!r}")
+
+    @property
+    def is_snv(self) -> bool:
+        """Single-nucleotide variant?"""
+        return len(self.ref) == 1 and len(self.alt) == 1
+
+    @property
+    def is_insertion(self) -> bool:
+        """Insertion relative to the reference?"""
+        return len(self.alt) > len(self.ref)
+
+    @property
+    def is_deletion(self) -> bool:
+        """Deletion relative to the reference?"""
+        return len(self.alt) < len(self.ref)
+
+    @property
+    def allele_fraction(self) -> float:
+        """Fraction of covering reads supporting the alt allele."""
+        if self.depth == 0:
+            return 0.0
+        return self.alt_depth / self.depth
+
+    def key(self) -> Tuple[int, int, str, str]:
+        """Identity key for callset set-operations (VQSR intersection)."""
+        return (self.chrom, self.pos, self.ref, self.alt)
+
+
+class CallSet:
+    """An ordered collection of variants (one caller's output)."""
+
+    def __init__(self, variants: Optional[List[Variant]] = None, name: str = ""):
+        self.name = name
+        self._variants: List[Variant] = sorted(
+            variants or [], key=lambda v: (v.chrom, v.pos)
+        )
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __iter__(self):
+        return iter(self._variants)
+
+    def __getitem__(self, index: int) -> Variant:
+        return self._variants[index]
+
+    def add(self, variant: Variant) -> None:
+        """Insert one variant, keeping coordinate order."""
+        self._variants.append(variant)
+        self._variants.sort(key=lambda v: (v.chrom, v.pos))
+
+    def keys(self) -> set:
+        """The identity keys of all member variants."""
+        return {variant.key() for variant in self._variants}
+
+    def by_chromosome(self) -> Dict[int, List[Variant]]:
+        """Variants grouped by chromosome."""
+        grouped: Dict[int, List[Variant]] = {}
+        for variant in self._variants:
+            grouped.setdefault(variant.chrom, []).append(variant)
+        return grouped
+
+    def snvs(self) -> "CallSet":
+        """The SNV subset."""
+        return CallSet([v for v in self._variants if v.is_snv], self.name)
+
+    def indels(self) -> "CallSet":
+        """The insertion/deletion subset."""
+        return CallSet([v for v in self._variants if not v.is_snv], self.name)
+
+    def intersect(self, other: "CallSet") -> "CallSet":
+        """Variants present (by key) in both callsets — the VQSR
+        training/truth-set intersection of Section IV-E."""
+        other_keys = other.keys()
+        return CallSet(
+            [v for v in self._variants if v.key() in other_keys],
+            name=f"{self.name}&{other.name}",
+        )
+
+    def subtract(self, other: "CallSet") -> "CallSet":
+        """Variants only in this callset."""
+        other_keys = other.keys()
+        return CallSet(
+            [v for v in self._variants if v.key() not in other_keys],
+            name=f"{self.name}-{other.name}",
+        )
+
+    def concordance(self, truth: "CallSet") -> Dict[str, float]:
+        """Precision/recall/F1 against a truth set."""
+        called = self.keys()
+        true = truth.keys()
+        if not called or not true:
+            return {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+        tp = len(called & true)
+        precision = tp / len(called)
+        recall = tp / len(true)
+        if precision + recall == 0:
+            return {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+        return {
+            "precision": precision,
+            "recall": recall,
+            "f1": 2 * precision * recall / (precision + recall),
+        }
+
+
+def snv(chrom: int, pos: int, ref_code: int, alt_code: int, **kwargs) -> Variant:
+    """Convenience constructor for an SNV from encoded bases."""
+    return Variant(
+        chrom=chrom,
+        pos=pos,
+        ref=decode_sequence([ref_code]),
+        alt=decode_sequence([alt_code]),
+        **kwargs,
+    )

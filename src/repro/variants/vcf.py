@@ -1,0 +1,69 @@
+"""Minimal VCF-style serialization for callsets."""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from ..genomics.reference import chromosome_name
+from .records import CallSet, Variant
+
+_COLUMNS = "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tSAMPLE"
+
+
+def format_variant(variant: Variant) -> str:
+    """One VCF data line (1-based position, GT/DP/AD sample fields)."""
+    info = f"DP={variant.depth}"
+    sample = f"{variant.genotype}:{variant.depth}:{variant.alt_depth}"
+    return "\t".join([
+        chromosome_name(variant.chrom),
+        str(variant.pos + 1),
+        ".",
+        variant.ref,
+        variant.alt,
+        f"{variant.qual:.2f}",
+        "PASS",
+        info,
+        "GT:DP:AD",
+        sample,
+    ])
+
+
+def parse_variant(line: str) -> Variant:
+    """Parse one line produced by :func:`format_variant`."""
+    columns = line.rstrip("\n").split("\t")
+    if len(columns) < 10:
+        raise ValueError(f"malformed VCF line: {line!r}")
+    chrom = {"X": 23, "Y": 24}.get(columns[0]) or int(columns[0])
+    genotype, depth, alt_depth = columns[9].split(":")
+    return Variant(
+        chrom=chrom,
+        pos=int(columns[1]) - 1,
+        ref=columns[3],
+        alt=columns[4],
+        qual=float(columns[5]),
+        genotype=genotype,
+        depth=int(depth),
+        alt_depth=int(alt_depth),
+    )
+
+
+def write_vcf(handle: TextIO, callset: CallSet) -> int:
+    """Write a callset as VCF text; returns the record count."""
+    handle.write("##fileformat=VCFv4.2\n")
+    handle.write(f"##source=repro-genesis:{callset.name or 'callset'}\n")
+    handle.write(_COLUMNS + "\n")
+    count = 0
+    for variant in callset:
+        handle.write(format_variant(variant) + "\n")
+        count += 1
+    return count
+
+
+def read_vcf(handle: TextIO, name: str = "") -> CallSet:
+    """Parse a VCF-style stream back into a callset."""
+    variants: List[Variant] = []
+    for line in handle:
+        if not line.strip() or line.startswith("#"):
+            continue
+        variants.append(parse_variant(line))
+    return CallSet(variants, name=name)

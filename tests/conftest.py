@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.workloads import Workload, make_workload
+from repro.genomics import ReadSimulator, ReferenceGenome, SimulatorConfig
+
+
+@pytest.fixture(scope="session")
+def small_genome() -> ReferenceGenome:
+    """A 5 kbp single-chromosome genome."""
+    return ReferenceGenome.random({1: 5000}, snp_rate=0.01, seed=101)
+
+
+@pytest.fixture(scope="session")
+def two_chrom_genome() -> ReferenceGenome:
+    """Two chromosomes of different lengths."""
+    return ReferenceGenome.random({1: 6000, 2: 3000}, snp_rate=0.005, seed=102)
+
+
+@pytest.fixture(scope="session")
+def small_reads(small_genome):
+    """~60 short reads with duplicates, indels, and clips."""
+    simulator = ReadSimulator(
+        small_genome,
+        SimulatorConfig(seed=103, read_length=50, read_groups=2),
+    )
+    return simulator.simulate(60)
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    """The standard small evaluation workload (two chromosomes)."""
+    return make_workload(
+        n_reads=80,
+        read_length=60,
+        chromosomes=(20, 21),
+        genome_scale=1.2e-6,
+        psize=2500,
+        seed=104,
+    )

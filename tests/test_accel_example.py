@@ -1,0 +1,65 @@
+"""Integration tests: the Figure 7 pipeline vs software vs SQL."""
+
+import pytest
+
+from repro.accel.example_query import count_matching_bases_sw, run_example_query
+from repro.sql.queries import run_figure4_query
+
+
+@pytest.fixture(scope="module")
+def nonempty_partitions(workload):
+    # workload fixture is session-scoped, safe to reuse here.
+    return [
+        (pid, part) for pid, part in workload.partitions if part.num_rows > 0
+    ]
+
+
+def test_hw_matches_software_on_all_partitions(workload):
+    for pid, part in workload.partitions:
+        if part.num_rows == 0:
+            continue
+        ref_row = workload.reference.lookup(pid)
+        result = run_example_query(part, ref_row)
+        assert result.counts == count_matching_bases_sw(part, ref_row), str(pid)
+
+
+def test_sql_matches_hw(workload):
+    pid, part = next(
+        (p, t) for p, t in workload.partitions if t.num_rows > 0
+    )
+    ref_row = workload.reference.lookup(pid)
+    hw = run_example_query(part, ref_row).counts
+    sql = run_figure4_query(workload.partitions, workload.reference, pid)
+    assert sql == hw
+
+
+def test_counts_bounded_by_read_length(workload):
+    pid, part = next((p, t) for p, t in workload.partitions if t.num_rows > 0)
+    result = run_example_query(part, workload.reference.lookup(pid))
+    for count, seq in zip(result.counts, part.column("SEQ")):
+        assert 0 <= count <= len(seq)
+
+
+def test_cycle_count_near_one_base_per_cycle(workload):
+    from repro.tables.genomic_tables import count_bases
+
+    pid, part = max(
+        ((p, t) for p, t in workload.partitions), key=lambda x: x[1].num_rows
+    )
+    result = run_example_query(part, workload.reference.lookup(pid))
+    bases = count_bases(part)
+    cpb = result.run.stats.cycles / bases
+    # "The constructed pipeline is fully-pipelined and can process a
+    # single base pair per cycle" (Section III-D).
+    assert cpb < 2.0
+
+
+def test_memory_traffic_scales_with_columns(workload):
+    pid, part = max(
+        ((p, t) for p, t in workload.partitions), key=lambda x: x[1].num_rows
+    )
+    result = run_example_query(part, workload.reference.lookup(pid))
+    from repro.tables.genomic_tables import table_bytes
+
+    payload = table_bytes(part, ["POS", "ENDPOS", "CIGAR", "SEQ"])
+    assert result.run.stats.memory_bytes >= payload

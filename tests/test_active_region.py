@@ -1,0 +1,131 @@
+"""Tests for active-region determination: software stage and accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.accel.active_region import (
+    accelerated_active_regions,
+    run_active_region_partition,
+)
+from repro.gatk.active_region import (
+    ActiveRegion,
+    ActiveRegionConfig,
+    ActivityProfile,
+    compute_activity,
+    determine_active_regions,
+    extract_regions,
+)
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import AlignedRead
+from repro.genomics.reference import Chromosome, ReferenceGenome
+from repro.genomics.sequences import encode_sequence
+
+
+def make_genome(text):
+    seq = encode_sequence(text)
+    return ReferenceGenome([Chromosome(1, seq, np.zeros(len(seq), dtype=bool))])
+
+
+def make_read(pos, cigar_text, seq_text):
+    cigar = Cigar.parse(cigar_text)
+    seq = encode_sequence(seq_text)
+    return AlignedRead(
+        name="r", chrom=1, pos=pos, cigar=cigar, seq=seq,
+        qual=np.full(len(seq), 30, dtype=np.uint8),
+    )
+
+
+def test_depth_and_mismatch_activity():
+    genome = make_genome("AAAAAAAAAA")
+    read = make_read(2, "4M", "AACA")  # mismatch at position 4
+    profile = compute_activity([read], genome, 1, 0, 10)
+    assert profile.depth.tolist() == [0, 0, 1, 1, 1, 1, 0, 0, 0, 0]
+    assert profile.activity.tolist() == [0, 0, 0, 0, 1, 0, 0, 0, 0, 0]
+
+
+def test_deletion_and_insertion_activity():
+    genome = make_genome("AAAAAAAAAA")
+    read = make_read(1, "2M1D2M1I1M", "AAAAGA")
+    profile = compute_activity([read], genome, 1, 0, 10)
+    # D at position 3; I anchored at the last aligned position (5).
+    assert profile.activity[3] == 1
+    assert profile.activity[5] == 1
+
+
+def test_duplicates_excluded():
+    genome = make_genome("AAAA")
+    read = make_read(0, "4M", "CCCC")
+    read.set_duplicate(True)
+    profile = compute_activity([read], genome, 1, 0, 4)
+    assert profile.activity.sum() == 0
+
+
+def test_extract_regions_merging_and_padding():
+    profile = ActivityProfile(
+        1, 100,
+        activity=np.array([0, 5, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0]),
+        depth=np.full(18, 10),
+    )
+    config = ActiveRegionConfig(min_depth=4, min_activity_fraction=0.3,
+                                max_gap=4, padding=1)
+    regions = extract_regions(profile, config)
+    # Positions 1 and 4 merge (gap 3 <= 4); position 16 stands alone.
+    assert regions == [
+        ActiveRegion(1, 100 + 0, 100 + 5),
+        ActiveRegion(1, 100 + 15, 100 + 17),
+    ]
+
+
+def test_extract_regions_depth_gate():
+    profile = ActivityProfile(
+        1, 0, activity=np.array([3]), depth=np.array([3])
+    )
+    config = ActiveRegionConfig(min_depth=4, min_activity_fraction=0.1)
+    assert extract_regions(profile, config) == []
+
+
+def test_extract_no_activity():
+    profile = ActivityProfile(1, 0, np.zeros(5), np.full(5, 10))
+    assert extract_regions(profile) == []
+
+
+def test_region_helpers():
+    a = ActiveRegion(1, 10, 20)
+    assert len(a) == 11
+    assert a.overlaps(ActiveRegion(1, 20, 25))
+    assert not a.overlaps(ActiveRegion(1, 21, 25))
+    assert not a.overlaps(ActiveRegion(2, 10, 20))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ActiveRegionConfig(min_activity_fraction=0.0)
+
+
+def test_accelerator_buffers_match_software(workload):
+    """The hardware activity/depth buffers equal the software profile on
+    every partition window."""
+    for pid, part in workload.partitions:
+        if part.num_rows == 0:
+            continue
+        ref_row = workload.reference.lookup(pid)
+        result = run_active_region_partition(part, ref_row)
+        from repro.tables.genomic_tables import table_to_reads
+
+        reads = table_to_reads(part)
+        expected = compute_activity(
+            reads, workload.genome, pid.chrom, result.base,
+            len(result.activity),
+        )
+        assert np.array_equal(result.activity, expected.activity), str(pid)
+        assert np.array_equal(result.depth, expected.depth), str(pid)
+
+
+def test_accelerated_regions_equal_software(workload):
+    sw = determine_active_regions(workload.reads, workload.genome)
+    hw = accelerated_active_regions(
+        workload.partitions, workload.reference, workload.genome
+    )
+    assert sw == hw
+    # The synthetic reads carry errors, so some regions exist.
+    assert sum(len(r) for r in sw.values()) > 0

@@ -1,0 +1,57 @@
+"""Tests for batch scheduling over the host API (Section III-E overlap)."""
+
+import pytest
+
+from repro.runtime.batch import (
+    BatchJob,
+    compare_schedules,
+    run_batch_pipelined,
+    run_batch_serial,
+)
+from repro.runtime.device import CLOCK_HZ
+
+
+def jobs_with(host_seconds, n=6, cycles=250_000, input_bytes=1_000_000):
+    return [
+        BatchJob(name=f"j{i}", input_bytes=input_bytes, cycles=cycles,
+                 host_seconds=host_seconds)
+        for i in range(n)
+    ]
+
+
+def test_serial_accounts_everything():
+    jobs = jobs_with(host_seconds=1e-3, n=3)
+    outcome = run_batch_serial(jobs)
+    compute = 3 * 250_000 / CLOCK_HZ
+    host = 3 * 1e-3
+    assert outcome.wall_seconds >= compute + host
+    assert outcome.jobs == 3
+
+
+def test_overlap_hides_host_work():
+    """With host work comparable to accelerator time, pipelining approaches
+    max(host, accel) per job instead of their sum."""
+    accel_seconds = 250_000 / CLOCK_HZ  # 1 ms
+    jobs = jobs_with(host_seconds=accel_seconds, n=8)
+    comparison = compare_schedules(jobs)
+    assert comparison["pipelined_seconds"] < comparison["serial_seconds"]
+    assert comparison["overlap_speedup"] > 1.2
+
+
+def test_overlap_useless_without_host_work():
+    jobs = jobs_with(host_seconds=0.0, n=4)
+    comparison = compare_schedules(jobs)
+    assert comparison["overlap_speedup"] == pytest.approx(1.0, abs=0.05)
+
+
+def test_pipelined_results_cover_all_jobs():
+    outcome = run_batch_pipelined(jobs_with(1e-4, n=5))
+    assert outcome.jobs == 5
+    assert outcome.wall_seconds > 0
+
+
+def test_output_transfers_charged():
+    with_output = [BatchJob("a", 1_000_000, 100_000, output_bytes=50_000_000)]
+    without = [BatchJob("a", 1_000_000, 100_000)]
+    assert (run_batch_serial(with_output).wall_seconds
+            > run_batch_serial(without).wall_seconds)

@@ -1,0 +1,105 @@
+"""Unit tests for the BinIDGen custom module (Section IV-D)."""
+
+import pytest
+
+from repro.gatk.bqsr import N_CONTEXTS, n_cycle_values
+from repro.hw.flit import Flit
+from repro.hw.modules import BinIdGen
+
+from hw_harness import drive
+
+READ_LENGTH = 10
+NCV = n_cycle_values(READ_LENGTH)
+
+
+def run_binid(reads):
+    """reads: list of (reverse, seqlen, base_events); base_events are
+    (op, base, qual, ridx) tuples."""
+    meta = []
+    stream = []
+    for reverse, seqlen, events in reads:
+        meta.append(Flit({"reverse": reverse, "seqlen": seqlen}, last=True))
+        for op, base, qual, ridx in events:
+            fields = {"op": op, "base": base, "ridx": ridx}
+            if qual is not None:
+                fields["qual"] = qual
+            if op == "M":
+                fields["pos"] = 1000 + ridx
+            stream.append(Flit(fields))
+        stream.append(Flit({}, last=True))
+    module = BinIdGen("b", read_length=READ_LENGTH)
+    out, _ = drive(module, {"in": stream, "meta": meta})
+    return [f for f in out["out"] if f.fields], out["out"]
+
+
+def test_forward_cycle_is_ridx():
+    flits, _ = run_binid([(False, READ_LENGTH, [("M", 2, 30, 3)])])
+    assert flits[0]["b1"] == 30 * NCV + 3
+
+
+def test_reverse_cycle_uses_reverse_range():
+    flits, _ = run_binid([(True, READ_LENGTH, [("M", 2, 30, 3)])])
+    expected_cycle = READ_LENGTH + (READ_LENGTH - 1 - 3)
+    assert flits[0]["b1"] == 30 * NCV + expected_cycle
+
+
+def test_first_base_has_no_context():
+    flits, _ = run_binid([(False, READ_LENGTH, [("M", 2, 30, 0)])])
+    assert flits[0]["b2"] == -1
+
+
+def test_context_encoding_matches_paper():
+    # Paper: AA=0, AC=1, AG=2, AT=3, CA=4, ..., TT=15.
+    events = [("M", 0, 30, 0), ("M", 1, 30, 1)]  # A then C -> context AC=1
+    flits, _ = run_binid([(False, READ_LENGTH, events)])
+    assert flits[1]["b2"] == 30 * N_CONTEXTS + 1
+
+
+def test_context_tracks_through_clips_and_insertions():
+    events = [
+        ("S", 3, 30, 0),   # clipped T
+        ("M", 0, 30, 1),   # A with prev T -> context TA = 3*4+0 = 12
+        ("I", 2, 30, 2),   # inserted G
+        ("M", 1, 30, 3),   # C with prev G -> context GC = 2*4+1 = 9
+    ]
+    flits, _ = run_binid([(False, READ_LENGTH, events)])
+    assert [f["op"] for f in flits] == ["M", "M"]
+    assert flits[0]["b2"] == 30 * N_CONTEXTS + 12
+    assert flits[1]["b2"] == 30 * N_CONTEXTS + 9
+
+
+def test_non_m_flits_dropped():
+    events = [("S", 0, 30, 0), ("I", 1, 30, 1), ("D", None, None, -1),
+              ("M", 2, 30, 2)]
+    flits, _ = run_binid([(False, READ_LENGTH, events)])
+    assert len(flits) == 1
+    assert flits[0]["op"] == "M"
+
+
+def test_deletion_does_not_change_context():
+    events = [("M", 0, 30, 0), ("D", None, None, -1), ("M", 1, 30, 1)]
+    flits, _ = run_binid([(False, READ_LENGTH, events)])
+    # Second M's context predecessor is the first M's base (A), not the D.
+    assert flits[1]["b2"] == 30 * N_CONTEXTS + 1  # AC
+
+
+def test_per_read_state_resets():
+    reads = [
+        (False, READ_LENGTH, [("M", 0, 30, 0), ("M", 1, 30, 1)]),
+        (False, READ_LENGTH, [("M", 2, 30, 0)]),
+    ]
+    flits, raw = run_binid(reads)
+    # First base of the second read has no context again.
+    assert flits[2]["b2"] == -1
+    # Item boundaries preserved: two last flits.
+    assert sum(1 for f in raw if f.last) == 2
+
+
+def test_quality_scales_bins():
+    flits, _ = run_binid([(False, READ_LENGTH, [("M", 0, 7, 4)])])
+    assert flits[0]["b1"] == 7 * NCV + 4
+
+
+def test_read_length_validation():
+    with pytest.raises(ValueError):
+        BinIdGen("b", read_length=0)

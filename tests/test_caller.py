@@ -1,0 +1,120 @@
+"""Tests for the pileup variant caller."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import ReadSimulator, ReferenceGenome, SimulatorConfig
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import AlignedRead
+from repro.variants import (
+    CallerConfig,
+    build_pileup,
+    call_variants,
+    genotype_likelihoods,
+    inject_true_variants,
+)
+from repro.variants.caller import PileupColumn
+
+
+@pytest.fixture(scope="module")
+def clean_setup():
+    """Reference + donor with injected SNVs + error-free reads."""
+    reference = ReferenceGenome.random({1: 15000}, snp_rate=0.0, seed=21)
+    donor, truth = inject_true_variants(reference, rate=2e-3, seed=22)
+    config = SimulatorConfig(
+        seed=23, read_length=80, substitution_rate=0.0, insertion_rate=0.0,
+        deletion_rate=0.0, soft_clip_rate=0.0, duplicate_rate=0.0,
+    )
+    reads = ReadSimulator(donor, config).simulate(2200)
+    return reference, donor, truth, reads
+
+
+def test_pileup_depth_accumulates():
+    read = AlignedRead(
+        name="r", chrom=1, pos=5, cigar=Cigar.parse("4M"),
+        seq=np.zeros(4, dtype=np.uint8), qual=np.full(4, 30, dtype=np.uint8),
+    )
+    pileup = build_pileup([read, read])
+    assert pileup[(1, 6)].depth == 2
+    assert (1, 9) not in pileup  # read covers 5..8
+
+
+def test_pileup_skips_low_quality_and_duplicates():
+    read = AlignedRead(
+        name="r", chrom=1, pos=0, cigar=Cigar.parse("2M"),
+        seq=np.zeros(2, dtype=np.uint8),
+        qual=np.array([5, 30], dtype=np.uint8),
+    )
+    pileup = build_pileup([read], min_base_quality=10)
+    assert (1, 0) not in pileup
+    assert pileup[(1, 1)].depth == 1
+    read.set_duplicate(True)
+    assert not build_pileup([read])
+
+
+def test_genotype_likelihoods_favor_truth():
+    hom_alt = PileupColumn(1, 0, bases=[1] * 10, quals=[30] * 10)
+    rr, ra, aa = genotype_likelihoods(hom_alt, ref_base=0, alt_base=1)
+    assert aa > ra > rr
+    het = PileupColumn(1, 0, bases=[0, 1] * 5, quals=[30] * 10)
+    rr, ra, aa = genotype_likelihoods(het, ref_base=0, alt_base=1)
+    assert ra > rr and ra > aa
+
+
+def test_caller_finds_injected_variants(clean_setup):
+    reference, _donor, truth, reads = clean_setup
+    calls = call_variants(reads, reference)
+    metrics = calls.concordance(truth.snvs())
+    # Error-free reads at decent coverage: high precision, decent recall
+    # (recall < 1 only where coverage dips below min_depth).
+    assert metrics["precision"] > 0.95
+    assert metrics["recall"] > 0.5
+
+
+def test_caller_quiet_on_matching_sample(clean_setup):
+    reference, _donor, _truth, _reads = clean_setup
+    config = SimulatorConfig(
+        seed=31, read_length=80, substitution_rate=0.0, insertion_rate=0.0,
+        deletion_rate=0.0, soft_clip_rate=0.0, duplicate_rate=0.0,
+    )
+    reads = ReadSimulator(reference, config).simulate(800)
+    calls = call_variants(reads, reference)
+    assert len(calls) == 0  # no variants in a sample == reference
+
+
+def test_sequencing_errors_mostly_filtered(clean_setup):
+    """With per-base errors ON but no true variants, the genotype model
+    should reject nearly all error pileups."""
+    reference, _donor, _truth, _reads = clean_setup
+    config = SimulatorConfig(
+        seed=32, read_length=80, substitution_rate=0.01, insertion_rate=0.0,
+        deletion_rate=0.0, soft_clip_rate=0.0, duplicate_rate=0.0,
+    )
+    reads = ReadSimulator(reference, config).simulate(1200)
+    calls = call_variants(reads, reference)
+    covered = sum(len(r.seq) for r in reads)
+    assert len(calls) < covered * 1e-3
+
+
+def test_caller_config_validation():
+    with pytest.raises(ValueError):
+        CallerConfig(min_depth=0)
+
+
+def test_injected_truth_is_consistent():
+    reference = ReferenceGenome.random({1: 5000, 2: 3000}, seed=41)
+    donor, truth = inject_true_variants(reference, rate=1e-3, seed=42)
+    assert reference.total_length() == donor.total_length()
+    for variant in truth:
+        ref_seq = reference[variant.chrom].seq
+        donor_seq = donor[variant.chrom].seq
+        from repro.genomics.sequences import decode_sequence
+
+        assert decode_sequence([ref_seq[variant.pos]]) == variant.ref
+        assert decode_sequence([donor_seq[variant.pos]]) == variant.alt
+    # Positions outside the truth set are untouched.
+    diffs = sum(
+        int((reference[c].seq != donor[c].seq).sum())
+        for c in reference.chromosomes
+    )
+    assert diffs == len(truth)

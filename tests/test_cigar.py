@@ -1,0 +1,123 @@
+"""Unit tests for CIGAR parsing and alignment arithmetic (paper Section II)."""
+
+import pytest
+
+from repro.genomics.cigar import (
+    Cigar,
+    CigarElement,
+    decode_elements,
+    encode_elements,
+)
+
+
+def test_parse_simple():
+    cigar = Cigar.parse("7M1I5M")
+    assert str(cigar) == "7M1I5M"
+    assert len(cigar) == 3
+
+
+def test_parse_figure2_read1():
+    # Read 1 of Figure 2: 13 read bases, 12 reference positions.
+    cigar = Cigar.parse("7M1I5M")
+    assert cigar.read_length() == 13
+    assert cigar.reference_length() == 12
+
+
+def test_parse_figure2_read2():
+    # Read 2 of Figure 2: (3S, 6M, 1D, 2M).
+    cigar = Cigar.parse("3S6M1D2M")
+    assert cigar.read_length() == 11  # 3S + 6M + 2M
+    assert cigar.reference_length() == 9  # 6M + 1D + 2M
+    assert cigar.leading_soft_clip() == 3
+    assert cigar.trailing_soft_clip() == 0
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "M", "3X", "3M4", "x3M", "3m"):
+        with pytest.raises(ValueError):
+            Cigar.parse(bad)
+
+
+def test_element_validation():
+    with pytest.raises(ValueError):
+        CigarElement(0, "M")
+    with pytest.raises(ValueError):
+        CigarElement(5, "X")
+
+
+def test_equality_and_hash():
+    a = Cigar.parse("5M")
+    b = Cigar.from_pairs([(5, "M")])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_walk_matches_paper_figure3():
+    # Figure 3: POS=104, CIGAR=2S,3M,1I,1M,1D,2M.
+    cigar = Cigar.parse("2S3M1I1M1D2M")
+    steps = list(cigar.walk(104))
+    ops = [op for op, _, _ in steps]
+    assert ops == ["M", "M", "M", "I", "M", "D", "M", "M"]
+    ref_positions = [p for op, p, _ in steps if op != "I"]
+    assert ref_positions == [104, 105, 106, 107, 108, 109, 110]
+    # Soft-clipped bases consume read indices 0-1 but never appear.
+    read_indices = [i for op, _, i in steps if op != "D"]
+    assert read_indices == [2, 3, 4, 5, 6, 7, 8]
+
+
+def test_walk_insertion_has_no_ref_pos():
+    cigar = Cigar.parse("1M1I1M")
+    steps = list(cigar.walk(10))
+    assert steps[1][0] == "I"
+    assert steps[1][1] == -1
+
+
+def test_walk_deletion_has_no_read_index():
+    cigar = Cigar.parse("1M1D1M")
+    steps = list(cigar.walk(10))
+    assert steps[1][0] == "D"
+    assert steps[1][2] == -1
+
+
+def test_unclipped_start():
+    cigar = Cigar.parse("3S6M1D2M")
+    assert cigar.unclipped_start(100) == 97
+
+
+def test_unclipped_end_with_trailing_clip():
+    cigar = Cigar.parse("5M2S")
+    # alignment covers 100..104, plus 2 clipped bases -> 106.
+    assert cigar.unclipped_end(100) == 106
+
+
+def test_unclipped_end_no_clip():
+    cigar = Cigar.parse("5M")
+    assert cigar.unclipped_end(100) == 104
+
+
+def test_is_canonical():
+    assert Cigar.parse("3S5M2S").is_canonical()
+    assert not Cigar.parse("3M2S3M").is_canonical()
+    assert not Cigar.parse("3M4M").is_canonical()
+
+
+def test_encode_decode_roundtrip():
+    cigar = Cigar.parse("2S3M1I1M1D2M")
+    assert decode_elements(encode_elements(cigar)) == cigar
+
+
+def test_encode_rejects_huge_elements():
+    with pytest.raises(ValueError):
+        encode_elements(Cigar.from_pairs([(1 << 14, "M")]))
+
+
+def test_read_length_only_counts_read_consuming_ops():
+    assert Cigar.parse("10D").read_length() == 0
+    assert Cigar.parse("10I").read_length() == 10
+    assert Cigar.parse("10S").read_length() == 10
+
+
+def test_reference_length_only_counts_ref_consuming_ops():
+    assert Cigar.parse("10I").reference_length() == 0
+    assert Cigar.parse("10S").reference_length() == 0
+    assert Cigar.parse("10D").reference_length() == 10

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["simulate", "--fasta", "a", "--sam", "b"])
+    assert args.command == "simulate"
+    args = parser.parse_args([
+        "preprocess", "--fasta", "a", "--sam", "b", "--out", "c"
+    ])
+    assert args.command == "preprocess"
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_and_preprocess_and_call(tmp_path, capsys):
+    fasta = tmp_path / "ref.fa"
+    sam = tmp_path / "reads.sam"
+    tagged = tmp_path / "tagged.sam"
+    vcf = tmp_path / "calls.vcf"
+
+    assert main([
+        "simulate", "--fasta", str(fasta), "--sam", str(sam),
+        "--reads", "80", "--read-length", "50", "--seed", "3",
+        "--chromosomes", "21",
+    ]) == 0
+    assert fasta.exists() and sam.exists()
+
+    assert main([
+        "preprocess", "--fasta", str(fasta), "--sam", str(sam),
+        "--out", str(tagged), "--psize", "2000", "--overlap", "80",
+    ]) == 0
+    text = tagged.read_text()
+    assert "MD:Z:" in text and "NM:i:" in text
+
+    assert main([
+        "call", "--fasta", str(fasta), "--sam", str(tagged),
+        "--out", str(vcf),
+    ]) == 0
+    assert vcf.read_text().startswith("##fileformat=VCF")
+
+
+def test_simulate_writes_fastq(tmp_path):
+    fasta = tmp_path / "r.fa"
+    sam = tmp_path / "r.sam"
+    fastq = tmp_path / "r.fq"
+    main([
+        "simulate", "--fasta", str(fasta), "--sam", str(sam),
+        "--fastq", str(fastq), "--reads", "20", "--read-length", "40",
+        "--chromosomes", "21",
+    ])
+    lines = fastq.read_text().splitlines()
+    assert len(lines) % 4 == 0 and lines[0].startswith("@")
+
+
+def test_reproduce_prints_speedups(capsys):
+    assert main(["reproduce", "--reads", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "markdup" in out and "metadata" in out and "bqsr_table" in out

@@ -1,0 +1,62 @@
+"""Tests for the AWS cost model (Tables II and III)."""
+
+import pytest
+
+from repro.perf.cost import (
+    F1_2XLARGE,
+    R5_4XLARGE,
+    MachineRate,
+    cost_reduction,
+    performance_per_dollar,
+    table3_row,
+)
+
+
+def test_table2_prices():
+    assert F1_2XLARGE.per_hour == pytest.approx(1.65)
+    assert R5_4XLARGE.compute_per_hour == pytest.approx(1.01)
+    assert R5_4XLARGE.storage_per_hour == pytest.approx(0.28)
+    assert R5_4XLARGE.per_hour == pytest.approx(1.29)
+
+
+def test_cost_of_run():
+    assert F1_2XLARGE.cost_of(3600) == pytest.approx(1.65)
+    assert R5_4XLARGE.cost_of(1800) == pytest.approx(0.645)
+
+
+def test_metadata_row_matches_table3():
+    """Table III: metadata update at 19.25x -> 15.05x cost, 289.59x perf/$."""
+    row = table3_row(19.25)
+    assert row["cost_reduction"] == pytest.approx(15.05, rel=0.01)
+    assert row["performance_per_dollar"] == pytest.approx(289.59, rel=0.02)
+
+
+def test_bqsr_row_matches_table3():
+    row = table3_row(12.59)
+    assert row["cost_reduction"] == pytest.approx(9.84, rel=0.01)
+    assert row["performance_per_dollar"] == pytest.approx(123.92, rel=0.02)
+
+
+def test_perf_per_dollar_is_speedup_times_cost_reduction():
+    row = table3_row(10.0)
+    assert row["performance_per_dollar"] == pytest.approx(
+        row["speedup"] * row["cost_reduction"]
+    )
+
+
+def test_cost_reduction_monotonic_in_speedup():
+    assert cost_reduction(20) > cost_reduction(10)
+
+
+def test_invalid_speedup():
+    with pytest.raises(ValueError):
+        cost_reduction(0)
+
+
+def test_custom_machine_rates():
+    cheap = MachineRate("cheap", 0.5)
+    pricey = MachineRate("pricey", 5.0)
+    assert cost_reduction(10, baseline=pricey, accelerated=cheap) == pytest.approx(100)
+    assert performance_per_dollar(10, baseline=pricey, accelerated=cheap) == (
+        pytest.approx(1000)
+    )

@@ -1,0 +1,69 @@
+"""Tests for the calibrated software timing model (Figure 9)."""
+
+import pytest
+
+from repro.perf.cpu_model import (
+    FIG9_FRACTIONS,
+    PAPER_READS,
+    SECONDS_PER_READ,
+    THREE_STAGE_SECONDS,
+    CpuModel,
+)
+
+
+def test_three_stage_total_matches_paper():
+    """The three accelerated stages sum to ~3.5 hours at paper scale
+    (Section V-B)."""
+    model = CpuModel()
+    total = sum(
+        model.stage_seconds(stage, PAPER_READS)
+        for stage in ("markdup", "metadata", "bqsr_table", "bqsr_update")
+    )
+    assert total == pytest.approx(THREE_STAGE_SECONDS, rel=1e-9)
+
+
+def test_fractions_reproduce_figure9_first_bar():
+    model = CpuModel()
+    breakdown = model.preprocessing_breakdown(PAPER_READS)
+    fractions = model.fractions(breakdown)
+    for stage, target in FIG9_FRACTIONS.items():
+        assert fractions[stage] == pytest.approx(target, abs=0.02), stage
+
+
+def test_alignment_accelerator_shrinks_alignment():
+    """With a GenAx-class aligner, alignment falls to ~0.7% and the three
+    stages dominate (~93%, Section IV-A)."""
+    model = CpuModel()
+    fractions = model.fractions(
+        model.preprocessing_breakdown(PAPER_READS, alignment_accelerated=True)
+    )
+    assert fractions["alignment"] < 0.03
+    three = fractions["markdup"] + fractions["metadata"] + \
+        fractions["bqsr_table"] + fractions["bqsr_update"]
+    assert three > 0.9
+
+
+def test_scaling_linear_in_reads():
+    model = CpuModel()
+    assert model.stage_seconds("markdup", 2000) == pytest.approx(
+        2 * model.stage_seconds("markdup", 1000)
+    )
+
+
+def test_scaling_with_cores():
+    fast = CpuModel(cores=16)
+    slow = CpuModel(cores=8)
+    assert fast.stage_seconds("metadata", 1e6) == pytest.approx(
+        slow.stage_seconds("metadata", 1e6) / 2
+    )
+
+
+def test_unknown_stage():
+    with pytest.raises(KeyError):
+        CpuModel().stage_seconds("variant_calling", 1)
+
+
+def test_per_read_costs_plausible():
+    # Single-digit microseconds per read on 8 cores.
+    for stage in ("markdup", "metadata", "bqsr_table", "bqsr_update"):
+        assert 1e-7 < SECONDS_PER_READ[stage] < 1e-4

@@ -1,0 +1,101 @@
+"""Tests for the per-figure experiment drivers."""
+
+import pytest
+
+from repro.eval.experiments import (
+    PAPER_TARGETS,
+    figure1_sequencing_cost,
+    figure8_scaling,
+    figure9_breakdown,
+    figure13_per_chromosome,
+    measure_cycles_per_base,
+    table3,
+    table4_estimates,
+)
+from repro.eval.workloads import make_workload
+from repro.hw.resources import VU9P_BRAM_BYTES, VU9P_LUTS, VU9P_REGISTERS
+from repro.perf.timing import model_stage
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return make_workload(
+        n_reads=60, read_length=50, chromosomes=(21,), genome_scale=1e-6,
+        psize=2000, seed=5,
+    )
+
+
+def test_figure1_cost_monotonically_falls():
+    data = figure1_sequencing_cost()
+    years = [year for year, _ in data]
+    costs = [cost for _, cost in data]
+    assert years == sorted(years)
+    assert costs[0] > 9e7 and costs[-1] < 1100  # $100M -> ~$1000 (Figure 1)
+    # The fall is five orders of magnitude.
+    assert costs[0] / costs[-1] > 1e4
+
+
+def test_figure9_driver_shapes():
+    result = figure9_breakdown()
+    assert set(result) == {"gatk4", "gatk4_with_alignment_accel", "seconds"}
+    assert result["gatk4"]["alignment"] > 0.6
+    assert result["gatk4_with_alignment_accel"]["alignment"] < 0.03
+
+
+def test_measured_cpb_close_to_one(tiny_workload):
+    for stage in ("markdup", "metadata", "bqsr_table"):
+        measurement = measure_cycles_per_base(stage, tiny_workload)
+        assert 0.9 < measurement.cycles_per_base < 2.5, stage
+
+
+def test_measure_unknown_stage(tiny_workload):
+    with pytest.raises(KeyError):
+        measure_cycles_per_base("alignment", tiny_workload)
+
+
+def test_per_chromosome_speedups(tiny_workload):
+    speedups = figure13_per_chromosome(tiny_workload, "metadata")
+    assert set(speedups) == {21}
+    assert speedups[21] > 5
+
+
+def test_table3_derivation():
+    timings = {
+        stage: model_stage(stage, 700e6, 151)
+        for stage in ("markdup", "metadata", "bqsr_table")
+    }
+    rows = table3(timings)
+    target = PAPER_TARGETS["cost_reduction"]
+    assert rows["metadata"]["cost_reduction"] == pytest.approx(
+        target["metadata"], rel=0.2
+    )
+    assert rows["bqsr_table"]["cost_reduction"] == pytest.approx(
+        target["bqsr_table"], rel=0.2
+    )
+
+
+def test_table4_fits_on_vu9p_and_orders_like_paper():
+    estimates = table4_estimates()
+    for name, vector in estimates.items():
+        assert vector.luts < VU9P_LUTS, name
+        assert vector.registers < VU9P_REGISTERS, name
+        assert vector.bram_bytes < VU9P_BRAM_BYTES, name
+    # Paper ordering: BQSR most LUTs, metadata most BRAM, markdup smallest.
+    assert estimates["bqsr_table"].luts > estimates["metadata"].luts
+    assert estimates["metadata"].luts > estimates["markdup"].luts
+    assert estimates["metadata"].bram_bytes > estimates["bqsr_table"].bram_bytes
+    assert estimates["metadata"].bram_bytes > estimates["markdup"].bram_bytes
+
+
+def test_table4_within_2x_of_paper():
+    estimates = table4_estimates()
+    for name, (luts, _regs, bram_mb) in PAPER_TARGETS["resources"].items():
+        model = estimates[name]
+        assert 0.5 < model.luts / luts < 2.0, name
+        assert 0.5 < (model.bram_bytes / 1048576) / bram_mb < 2.0, name
+
+
+def test_figure8_throughput_scales_then_saturates():
+    throughput = figure8_scaling(pipeline_counts=(1, 2, 4))
+    assert throughput[2] > 1.5 * throughput[1]
+    assert throughput[4] > throughput[2]

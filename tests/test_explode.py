@@ -1,0 +1,73 @@
+"""Unit tests for the ReadExplode/PosExplode reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.cigar import Cigar, encode_elements
+from repro.genomics.sequences import encode_sequence
+from repro.sql.explode import DEL_CODE, INS_POS, read_explode
+
+
+def explode(pos, cigar_text, seq_text, qual=None):
+    cigar = Cigar.parse(cigar_text)
+    return read_explode(
+        pos, encode_elements(cigar), encode_sequence(seq_text), qual
+    )
+
+
+def test_paper_figure3_example():
+    """Figure 3: POS=104, CIGAR=2S3M1I1M1D2M, SEQ=AGGTAAACA."""
+    qual = [ord(c) - 33 for c in "##9>>AAB?"]
+    out = explode(104, "2S3M1I1M1D2M", "AGGTAAACA", qual)
+    assert out.num_rows == 8
+    positions = out.column("POS").tolist()
+    assert positions == [104, 105, 106, INS_POS, 107, 108, 109, 110]
+    bases = out.column("SEQ").tolist()
+    # clipped AG dropped; emitted: G T A | A(ins) | A | Del | C A
+    assert bases[:3] == encode_sequence("GTA").tolist()
+    assert bases[3] == encode_sequence("A")[0]
+    assert bases[5] == DEL_CODE
+    quals = out.column("QUAL").tolist()
+    assert quals[5] == DEL_CODE
+    # First emitted base's quality is the third character ('9').
+    assert quals[0] == ord("9") - 33
+
+
+def test_soft_clips_dropped():
+    out = explode(10, "2S3M2S", "AAGGGTT")
+    assert out.num_rows == 3
+    assert out.column("POS").tolist() == [10, 11, 12]
+
+
+def test_all_match():
+    out = explode(0, "4M", "ACGT")
+    assert out.column("POS").tolist() == [0, 1, 2, 3]
+    assert out.column("SEQ").tolist() == encode_sequence("ACGT").tolist()
+
+
+def test_insertion_sentinel_never_joins():
+    out = explode(0, "1M2I1M", "ACGT")
+    positions = out.column("POS").tolist()
+    assert positions == [0, INS_POS, INS_POS, 1]
+    # The sentinel is the uint32 maximum, unreachable by genome positions.
+    assert INS_POS == np.iinfo(np.uint32).max
+
+
+def test_deletion_emits_ref_position():
+    out = explode(5, "1M2D1M", "AC")
+    assert out.column("POS").tolist() == [5, 6, 7, 8]
+    assert out.column("SEQ").tolist()[1] == DEL_CODE
+    assert out.column("SEQ").tolist()[2] == DEL_CODE
+
+
+def test_without_qual_column():
+    out = explode(0, "3M", "ACG")
+    assert "QUAL" not in out.schema
+
+
+def test_row_count_invariant():
+    """Output rows == M + I + D bases."""
+    cigar = Cigar.parse("2S5M1I3M2D4M1S")
+    out = explode(0, str(cigar), "A" * cigar.read_length())
+    expected = sum(e.length for e in cigar if e.op in "MID")
+    assert out.num_rows == expected

@@ -1,0 +1,157 @@
+"""Tests for the FM-index substrate: suffix array, BWT, search, locate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex import (
+    FmIndex,
+    SaInterval,
+    TERMINATOR,
+    bwt_from_suffix_array,
+    inverse_bwt,
+    prepare_text,
+    suffix_array,
+)
+from repro.genomics.sequences import encode_sequence, random_sequence
+
+
+def naive_suffix_array(text):
+    n = len(text)
+    keys = [tuple(-1 if int(v) == TERMINATOR else int(v) for v in text[i:])
+            for i in range(n)]
+    return np.array(sorted(range(n), key=lambda i: keys[i]), dtype=np.int64)
+
+
+def test_suffix_array_small():
+    text = prepare_text(encode_sequence("BANANA".replace("B", "G").replace("N", "A")))
+    # GAAAAA$ is degenerate; use a real sequence instead:
+    text = prepare_text(encode_sequence("ACGTACGA"))
+    assert suffix_array(text).tolist() == naive_suffix_array(text).tolist()
+
+
+def test_suffix_array_matches_naive_random():
+    rng = np.random.default_rng(51)
+    for _ in range(10):
+        text = prepare_text(random_sequence(int(rng.integers(1, 200)), rng))
+        assert suffix_array(text).tolist() == naive_suffix_array(text).tolist()
+
+
+def test_prepare_text_rejects_terminator():
+    with pytest.raises(ValueError):
+        prepare_text(np.array([0, TERMINATOR], dtype=np.uint8))
+
+
+def test_suffix_array_requires_terminator():
+    with pytest.raises(ValueError):
+        suffix_array(np.array([0, 1, 2], dtype=np.uint8))
+
+
+def test_bwt_inverse_roundtrip():
+    rng = np.random.default_rng(52)
+    for _ in range(5):
+        text = prepare_text(random_sequence(int(rng.integers(2, 300)), rng))
+        sa = suffix_array(text)
+        bwt = bwt_from_suffix_array(text, sa)
+        assert np.array_equal(inverse_bwt(bwt), text)
+
+
+@pytest.fixture(scope="module")
+def index_and_ref():
+    rng = np.random.default_rng(53)
+    ref = random_sequence(1500, rng)
+    return FmIndex(ref), ref
+
+
+def naive_count(ref, pattern):
+    pattern = list(int(c) for c in pattern)
+    n, m = len(ref), len(pattern)
+    return sum(
+        1 for i in range(n - m + 1)
+        if list(int(c) for c in ref[i:i + m]) == pattern
+    )
+
+
+def test_count_matches_naive(index_and_ref):
+    index, ref = index_and_ref
+    rng = np.random.default_rng(54)
+    for _ in range(15):
+        start = int(rng.integers(0, len(ref) - 12))
+        length = int(rng.integers(1, 12))
+        pattern = ref[start:start + length]
+        assert index.count(pattern) == naive_count(ref, pattern)
+
+
+def test_count_absent_pattern(index_and_ref):
+    index, ref = index_and_ref
+    # A 40-mer not present (random 40-mers almost surely absent; verify).
+    rng = np.random.default_rng(55)
+    pattern = random_sequence(40, rng)
+    assert index.count(pattern) == naive_count(ref, pattern)
+
+
+def test_find_returns_exact_positions(index_and_ref):
+    index, ref = index_and_ref
+    pattern = ref[700:725]
+    positions = index.find(pattern)
+    assert 700 in positions
+    for position in positions:
+        assert np.array_equal(ref[position:position + 25], pattern)
+
+
+def test_locate_limit(index_and_ref):
+    index, _ref = index_and_ref
+    interval = index.backward_search(np.array([0], dtype=np.uint8))  # all As
+    limited = index.locate(interval, limit=5)
+    assert len(limited) == 5
+
+
+def test_occ_consistency(index_and_ref):
+    index, _ref = index_and_ref
+    # Occ is a non-decreasing step function reaching the total count.
+    for c in range(4):
+        total = index.occ(c, index.length)
+        assert total == int(np.count_nonzero(index.bwt == c))
+        previous = 0
+        for i in range(0, index.length + 1, 97):
+            value = index.occ(c, i)
+            assert value >= previous
+            previous = value
+
+
+def test_occ_validation(index_and_ref):
+    index, _ref = index_and_ref
+    with pytest.raises(ValueError):
+        index.occ(9, 0)
+    with pytest.raises(IndexError):
+        index.occ(0, index.length + 1)
+
+
+def test_interval_properties():
+    assert SaInterval(3, 7).width == 4
+    assert SaInterval(5, 5).is_empty
+    assert SaInterval(7, 3).width == 0
+
+
+def test_sampling_rates_validation():
+    with pytest.raises(ValueError):
+        FmIndex(np.array([0, 1], dtype=np.uint8), occ_sample=0)
+
+
+@given(st.integers(0, 2**16), st.integers(1, 60), st.integers(1, 8))
+@settings(max_examples=25, deadline=None)
+def test_backward_search_property(seed, text_len, pat_len):
+    rng = np.random.default_rng(seed)
+    ref = random_sequence(text_len, rng)
+    index = FmIndex(ref, occ_sample=4, sa_sample=3)
+    pattern = random_sequence(min(pat_len, text_len), rng)
+    expected = naive_count(ref, pattern)
+    assert index.count(pattern) == expected
+    if expected:
+        positions = index.find(pattern)
+        assert len(positions) == expected
+        for position in positions:
+            assert np.array_equal(
+                ref[position:position + len(pattern)], pattern
+            )

@@ -1,0 +1,165 @@
+"""Unit tests for the BQSR software baseline (Section IV-D)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gatk.bqsr import (
+    MAX_QUALITY,
+    N_CONTEXTS,
+    CovariateTables,
+    apply_recalibration,
+    build_covariate_tables,
+    context_of,
+    cycle_of,
+    empirical_quality,
+    fit_recalibration_model,
+    n_cycle_values,
+    run_bqsr,
+)
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import FLAG_REVERSE, AlignedRead
+from repro.genomics.reference import Chromosome, ReferenceGenome
+from repro.genomics.sequences import encode_sequence
+
+
+def make_genome(ref_text, snp_positions=()):
+    seq = encode_sequence(ref_text)
+    snp = np.zeros(len(seq), dtype=bool)
+    for position in snp_positions:
+        snp[position] = True
+    return ReferenceGenome([Chromosome(1, seq, snp)])
+
+
+def make_read(pos, cigar_text, seq_text, qual=30, flags=0, read_group=0):
+    cigar = Cigar.parse(cigar_text)
+    seq = encode_sequence(seq_text)
+    return AlignedRead(
+        name="r", chrom=1, pos=pos, cigar=cigar, seq=seq,
+        qual=np.full(len(seq), qual, dtype=np.uint8),
+        flags=flags, read_group=read_group,
+    )
+
+
+def test_n_cycle_values_matches_paper():
+    # "the # of cycle values is 302" for 151 bp reads (footnote 3).
+    assert n_cycle_values(151) == 302
+
+
+def test_cycle_forward_and_reverse():
+    fwd = make_read(0, "4M", "ACGT")
+    rev = make_read(0, "4M", "ACGT", flags=FLAG_REVERSE)
+    assert cycle_of(fwd, 1, 4) == 1
+    assert cycle_of(rev, 1, 4) == 4 + (4 - 1 - 1)
+
+
+def test_context_of():
+    read = make_read(0, "4M", "ACGT")
+    assert context_of(read, 0) == -1
+    assert context_of(read, 1) == 0 * 4 + 1  # AC
+    assert context_of(read, 3) == 2 * 4 + 3  # GT
+
+
+def test_counts_observations_and_errors():
+    genome = make_genome("AAAA")
+    read = make_read(0, "4M", "AACA")  # one mismatch at offset 2
+    tables = build_covariate_tables([read], genome, read_length=4)
+    table = tables[0]
+    assert table.observations() == 4
+    assert table.errors() == 1
+
+
+def test_snp_sites_fully_excluded():
+    """Figure 12: the !IS_SNP filter precedes ALL counters."""
+    genome = make_genome("AAAA", snp_positions=[2])
+    read = make_read(0, "4M", "AACA")  # the mismatch is AT the SNP site
+    table = build_covariate_tables([read], genome, read_length=4)[0]
+    assert table.observations() == 3  # SNP site not even observed
+    assert table.errors() == 0
+
+
+def test_indels_not_binned():
+    genome = make_genome("AAAAAA")
+    read = make_read(0, "2M1I2M", "AAGAA")
+    table = build_covariate_tables([read], genome, read_length=5)[0]
+    assert table.observations() == 4  # only M bases
+
+
+def test_reads_split_by_read_group():
+    genome = make_genome("AAAA")
+    reads = [
+        make_read(0, "4M", "AAAA", read_group=0),
+        make_read(0, "4M", "AAAA", read_group=2),
+    ]
+    tables = build_covariate_tables(reads, genome, read_length=4)
+    assert set(tables) == {0, 2}
+
+
+def test_bin_layout_matches_paper_formulas():
+    table = CovariateTables(read_length=10)
+    assert table.bin_cycle(30, 7) == 30 * 20 + 7
+    assert table.bin_context(30, 5) == 30 * 16 + 5
+
+
+def test_context_table_skips_first_base():
+    genome = make_genome("AAAA")
+    read = make_read(0, "4M", "AAAA")
+    table = build_covariate_tables([read], genome, read_length=4)[0]
+    assert int(table.total_cycle.sum()) == 4
+    assert int(table.total_context.sum()) == 3
+
+
+def test_merge_accumulates():
+    a = CovariateTables(read_length=4)
+    b = CovariateTables(read_length=4)
+    a.total_cycle[0] = 2
+    b.total_cycle[0] = 3
+    a.merge(b)
+    assert a.total_cycle[0] == 5
+    with pytest.raises(ValueError):
+        a.merge(CovariateTables(read_length=5))
+
+
+def test_empirical_quality_smoothing():
+    # No errors over many observations -> high quality, finite.
+    assert empirical_quality(0, 10_000) > 35
+    # Empty bin -> the prior: -10*log10(1/2) ~ 3.
+    assert math.isclose(empirical_quality(0, 0), 3.0103, abs_tol=0.01)
+
+
+def test_recalibration_corrects_overconfident_scores():
+    """Reads reporting Q30 (1/1000 errors) but actually erring at 1% must
+    be recalibrated downward."""
+    rng = np.random.default_rng(5)
+    genome = make_genome("A" * 2000)
+    reads = []
+    for start in range(0, 1900, 20):
+        seq = np.zeros(20, dtype=np.uint8)
+        errors = rng.random(20) < 0.01
+        seq[errors] = 1
+        reads.append(AlignedRead(
+            name="r", chrom=1, pos=start, cigar=Cigar.parse("20M"),
+            seq=seq, qual=np.full(20, 30, dtype=np.uint8),
+        ))
+    tables, changed = run_bqsr(reads, genome, read_length=20)
+    assert changed > 0
+    # First bases carry no context covariate, so their recalibrated score
+    # reflects the global + cycle evidence: an empirical ~1% error rate
+    # (Q20-ish), far below the reported Q30.
+    first_base_quality = np.mean([read.qual[0] for read in reads])
+    assert 12 < first_base_quality < 25
+    # Overall the mass of scores moves off the reported value.
+    assert np.mean([read.qual.mean() for read in reads]) < 30
+
+
+def test_recalibration_of_empty_tables_is_identity():
+    model = fit_recalibration_model(CovariateTables(read_length=4))
+    assert model.recalibrate(30, 0, 0) == 30
+
+
+def test_apply_recalibration_skips_unknown_groups():
+    genome = make_genome("AAAA")
+    read = make_read(0, "4M", "AAAA", read_group=9)
+    changed = apply_recalibration([read], models={})
+    assert changed == 0

@@ -1,0 +1,117 @@
+"""Unit tests for the metadata-update software baseline (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.gatk.metadata import (
+    MdBuilder,
+    compute_read_metadata,
+    compute_read_metadata_fragment,
+    recover_reference,
+    update_metadata,
+)
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import AlignedRead
+from repro.genomics.reference import Chromosome, ReferenceGenome
+from repro.genomics.sequences import decode_sequence, encode_sequence
+
+
+def make_genome(ref_text):
+    seq = encode_sequence(ref_text)
+    return ReferenceGenome([
+        Chromosome(1, seq, np.zeros(len(seq), dtype=bool))
+    ])
+
+
+def make_read(pos, cigar_text, seq_text, qual=None):
+    cigar = Cigar.parse(cigar_text)
+    seq = encode_sequence(seq_text)
+    if qual is None:
+        qual = np.full(len(seq), 30, dtype=np.uint8)
+    return AlignedRead(name="r", chrom=1, pos=pos, cigar=cigar, seq=seq, qual=qual)
+
+
+def test_paper_figure2_read1():
+    """Reference ACGTAAC CAGTA, Read 1 = AGGTAACACGGTA aligned at 0 with
+    7M1I5M: mismatch at offsets 1 and 8 -> NM=3 (incl. insertion),
+    MD=1C6A3."""
+    genome = make_genome("ACGTAACCAGTA")
+    read = make_read(0, "7M1I5M", "AGGTAACACGGTA")
+    meta = compute_read_metadata(read, genome)
+    assert meta.md == "1C6A3"
+    assert meta.nm == 3  # two mismatches + one inserted base
+    assert meta.uq == 60  # two mismatching bases at quality 30
+
+
+def test_perfect_match():
+    genome = make_genome("ACGTACGT")
+    read = make_read(0, "8M", "ACGTACGT")
+    meta = compute_read_metadata(read, genome)
+    assert meta.nm == 0
+    assert meta.md == "8"
+    assert meta.uq == 0
+
+
+def test_deletion_in_md_and_nm():
+    genome = make_genome("ACGTACGT")
+    read = make_read(0, "3M2D3M", "ACGCGT")
+    meta = compute_read_metadata(read, genome)
+    assert meta.md == "3^TA3"
+    assert meta.nm == 2
+
+
+def test_soft_clips_ignored():
+    genome = make_genome("ACGTACGT")
+    read = make_read(2, "2S4M", "TTGTAC")
+    meta = compute_read_metadata(read, genome)
+    assert meta.nm == 0
+    assert meta.md == "4"
+
+
+def test_uq_counts_only_aligned_mismatches():
+    genome = make_genome("AAAAAAAA")
+    qual = np.array([11, 13, 17, 19], dtype=np.uint8)
+    # C at offsets 1,2 mismatch; the insertion's quality must NOT count.
+    read = make_read(0, "2M1I1M", "ACCA", qual)
+    meta = compute_read_metadata(read, genome)
+    assert meta.nm == 2  # one mismatch + one insertion
+    assert meta.uq == 13  # only the mismatching M base
+
+
+def test_fragment_variant_matches_whole_genome():
+    genome = make_genome("ACGTACGTACGTACGT")
+    read = make_read(4, "6M", "ACGTAC")
+    whole = compute_read_metadata(read, genome)
+    fragment = genome.fetch(1, 2, 14)
+    from_fragment = compute_read_metadata_fragment(read, fragment, 2)
+    assert whole == from_fragment
+
+
+def test_update_metadata_attaches_tags(small_reads, small_genome):
+    metadata = update_metadata(small_reads, small_genome)
+    assert len(metadata) == len(small_reads)
+    for read, meta in zip(small_reads, metadata):
+        assert read.tags["NM"] == meta.nm
+        assert read.tags["MD"] == meta.md
+        assert read.tags["UQ"] == meta.uq
+
+
+def test_md_recovers_reference(small_reads, small_genome):
+    """The defining MD property: read + MD reconstructs the aligned
+    reference bases (Section IV-C)."""
+    update_metadata(small_reads, small_genome)
+    for read in small_reads:
+        recovered = recover_reference(read, read.tags["MD"])
+        expected = "".join(
+            decode_sequence([small_genome[read.chrom].seq[p]])
+            for op, p, _ in read.cigar.walk(read.pos)
+            if op in ("M", "D")
+        )
+        assert recovered == expected
+
+
+def test_mdbuilder_zero_runs():
+    builder = MdBuilder()
+    builder.mismatch(1)
+    builder.mismatch(2)
+    assert builder.finish() == "0C0G0"

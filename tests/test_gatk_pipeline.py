@@ -1,0 +1,33 @@
+"""Tests for the end-to-end preprocessing pipeline driver."""
+
+from repro.gatk.pipeline import run_preprocessing
+
+
+def test_full_preprocessing(small_reads, small_genome):
+    result = run_preprocessing(small_reads, small_genome, read_length=50)
+    assert len(result.reads) == len(small_reads)
+    assert len(result.metadata) == len(small_reads)
+    # Reads come out coordinate-sorted.
+    keys = [(r.chrom, r.pos) for r in result.reads]
+    assert keys == sorted(keys)
+    # Tags attached.
+    assert all("MD" in r.tags for r in result.reads)
+
+
+def test_duplicates_excluded_from_bqsr(small_reads, small_genome):
+    result = run_preprocessing(small_reads, small_genome, read_length=50)
+    non_duplicates = [r for r in result.reads if not r.is_duplicate]
+    observations = sum(
+        t.observations() for t in result.covariate_tables.values()
+    )
+    # Only non-duplicate M bases at non-SNP sites are observed.
+    upper_bound = sum(
+        sum(e.length for e in r.cigar if e.op == "M") for r in non_duplicates
+    )
+    assert 0 < observations <= upper_bound
+
+
+def test_recalibration_happened(small_reads, small_genome):
+    result = run_preprocessing(small_reads, small_genome, read_length=50)
+    assert result.recalibrated_bases >= 0
+    assert result.markdup.num_duplicates > 0  # the simulator injects dups

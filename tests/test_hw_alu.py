@@ -1,0 +1,94 @@
+"""Unit tests for the Stream ALU and Fork modules."""
+
+import pytest
+
+from repro.hw.flit import Flit, item_flits
+from repro.hw.modules import Fork, StreamAlu
+
+from hw_harness import drive, values
+
+
+def test_unary_op():
+    alu = StreamAlu("a", op="NEG", field="value")
+    out, _ = drive(alu, {"in": item_flits([1, -2, 3])})
+    assert values(out["out"]) == [-1, 2, -3]
+
+
+def test_binary_with_constant():
+    alu = StreamAlu("a", op="ADD", field="value", constant=10)
+    out, _ = drive(alu, {"in": item_flits([1, 2])})
+    assert values(out["out"]) == [11, 12]
+
+
+def test_binary_with_other_field():
+    alu = StreamAlu("a", op="SUB", field="x", other_field="y", out_field="d")
+    flits = [Flit({"x": 9, "y": 4}, last=True)]
+    out, _ = drive(alu, {"in": flits})
+    assert values(out["out"], "d") == [5]
+
+
+def test_cmp_against_constant():
+    alu = StreamAlu("a", op="CMP", field="value", constant=3, out_field="eq")
+    out, _ = drive(alu, {"in": item_flits([3, 4, 3])})
+    assert values(out["out"], "eq") == [1, 0, 1]
+
+
+def test_two_stream_mode():
+    alu = StreamAlu("a", op="ADD", field="value", two_streams=True)
+    out, _ = drive(alu, {"a": item_flits([1, 2]), "b": item_flits([10, 20])})
+    assert values(out["out"]) == [11, 22]
+
+
+def test_masked_alu_passes_unmasked_through():
+    alu = StreamAlu("a", op="NEG", field="value", mask_field="m")
+    flits = [Flit({"value": 5, "m": 1}), Flit({"value": 7, "m": 0}, last=True)]
+    out, _ = drive(alu, {"in": flits})
+    assert values(out["out"]) == [-5, 7]
+
+
+def test_preserves_other_fields_and_last():
+    alu = StreamAlu("a", op="ADD", field="value", constant=1)
+    flits = [Flit({"value": 1, "tag": "t"}, last=True)]
+    out, _ = drive(alu, {"in": flits})
+    assert out["out"][0]["tag"] == "t"
+    assert out["out"][0].last
+
+
+def test_boundary_flits_pass_through():
+    alu = StreamAlu("a", op="ADD", field="value", constant=1)
+    out, _ = drive(alu, {"in": [Flit({}, last=True)]})
+    assert out["out"][0].last and not out["out"][0].fields
+
+
+def test_invalid_op():
+    with pytest.raises(ValueError):
+        StreamAlu("a", op="FMA", field="value", constant=1)
+
+
+def test_binary_needs_one_operand_source():
+    with pytest.raises(ValueError):
+        StreamAlu("a", op="ADD", field="value")
+    with pytest.raises(ValueError):
+        StreamAlu("a", op="ADD", field="value", constant=1, other_field="b")
+
+
+def test_fork_replicates_to_all_ports():
+    fork = Fork("f", ports=3)
+    flits = item_flits([1, 2, 3])
+    out, _ = drive(fork, {"in": flits}, out_ports=("out0", "out1", "out2"))
+    for port in ("out0", "out1", "out2"):
+        assert values(out[port]) == [1, 2, 3]
+        assert out[port][-1].last
+
+
+def test_fork_copies_are_independent():
+    fork = Fork("f", ports=2)
+    flits = [Flit({"v": 1}, last=True)]
+    out, _ = drive(fork, {"in": flits}, out_ports=("out0", "out1"))
+    out["out0"][0].fields["v"] = 99
+    assert out["out1"][0]["v"] == 1
+
+
+def test_fork_port_validation():
+    with pytest.raises(ValueError):
+        Fork("f", ports=1)

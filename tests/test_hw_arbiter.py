@@ -1,0 +1,58 @@
+"""Unit tests for the round-robin arbitration fabric (Figure 8)."""
+
+import pytest
+
+from repro.hw.arbiter import RoundRobinArbiter, TwoLevelArbiter
+
+
+def test_single_requester():
+    arb = RoundRobinArbiter("a", 3)
+    assert arb.grant([False, True, False]) == 1
+
+
+def test_rotating_priority():
+    arb = RoundRobinArbiter("a", 3)
+    grants = [arb.grant([True, True, True]) for _ in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_no_requesters():
+    arb = RoundRobinArbiter("a", 2)
+    assert arb.grant([False, False]) is None
+
+
+def test_fairness_under_contention():
+    arb = RoundRobinArbiter("a", 4)
+    counts = [0] * 4
+    for _ in range(400):
+        winner = arb.grant([True] * 4)
+        counts[winner] += 1
+    assert all(c == 100 for c in counts)
+
+
+def test_request_line_mismatch():
+    arb = RoundRobinArbiter("a", 2)
+    with pytest.raises(ValueError):
+        arb.grant([True])
+
+
+def test_requester_count_validation():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter("a", 0)
+
+
+def test_two_level_structure():
+    fabric = TwoLevelArbiter("f", [2, 3])
+    group, member = fabric.grant([[True, False], [False, False, False]])
+    assert (group, member) == (0, 0)
+
+
+def test_two_level_none_when_idle():
+    fabric = TwoLevelArbiter("f", [1, 1])
+    assert fabric.grant([[False], [False]]) is None
+
+
+def test_two_level_alternates_groups():
+    fabric = TwoLevelArbiter("f", [1, 1])
+    winners = [fabric.grant([[True], [True]])[0] for _ in range(4)]
+    assert winners == [0, 1, 0, 1]

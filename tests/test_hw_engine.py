@@ -1,0 +1,155 @@
+"""Unit tests for the simulation engine, pipelines, and resources."""
+
+import pytest
+
+from repro.hw.engine import Engine
+from repro.hw.flit import Flit, item_flits
+from repro.hw.modules import MemoryWriter, Reducer
+from repro.hw.pipeline import Pipeline, replicate
+from repro.hw.resources import (
+    SHELL_COST,
+    VU9P_LUTS,
+    ResourceVector,
+    estimate_accelerator,
+    estimate_pipeline,
+)
+
+from hw_harness import ListSink, ListSource
+
+
+def test_flits_advance_one_hop_per_cycle():
+    """A flit traverses a 3-module chain in ~3 cycles, not 1 (registered
+    queue semantics)."""
+    engine = Engine()
+    source = engine.add_module(ListSource("src", [Flit({"value": 1}, last=True)]))
+    middle = engine.add_module(Reducer("mid", op="sum"))
+    sink = engine.add_module(ListSink("sink"))
+    engine.connect(source, middle)
+    engine.connect(middle, sink)
+    engine.step()  # source pushes
+    assert not sink.collected
+    engine.step()  # reducer consumes + emits
+    assert not sink.collected
+    engine.step()  # sink consumes
+    assert len(sink.collected) == 1
+
+
+def test_run_reaches_quiescence():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits([1, 2, 3])))
+    sink = engine.add_module(ListSink("sink"))
+    engine.connect(source, sink)
+    stats = engine.run()
+    assert len(sink.collected) == 3
+    assert stats.cycles < 20
+
+
+def test_run_detects_deadlock():
+    engine = Engine()
+
+    class Stuck(ListSource):
+        def is_idle(self):
+            return False
+
+        def tick(self, cycle):
+            pass
+
+    engine.add_module(Stuck("stuck", []))
+    with pytest.raises(RuntimeError):
+        engine.run(max_cycles=100)
+
+
+def test_stats_collection():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits([1, 2])))
+    sink = engine.add_module(ListSink("sink"))
+    engine.connect(source, sink)
+    stats = engine.run()
+    assert stats.flits_by_module["src"] == 2
+    assert stats.throughput(2) > 0
+
+
+def test_back_pressure_stalls_producer():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits(list(range(50)))))
+
+    class SlowSink(ListSink):
+        def tick(self, cycle):
+            if cycle % 4 == 0:  # consumes once every 4 cycles
+                super().tick(cycle)
+
+    sink = engine.add_module(SlowSink("sink"))
+    engine.connect(source, sink, capacity=2)
+    stats = engine.run()
+    assert len(sink.collected) == 50
+    assert source.stall_cycles > 0
+    assert stats.cycles > 150
+
+
+def test_pipeline_census():
+    engine = Engine()
+    pipe = Pipeline("p", engine)
+    pipe.add(Reducer("r1", op="sum"))
+    pipe.add(Reducer("r2", op="sum"))
+    pipe.add(MemoryWriter("w", engine.memory))
+    assert pipe.module_census() == {"Reducer": 2, "MemoryWriter": 1}
+
+
+def test_pipeline_duplicate_module_rejected():
+    engine = Engine()
+    pipe = Pipeline("p", engine)
+    pipe.add(Reducer("r", op="sum"))
+    with pytest.raises(ValueError):
+        pipe.add(Reducer("r", op="sum"))
+
+
+def test_replicate():
+    engine = Engine()
+
+    def build(eng, name):
+        pipe = Pipeline(name, eng)
+        pipe.add(Reducer(f"{name}.r", op="sum"))
+        return pipe
+
+    replicas = replicate(engine, 4, build)
+    assert replicas.n == 4
+    assert len(engine.modules) == 4
+
+
+def test_replicate_validation():
+    with pytest.raises(ValueError):
+        replicate(Engine(), 0, lambda e, n: Pipeline(n, e))
+
+
+def test_resource_vector_arithmetic():
+    a = ResourceVector(10, 20, 30)
+    b = ResourceVector(1, 2, 3)
+    assert (a + b).luts == 11
+    assert a.scaled(2).registers == 40
+    assert 0 < a.utilization()["luts"] < 1e-3
+
+
+def test_estimate_pipeline_includes_spm():
+    base = estimate_pipeline({"Reducer": 1})
+    with_spm = estimate_pipeline({"Reducer": 1}, spm_bytes=[1024])
+    assert with_spm.bram_bytes == base.bram_bytes + 1024
+
+
+def test_estimate_unknown_module_rejected():
+    with pytest.raises(KeyError):
+        estimate_pipeline({"FluxCapacitor": 1})
+
+
+def test_estimate_accelerator_adds_shell_once():
+    one = estimate_accelerator({"Reducer": 1}, [], 1)
+    two = estimate_accelerator({"Reducer": 1}, [], 2)
+    pipeline_cost = two.luts - one.luts
+    assert one.luts == SHELL_COST.luts + pipeline_cost
+
+
+def test_reducer_lanes_increase_cost():
+    narrow = estimate_pipeline({"Reducer": 1}, reducer_lanes=1)
+    wide = estimate_pipeline({"Reducer": 1}, reducer_lanes=64)
+    assert wide.luts > narrow.luts
+    with pytest.raises(ValueError):
+        estimate_pipeline({"Reducer": 1}, reducer_lanes=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the Filter module (Figure 6)."""
+
+import pytest
+
+from repro.hw.flit import Flit
+from repro.hw.modules import Filter
+from repro.hw.modules.filterm import COMPARATORS
+
+from hw_harness import drive
+
+
+def run_filter(filter_module, flits):
+    out, _ = drive(filter_module, {"in": flits})
+    return out["out"]
+
+
+def frame(values, last_index=None):
+    flits = [Flit({"v": v}) for v in values]
+    if flits:
+        flits[-1].last = True
+    return flits
+
+
+def test_constant_comparison():
+    f = Filter("f", field="v", op=">", constant=5)
+    out = run_filter(f, frame([3, 7, 5, 9]))
+    assert [x["v"] for x in out if x.fields] == [7, 9]
+
+
+def test_field_comparison():
+    f = Filter("f", field="a", op="==", other_field="b")
+    flits = [Flit({"a": 1, "b": 1}), Flit({"a": 2, "b": 3}, last=True)]
+    out = run_filter(f, flits)
+    assert [x["a"] for x in out if x.fields] == [1]
+
+
+def test_all_comparators_available():
+    assert set(COMPARATORS) == {"==", "!=", "<", "<=", ">", ">="}
+
+
+def test_dropped_last_flit_becomes_boundary():
+    f = Filter("f", field="v", op="<", constant=0)
+    out = run_filter(f, frame([1, 2, 3]))
+    assert len(out) == 1
+    assert out[0].last and not out[0].fields
+
+
+def test_passing_last_flit_keeps_last():
+    f = Filter("f", field="v", op=">", constant=0)
+    out = run_filter(f, frame([1, 2]))
+    assert out[-1].last and out[-1]["v"] == 2
+
+
+def test_boundary_flits_forwarded():
+    f = Filter("f", field="v", op=">", constant=0)
+    out = run_filter(f, [Flit({}, last=True)])
+    assert len(out) == 1 and out[0].last
+
+
+def test_custom_predicate():
+    f = Filter("f", field="v", predicate=lambda flit: flit["v"] % 2 == 0)
+    out = run_filter(f, frame([1, 2, 3, 4]))
+    assert [x["v"] for x in out if x.fields] == [2, 4]
+
+
+def test_dropped_count():
+    f = Filter("f", field="v", op=">", constant=10)
+    run_filter(f, frame([1, 2, 30]))
+    assert f.dropped == 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        Filter("f", field="v", op="~", constant=1)
+    with pytest.raises(ValueError):
+        Filter("f", field="v", op="==")  # neither constant nor other_field
+    with pytest.raises(ValueError):
+        Filter("f", field="v", op="==", constant=1, other_field="b")

@@ -1,0 +1,52 @@
+"""Unit tests for flits and stream framing."""
+
+from repro.hw.flit import DEL, INS, Flit, item_flits, scalar_flit, split_items
+
+
+def test_flit_field_access():
+    flit = Flit({"a": 1, "b": 2})
+    assert flit["a"] == 1
+    assert flit.get("c") is None
+    assert "b" in flit
+    assert not flit.last
+
+
+def test_flit_merged():
+    flit = Flit({"a": 1}, last=True)
+    merged = flit.merged({"b": 2})
+    assert merged["a"] == 1 and merged["b"] == 2
+    assert merged.last  # inherits unless overridden
+    assert not flit.merged({}, last=False).last
+
+
+def test_sentinels_are_distinct_singletons():
+    assert INS is not DEL
+    assert repr(INS) == "INS"
+    assert repr(DEL) == "DEL"
+    assert INS != 0 and DEL != 255
+
+
+def test_item_flits_framing():
+    flits = item_flits([1, 2, 3])
+    assert [f["value"] for f in flits] == [1, 2, 3]
+    assert [f.last for f in flits] == [False, False, True]
+
+
+def test_item_flits_empty_item():
+    flits = item_flits([])
+    assert len(flits) == 1
+    assert flits[0].last and not flits[0].fields
+
+
+def test_scalar_flit():
+    flit = scalar_flit(7, field="pos")
+    assert flit["pos"] == 7 and flit.last
+
+
+def test_split_items_roundtrip():
+    flits = item_flits([1, 2]) + item_flits([3]) + item_flits([])
+    items = split_items(flits)
+    assert len(items) == 3
+    assert [f["value"] for f in items[0]] == [1, 2]
+    assert [f["value"] for f in items[1]] == [3]
+    assert items[2][0].fields == {}

@@ -1,0 +1,127 @@
+"""Unit tests for the Joiner module (Figure 6)."""
+
+from repro.hw.flit import INS, Flit
+from repro.hw.modules import Joiner
+
+from hw_harness import drive, items_of
+
+
+def keyed(pairs, key="key", data="data"):
+    """Frame (key, value) pairs as one item."""
+    flits = [Flit({key: k, data: v}) for k, v in pairs]
+    if flits:
+        flits[-1].last = True
+    else:
+        flits = [Flit({}, last=True)]
+    return flits
+
+
+def join(mode, a_items, b_items, key_b="key"):
+    a = [f for item in a_items for f in item]
+    b = [f for item in b_items for f in item]
+    joiner = Joiner("j", mode=mode, key_a="key", key_b=key_b)
+    out, _ = drive(joiner, {"a": a, "b": b})
+    return out["out"]
+
+
+def test_inner_join_matching_keys():
+    a = [keyed([(1, "a1"), (3, "a3"), (5, "a5")])]
+    b = [keyed([(1, "b1"), (2, "b2"), (5, "b5")], data="rdata")]
+    out = join("inner", a, b)
+    rows = [(f["key"], f["data"], f["rdata"]) for f in out if f.fields]
+    assert rows == [(1, "a1", "b1"), (5, "a5", "b5")]
+
+
+def test_inner_join_emits_item_boundary():
+    a = [keyed([(1, "x")])]
+    b = [keyed([(9, "y")])]
+    out = join("inner", a, b)
+    # No matches: one boundary flit only, keeping item alignment.
+    assert len(out) == 1
+    assert out[0].last and not out[0].fields
+
+
+def test_left_join_keeps_unmatched_left():
+    a = [keyed([(1, "a1"), (2, "a2")])]
+    b = [keyed([(2, "b2")], data="rdata")]
+    out = join("left", a, b)
+    rows = [(f["key"], f.get("rdata")) for f in out if f.fields]
+    assert rows == [(1, None), (2, "b2")]
+
+
+def test_outer_join_keeps_both():
+    a = [keyed([(1, "a1")])]
+    b = [keyed([(2, "b2")], data="rdata")]
+    out = join("outer", a, b)
+    keys = [f["key"] for f in out if f.fields]
+    assert sorted(keys) == [1, 2]
+
+
+def test_ins_passthrough_in_left_join():
+    a = [keyed([(1, "a1"), (INS, "ins"), (2, "a2")])]
+    b = [keyed([(1, "b1"), (2, "b2")], data="rdata")]
+    out = join("left", a, b)
+    rows = [(f["key"], f.get("rdata")) for f in out if f.fields]
+    assert rows == [(1, "b1"), (INS, None), (2, "b2")]
+
+
+def test_ins_discarded_in_inner_join():
+    a = [keyed([(1, "a1"), (INS, "ins"), (2, "a2")])]
+    b = [keyed([(1, "b1"), (2, "b2")], data="rdata")]
+    out = join("inner", a, b)
+    keys = [f["key"] for f in out if f.fields]
+    assert keys == [1, 2]
+
+
+def test_item_alignment_across_multiple_items():
+    a = [keyed([(1, "x")]), keyed([(7, "y")])]
+    b = [keyed([(1, "p")], data="r"), keyed([(7, "q")], data="r")]
+    out = join("inner", a, b)
+    items = [
+        [(f["key"]) for f in item if f.fields]
+        for item in _group_items(out)
+    ]
+    assert items == [[1], [7]]
+
+
+def test_right_side_drained_after_left_ends():
+    a = [keyed([(1, "x")])]
+    b = [keyed([(1, "p"), (2, "q"), (3, "r")], data="r")]
+    out = join("inner", a, b)
+    keys = [f["key"] for f in out if f.fields]
+    assert keys == [1]
+    # Exactly one boundary closes the item.
+    assert sum(1 for f in out if f.last) == 1
+
+
+def test_left_side_drained_in_left_join_when_right_ends():
+    a = [keyed([(5, "x"), (6, "y"), (7, "z")])]
+    b = [keyed([(5, "p")], data="r")]
+    out = join("left", a, b)
+    keys = [f["key"] for f in out if f.fields]
+    assert keys == [5, 6, 7]
+
+
+def test_duplicate_left_keys_each_match():
+    # Merge-join semantics with equal heads: pairs match positionally.
+    a = [keyed([(1, "x1"), (2, "x2")])]
+    b = [keyed([(1, "p"), (2, "q")], data="r")]
+    out = join("inner", a, b)
+    assert [(f["key"], f["r"]) for f in out if f.fields] == [(1, "p"), (2, "q")]
+
+
+def test_invalid_mode():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Joiner("j", mode="cross")
+
+
+def _group_items(flits):
+    items, current = [], []
+    for flit in flits:
+        current.append(flit)
+        if flit.last:
+            items.append(current)
+            current = []
+    return items

@@ -1,0 +1,83 @@
+"""Unit tests for the memory system model."""
+
+import pytest
+
+from repro.hw.memory import MemoryConfig, MemorySystem
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(channels=0)
+    with pytest.raises(ValueError):
+        MemoryConfig(latency_cycles=-1)
+
+
+def test_bandwidth():
+    config = MemoryConfig(channels=4, access_bytes=64)
+    assert config.bandwidth_bytes_per_cycle() == 256
+
+
+def test_response_after_latency():
+    memory = MemorySystem(MemoryConfig(channels=1, latency_cycles=5))
+    responses = []
+    port = memory.register_port(lambda n: responses.append(n))
+    memory.request(port)
+    for cycle in range(5):
+        memory.tick(cycle)
+        assert not responses
+    memory.tick(5)
+    assert responses == [1]
+    assert memory.is_idle()
+
+
+def test_one_request_per_channel_per_cycle():
+    memory = MemorySystem(MemoryConfig(channels=1, latency_cycles=0))
+    served = []
+    port = memory.register_port(lambda n: served.append(n))
+    memory.request(port, count=10)
+    memory.tick(0)
+    assert memory.pending_requests(port) == 9
+
+
+def test_round_robin_fairness():
+    memory = MemorySystem(MemoryConfig(channels=1, latency_cycles=0))
+    counts = [0, 0]
+    port_a = memory.register_port(lambda n: counts.__setitem__(0, counts[0] + n))
+    port_b = memory.register_port(lambda n: counts.__setitem__(1, counts[1] + n))
+    memory.request(port_a, 50)
+    memory.request(port_b, 50)
+    for cycle in range(40):
+        memory.tick(cycle)
+    # With fair round-robin both ports get served equally.
+    assert abs(counts[0] - counts[1]) <= 1
+
+
+def test_ports_spread_across_channels():
+    memory = MemorySystem(MemoryConfig(channels=4, latency_cycles=0))
+    done = [0] * 8
+    ports = [
+        memory.register_port(lambda n, i=i: done.__setitem__(i, done[i] + n))
+        for i in range(8)
+    ]
+    for port in ports:
+        memory.request(port, 2)
+    for cycle in range(30):
+        memory.tick(cycle)
+    assert all(v == 2 for v in done)
+
+
+def test_bytes_accounting():
+    memory = MemorySystem(MemoryConfig(channels=2, access_bytes=64, latency_cycles=0))
+    port = memory.register_port(lambda n: None)
+    memory.request(port, 4)
+    for cycle in range(10):
+        memory.tick(cycle)
+    assert memory.bytes_transferred == 4 * 64
+    assert memory.requests_served == 4
+
+
+def test_request_count_validation():
+    memory = MemorySystem()
+    port = memory.register_port(None)
+    with pytest.raises(ValueError):
+        memory.request(port, 0)

@@ -1,0 +1,68 @@
+"""Unit tests for the registered hardware queue."""
+
+import pytest
+
+from repro.hw.flit import Flit
+from repro.hw.queue import HardwareQueue
+
+
+def test_push_not_visible_until_commit():
+    queue = HardwareQueue("q", capacity=4)
+    queue.push(Flit({"v": 1}))
+    assert not queue.can_pop()  # staged, not committed
+    queue.commit()
+    assert queue.can_pop()
+    assert queue.pop()["v"] == 1
+
+
+def test_capacity_counts_staged():
+    queue = HardwareQueue("q", capacity=2)
+    queue.push(Flit({}))
+    queue.push(Flit({}))
+    assert not queue.can_push()
+    with pytest.raises(RuntimeError):
+        queue.push(Flit({}))
+
+
+def test_fifo_order():
+    queue = HardwareQueue("q", capacity=8)
+    for i in range(5):
+        queue.push(Flit({"v": i}))
+    queue.commit()
+    assert [queue.pop()["v"] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_pop_empty_raises():
+    queue = HardwareQueue("q")
+    with pytest.raises(RuntimeError):
+        queue.pop()
+
+
+def test_peek_non_destructive():
+    queue = HardwareQueue("q")
+    queue.push(Flit({"v": 9}))
+    queue.commit()
+    assert queue.peek()["v"] == 9
+    assert queue.peek()["v"] == 9
+    assert len(queue) == 1
+
+
+def test_is_empty_considers_staged():
+    queue = HardwareQueue("q")
+    assert queue.is_empty()
+    queue.push(Flit({}))
+    assert not queue.is_empty()
+
+
+def test_statistics():
+    queue = HardwareQueue("q", capacity=8)
+    for i in range(3):
+        queue.push(Flit({}))
+    queue.commit()
+    assert queue.total_pushed == 3
+    assert queue.max_occupancy == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        HardwareQueue("q", capacity=0)

@@ -1,0 +1,79 @@
+"""Unit tests for the Reducer module (Figure 6)."""
+
+import pytest
+
+from repro.hw.flit import DEL, Flit, item_flits
+from repro.hw.modules import Reducer
+
+from hw_harness import drive, values
+
+
+def reduce_items(op, items, **kwargs):
+    flits = [f for item in items for f in item_flits(item)]
+    reducer = Reducer("r", op=op, field="value", **kwargs)
+    out, _ = drive(reducer, {"in": flits})
+    return values(out["out"])
+
+
+def test_sum_per_item():
+    assert reduce_items("sum", [[1, 2, 3], [10], [4, 4]]) == [6, 10, 8]
+
+
+def test_count_per_item():
+    assert reduce_items("count", [[5, 5], [7, 7, 7]]) == [2, 3]
+
+
+def test_min_max():
+    assert reduce_items("max", [[3, 9, 1]]) == [9]
+    assert reduce_items("min", [[3, 9, 1]]) == [1]
+
+
+def test_empty_item_yields_identity():
+    assert reduce_items("sum", [[], [1]]) == [0, 1]
+    assert reduce_items("count", [[]]) == [0]
+    assert reduce_items("max", [[]]) == [0]
+
+
+def test_masked_sum():
+    flits = [
+        Flit({"value": 5, "m": 1}),
+        Flit({"value": 100, "m": 0}),
+        Flit({"value": 7, "m": 1}, last=True),
+    ]
+    reducer = Reducer("r", op="sum", field="value", mask_field="m")
+    out, _ = drive(reducer, {"in": flits})
+    assert values(out["out"]) == [12]
+
+
+def test_del_sentinel_excluded():
+    flits = [Flit({"value": 5}), Flit({"value": DEL}), Flit({"value": 2}, last=True)]
+    reducer = Reducer("r", op="sum")
+    out, _ = drive(reducer, {"in": flits})
+    assert values(out["out"]) == [7]
+
+
+def test_flits_missing_field_ignored():
+    flits = [Flit({"other": 1}), Flit({"value": 3}, last=True)]
+    reducer = Reducer("r", op="count")
+    out, _ = drive(reducer, {"in": flits})
+    assert values(out["out"]) == [1]
+
+
+def test_stream_granularity():
+    flits = [f for item in [[1, 2], [3]] for f in item_flits(item)]
+    reducer = Reducer("r", op="sum", per_item=False)
+    drive(reducer, {"in": flits})
+    assert reducer.stream_result() == 6
+
+
+def test_invalid_op():
+    with pytest.raises(ValueError):
+        Reducer("r", op="median")
+
+
+def test_throughput_one_flit_per_cycle():
+    flits = [f for f in item_flits(list(range(100)))]
+    reducer = Reducer("r", op="sum")
+    out, stats = drive(reducer, {"in": flits})
+    # ~1 flit/cycle: 100 inputs should take only a little over 100 cycles.
+    assert stats.cycles < 130

@@ -1,0 +1,147 @@
+"""Unit tests for the SPM Reader and SPM Updater modules."""
+
+import pytest
+
+from repro.hw.flit import Flit, item_flits, scalar_flit
+from repro.hw.modules import SpmReader, SpmUpdater
+from repro.hw.spm import Scratchpad
+
+from hw_harness import drive, values
+
+
+def test_sequential_write_mode():
+    spm = Scratchpad("s", 8)
+    updater = SpmUpdater("u", spm, mode="sequential", start_address=2)
+    drive(updater, {"in": item_flits([7, 8, 9])}, out_ports=())
+    assert spm.dump() == [0, 0, 7, 8, 9, 0, 0, 0]
+
+
+def test_random_write_mode():
+    spm = Scratchpad("s", 8)
+    updater = SpmUpdater("u", spm, mode="random")
+    flits = [Flit({"addr": 5, "value": 50}), Flit({"addr": 1, "value": 10}, last=True)]
+    drive(updater, {"in": flits}, out_ports=())
+    assert spm.read(5) == 50 and spm.read(1) == 10
+
+
+def test_rmw_default_increment():
+    spm = Scratchpad("s", 4)
+    updater = SpmUpdater("u", spm, mode="rmw")
+    flits = [Flit({"addr": 2}), Flit({"addr": 2}), Flit({"addr": 0}, last=True)]
+    drive(updater, {"in": flits}, out_ports=())
+    assert spm.dump() == [1, 0, 2, 0]
+
+
+def test_rmw_custom_modify():
+    spm = Scratchpad("s", 2)
+    updater = SpmUpdater(
+        "u", spm, mode="rmw", modify=lambda old, value: old + value
+    )
+    flits = [Flit({"addr": 0, "value": 5}), Flit({"addr": 0, "value": 7}, last=True)]
+    drive(updater, {"in": flits}, out_ports=())
+    assert spm.read(0) == 12
+
+
+def test_rmw_hazard_stalls_counted():
+    spm = Scratchpad("s", 2)
+    updater = SpmUpdater("u", spm, mode="rmw")
+    # Back-to-back updates to the same address trip the interlock.
+    flits = [Flit({"addr": 1}) for _ in range(5)]
+    flits[-1].last = True
+    _, stats = drive(updater, {"in": flits}, out_ports=())
+    assert updater.hazard_stalls > 0
+    assert spm.read(1) == 5  # but every update still lands
+
+
+def test_rmw_correct_under_hazards_mixed_addresses():
+    spm = Scratchpad("s", 4)
+    updater = SpmUpdater("u", spm, mode="rmw")
+    addresses = [0, 0, 1, 0, 1, 1, 2, 0]
+    flits = [Flit({"addr": a}) for a in addresses]
+    flits[-1].last = True
+    drive(updater, {"in": flits}, out_ports=())
+    assert spm.dump() == [4, 3, 1, 0]
+
+
+def test_updater_mode_validation():
+    with pytest.raises(ValueError):
+        SpmUpdater("u", Scratchpad("s", 2), mode="banked")
+
+
+def test_boundary_flits_skipped():
+    spm = Scratchpad("s", 2)
+    updater = SpmUpdater("u", spm, mode="rmw")
+    drive(updater, {"in": [Flit({}, last=True)]}, out_ports=())
+    assert spm.dump() == [0, 0]
+
+
+def test_reader_lookup_mode():
+    spm = Scratchpad("s", 4)
+    spm.load([10, 11, 12, 13])
+    reader = SpmReader("r", spm, mode="lookup")
+    flits = [Flit({"addr": 2}), Flit({"addr": 0}, last=True)]
+    out, _ = drive(reader, {"in": flits})
+    assert values(out["out"]) == [12, 10]
+    assert out["out"][-1].last
+
+
+def test_reader_interval_mode():
+    spm = Scratchpad("s", 10)
+    spm.load(list(range(100, 110)))
+    reader = SpmReader("r", spm, mode="interval", base_address=1000,
+                       addr_out_field="pos")
+    out, _ = drive(
+        reader,
+        {"start": [scalar_flit(1002)], "end": [scalar_flit(1005)]},
+    )
+    flits = [f for f in out["out"] if f.fields]
+    assert [f["value"] for f in flits] == [102, 103, 104, 105]
+    assert [f["pos"] for f in flits] == [1002, 1003, 1004, 1005]
+    assert flits[-1].last
+
+
+def test_reader_interval_multiple_items():
+    spm = Scratchpad("s", 5)
+    spm.load([0, 1, 2, 3, 4])
+    reader = SpmReader("r", spm, mode="interval")
+    out, _ = drive(
+        reader,
+        {
+            "start": [scalar_flit(0), scalar_flit(3)],
+            "end": [scalar_flit(1), scalar_flit(4)],
+        },
+    )
+    items = []
+    current = []
+    for flit in out["out"]:
+        if flit.fields:
+            current.append(flit["value"])
+        if flit.last:
+            items.append(current)
+            current = []
+    assert items == [[0, 1], [3, 4]]
+
+
+def test_reader_empty_interval():
+    spm = Scratchpad("s", 4)
+    reader = SpmReader("r", spm, mode="interval")
+    out, _ = drive(
+        reader, {"start": [scalar_flit(3)], "end": [scalar_flit(2)]}
+    )
+    assert len(out["out"]) == 1 and out["out"][0].last
+
+
+def test_reader_drain_mode():
+    spm = Scratchpad("s", 4)
+    spm.load([9, 8, 7, 6])
+    reader = SpmReader("r", spm, mode="drain", addr_out_field="addr")
+    out, _ = drive(reader, {})
+    flits = out["out"]
+    assert [f["value"] for f in flits] == [9, 8, 7, 6]
+    assert [f["addr"] for f in flits] == [0, 1, 2, 3]
+    assert flits[-1].last
+
+
+def test_reader_mode_validation():
+    with pytest.raises(ValueError):
+        SpmReader("r", Scratchpad("s", 2), mode="stream")

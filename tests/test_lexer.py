@@ -1,0 +1,92 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_uppercase():
+    tokens = tokenize("select From WHERE")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+    assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+
+def test_identifiers_preserve_case():
+    assert values("ReadPartition") == ["ReadPartition"]
+    assert kinds("ReadPartition") == ["IDENT"]
+
+
+def test_variables():
+    tokens = tokenize("@rlen")
+    assert tokens[0].kind == "VAR"
+    assert tokens[0].value == "rlen"
+
+
+def test_temp_tables():
+    tokens = tokenize("#AlignedRead")
+    assert tokens[0].kind == "TEMP"
+    assert tokens[0].value == "AlignedRead"
+
+
+def test_numbers():
+    tokens = tokenize("42 3.5")
+    assert [t.kind for t in tokens[:-1]] == ["NUMBER", "NUMBER"]
+    assert [t.value for t in tokens[:-1]] == ["42", "3.5"]
+
+
+def test_strings():
+    tokens = tokenize("'hello' \"world\"")
+    assert [t.value for t in tokens[:-1]] == ["hello", "world"]
+    assert all(t.kind == "STRING" for t in tokens[:-1])
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_double_char_operators():
+    assert values("== != <= >=") == ["==", "!=", "<=", ">="]
+
+
+def test_block_comments_skipped():
+    assert values("SELECT /* a comment */ X") == ["SELECT", "X"]
+
+
+def test_unterminated_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_line_comments_skipped():
+    assert values("SELECT -- trailing\n X") == ["SELECT", "X"]
+
+
+def test_qualified_name_tokens():
+    assert values("SingleRead.POS") == ["SingleRead", ".", "POS"]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("SELECT $")
+
+
+def test_eof_always_last():
+    assert tokenize("")[-1].kind == "EOF"
+    assert tokenize("X")[-1].kind == "EOF"
+
+
+def test_figure4_text_tokenizes():
+    from repro.sql.queries import FIGURE4_QUERY
+
+    tokens = tokenize(FIGURE4_QUERY)
+    assert tokens[-1].kind == "EOF"
+    assert len(tokens) > 100

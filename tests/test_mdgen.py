@@ -1,0 +1,110 @@
+"""Unit tests for the MDGen custom module vs the software MdBuilder."""
+
+import numpy as np
+
+from repro.gatk.metadata import MdBuilder
+from repro.genomics.sequences import encode_base
+from repro.hw.flit import Flit
+from repro.hw.modules import MdGen, join_md_tokens
+
+from hw_harness import drive
+
+
+def run_mdgen(events):
+    """events: list of (op, base_char, ref_char) or 'END'."""
+    flits = []
+    for event in events:
+        if event == "END":
+            flits.append(Flit({}, last=True))
+        else:
+            op, base, ref = event
+            fields = {"op": op}
+            if base is not None:
+                fields["base"] = encode_base(base)
+            if ref is not None:
+                fields["ref"] = encode_base(ref)
+            flits.append(Flit(fields))
+    module = MdGen("md")
+    out, _ = drive(module, {"in": flits})
+    items = []
+    current = []
+    for flit in out["out"]:
+        if "md" in flit.fields:
+            current.append(flit["md"])
+        if flit.last:
+            items.append(join_md_tokens(current))
+            current = []
+    return items
+
+
+def test_paper_figure2_md():
+    """Read 1 of Figure 2 has MD = 1C6A3."""
+    events = [("M", "A", "A"), ("M", "G", "C")]
+    events += [("M", "A", "A")] * 6
+    events += [("I", "A", None)]
+    events += [("M", "G", "A")]
+    events += [("M", "T", "T")] * 3
+    events += ["END"]
+    # Aligned bases: match, mismatch(C), 6 match, [ins], mismatch(A), 3 match.
+    assert run_mdgen(events) == ["1C6A3"]
+
+
+def test_all_match():
+    events = [("M", "A", "A")] * 5 + ["END"]
+    assert run_mdgen(events) == ["5"]
+
+
+def test_leading_mismatch_gets_zero():
+    events = [("M", "A", "C"), ("M", "G", "G"), "END"]
+    assert run_mdgen(events) == ["0C1"]
+
+
+def test_adjacent_mismatches_get_zero_between():
+    events = [("M", "A", "C"), ("M", "A", "G"), "END"]
+    assert run_mdgen(events) == ["0C0G0"]
+
+
+def test_deletion_run_shares_caret():
+    events = [("M", "A", "A"), ("D", None, "C"), ("D", None, "G"),
+              ("M", "T", "T"), "END"]
+    assert run_mdgen(events) == ["1^CG1"]
+
+
+def test_separate_deletions_get_separate_carets():
+    events = [("D", None, "C"), ("M", "A", "A"), ("D", None, "G"), "END"]
+    assert run_mdgen(events) == ["0^C1^G0"]
+
+
+def test_insertions_invisible():
+    events = [("M", "A", "A"), ("I", "G", None), ("M", "T", "T"), "END"]
+    assert run_mdgen(events) == ["2"]
+
+
+def test_multiple_items():
+    events = [("M", "A", "A"), "END", ("M", "A", "C"), "END"]
+    assert run_mdgen(events) == ["1", "0C0"]
+
+
+def test_matches_software_mdbuilder_on_random_streams():
+    rng = np.random.default_rng(33)
+    for _ in range(20):
+        events = []
+        builder = MdBuilder()
+        for _ in range(rng.integers(1, 40)):
+            kind = rng.choice(["match", "mismatch", "del", "ins"])
+            ref = "ACGT"[rng.integers(0, 4)]
+            if kind == "match":
+                events.append(("M", ref, ref))
+                builder.match()
+            elif kind == "mismatch":
+                base = "ACGT"[(encode_base(ref) + 1) % 4]
+                events.append(("M", base, ref))
+                builder.mismatch(encode_base(ref))
+            elif kind == "del":
+                events.append(("D", None, ref))
+                builder.deletion(encode_base(ref))
+            else:
+                events.append(("I", ref, None))
+                # Insertions never reach the MdBuilder in software.
+        events.append("END")
+        assert run_mdgen(events) == [builder.finish()]

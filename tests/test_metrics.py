@@ -1,0 +1,75 @@
+"""Tests for QC metrics (software + the Genesis reduction pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.gatk.metrics import (
+    alignment_summary,
+    insert_size_metrics,
+    insert_sizes,
+    run_metrics_pipeline,
+)
+from repro.genomics import ReadSimulator, SimulatorConfig
+
+
+def test_alignment_summary(small_reads):
+    summary = alignment_summary(small_reads)
+    assert summary.total_reads == len(small_reads)
+    assert summary.total_bases == sum(len(r.seq) for r in small_reads)
+    assert summary.mean_read_length == pytest.approx(50)
+    assert 2 <= summary.mean_quality <= 41
+    assert 0 <= summary.reverse_reads <= summary.total_reads
+
+
+def test_alignment_summary_empty():
+    summary = alignment_summary([])
+    assert summary.total_reads == 0
+    assert summary.duplicate_fraction == 0.0
+
+
+def test_duplicate_fraction(small_reads):
+    from repro.gatk import mark_duplicates
+
+    result = mark_duplicates(list(small_reads))
+    summary = alignment_summary(result.sorted_reads)
+    assert summary.duplicate_reads == result.num_duplicates
+    assert summary.duplicate_fraction == pytest.approx(
+        result.num_duplicates / len(small_reads)
+    )
+
+
+def test_insert_sizes_paired(small_genome):
+    sim = ReadSimulator(
+        small_genome,
+        SimulatorConfig(seed=9, read_length=40, mean_fragment_length=200),
+    )
+    reads = sim.simulate_pairs(25)
+    sizes = insert_sizes(reads)
+    assert len(sizes) == 25
+    metrics = insert_size_metrics(reads)
+    assert metrics.pairs == 25
+    # Fragment lengths are drawn around the configured mean.
+    assert 120 < metrics.mean < 300
+    assert metrics.minimum <= metrics.mean <= metrics.maximum
+
+
+def test_insert_sizes_unpaired(small_reads):
+    assert insert_sizes(small_reads) == []
+    assert insert_size_metrics(small_reads).pairs == 0
+
+
+def test_hw_metrics_match_software(small_reads):
+    summary = alignment_summary(small_reads)
+    hw = run_metrics_pipeline(small_reads)
+    assert hw.total_bases == summary.total_bases
+    assert hw.quality_total == sum(r.quality_sum() for r in small_reads)
+    lengths = [len(r.seq) for r in small_reads]
+    assert hw.min_length == min(lengths)
+    assert hw.max_length == max(lengths)
+
+
+def test_hw_metrics_single_pass(small_reads):
+    total = sum(len(r.seq) for r in small_reads)
+    hw = run_metrics_pipeline(small_reads)
+    # All four reductions share one streaming pass: ~1 cycle/base.
+    assert hw.stats.cycles < total * 1.5 + 100

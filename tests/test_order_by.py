@@ -1,0 +1,80 @@
+"""Tests for ORDER BY support in the SQL layer."""
+
+import pytest
+
+from repro.sql import Executor
+from repro.sql.parser import parse_query
+from repro.sql.plan import LimitNode, SortNode, build_plan
+from repro.tables.schema import Schema
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def executor():
+    ex = Executor()
+    ex.register_table("T", Table.from_columns(
+        Schema.of(K="uint32", V="int64", G="uint8"),
+        K=[3, 1, 2, 4], V=[30, 10, 20, 10], G=[1, 0, 1, 0],
+    ))
+    return ex
+
+
+def test_parse_order_by():
+    query = parse_query("SELECT * FROM T ORDER BY K")
+    assert len(query.order_by) == 1
+    assert not query.order_by[0].descending
+
+
+def test_parse_order_by_desc_and_multi():
+    query = parse_query("SELECT * FROM T ORDER BY G DESC, K ASC")
+    assert query.order_by[0].descending
+    assert not query.order_by[1].descending
+
+
+def test_plan_sort_under_limit():
+    plan = build_plan(parse_query("SELECT * FROM T ORDER BY K LIMIT 2"))
+    assert isinstance(plan, LimitNode)
+    assert isinstance(plan.child, SortNode)
+
+
+def test_ascending(executor):
+    out = executor.query("SELECT * FROM T ORDER BY K")
+    assert out.column("K").tolist() == [1, 2, 3, 4]
+
+
+def test_descending(executor):
+    out = executor.query("SELECT * FROM T ORDER BY V DESC")
+    assert out.column("V").tolist() == [30, 20, 10, 10]
+
+
+def test_multi_key_sort(executor):
+    out = executor.query("SELECT * FROM T ORDER BY G, V DESC")
+    rows = [(r["G"], r["V"]) for r in out.rows()]
+    assert rows == [(0, 10), (0, 10), (1, 30), (1, 20)]
+
+
+def test_multi_key_stability(executor):
+    # Equal (G, V) keep their input relative order: K=1 before K=4.
+    out = executor.query("SELECT * FROM T ORDER BY G, V")
+    ks = [r["K"] for r in out.rows() if r["G"] == 0]
+    assert ks == [1, 4]
+
+
+def test_order_by_with_limit(executor):
+    # ORDER BY keys must appear in the select list (documented limitation).
+    out = executor.query("SELECT K, V FROM T ORDER BY V DESC LIMIT 2")
+    assert out.column("K").tolist() == [3, 2]
+
+
+def test_order_by_key_must_be_selected(executor):
+    from repro.sql import SqlError
+
+    with pytest.raises(SqlError):
+        executor.query("SELECT K FROM T ORDER BY V")
+
+
+def test_order_by_after_group_by(executor):
+    out = executor.query(
+        "SELECT G, SUM(V) AS total FROM T GROUP BY G ORDER BY total DESC"
+    )
+    assert out.column("total").tolist() == [50, 20]

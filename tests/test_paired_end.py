@@ -1,0 +1,100 @@
+"""Paired-end coverage: mark duplicates with mate-aware keys (footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.markdup import accelerated_mark_duplicates
+from repro.gatk.markdup import mark_duplicates
+from repro.genomics import ReadSimulator, ReferenceGenome, SimulatorConfig
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import (
+    FLAG_FIRST_IN_PAIR,
+    FLAG_PAIRED,
+    FLAG_REVERSE,
+    FLAG_SECOND_IN_PAIR,
+    AlignedRead,
+    pair_key,
+)
+
+
+def make_pair(name, chrom, start, mate_start, read_len=20):
+    first = AlignedRead(
+        name=name, chrom=chrom, pos=start,
+        cigar=Cigar.parse(f"{read_len}M"),
+        seq=np.zeros(read_len, dtype=np.uint8),
+        qual=np.full(read_len, 30, dtype=np.uint8),
+        flags=FLAG_PAIRED | FLAG_FIRST_IN_PAIR,
+        mate_chrom=chrom, mate_pos=mate_start,
+    )
+    second = AlignedRead(
+        name=name, chrom=chrom, pos=mate_start,
+        cigar=Cigar.parse(f"{read_len}M"),
+        seq=np.zeros(read_len, dtype=np.uint8),
+        qual=np.full(read_len, 30, dtype=np.uint8),
+        flags=FLAG_PAIRED | FLAG_SECOND_IN_PAIR | FLAG_REVERSE,
+        mate_chrom=chrom, mate_pos=start,
+    )
+    return [first, second]
+
+
+def test_pair_key_concatenates_both_ends():
+    pair_a = make_pair("a", 1, 100, 300)
+    key = pair_key(pair_a[0], pair_a[1])
+    assert len(key) == 2  # two (chrom, pos, strand) components
+    assert key == pair_key(pair_a[1], pair_a[0])
+
+
+def test_duplicate_pairs_marked_together():
+    pair_a = make_pair("a", 1, 100, 300)
+    pair_b = make_pair("b", 1, 100, 300)  # same fragment coordinates
+    reads = pair_a + pair_b
+    reads[0].qual[:] = 35  # pair a wins on quality
+    reads[1].qual[:] = 35
+    result = mark_duplicates(reads)
+    # Both reads of pair b flagged, both of pair a kept.
+    flags = {read.name: read.is_duplicate
+             for read in result.sorted_reads}
+    # one pair fully duplicate, the other fully kept
+    names_dup = {r.name for r in result.sorted_reads if r.is_duplicate}
+    assert names_dup == {"b"}
+    assert result.num_duplicates == 2
+
+
+def test_pairs_with_different_mate_positions_not_duplicates():
+    pair_a = make_pair("a", 1, 100, 300)
+    pair_b = make_pair("b", 1, 100, 420)  # same start, different mate
+    result = mark_duplicates(pair_a + pair_b)
+    assert result.num_duplicates == 0
+
+
+def test_single_read_never_duplicates_a_pair():
+    pair = make_pair("a", 1, 100, 300)
+    single = AlignedRead(
+        name="s", chrom=1, pos=100, cigar=Cigar.parse("20M"),
+        seq=np.zeros(20, dtype=np.uint8),
+        qual=np.full(20, 50, dtype=np.uint8),
+    )
+    result = mark_duplicates(pair + [single])
+    assert result.num_duplicates == 0
+
+
+def test_accelerated_path_handles_pairs(small_genome):
+    sim = ReadSimulator(small_genome, SimulatorConfig(seed=17, read_length=40))
+    reads = sim.simulate_pairs(30)
+    hw = accelerated_mark_duplicates(reads)
+    sw = mark_duplicates(reads)
+    assert hw.duplicate_indices == sw.duplicate_indices
+
+
+def test_simulated_pairs_have_consistent_mate_info(small_genome):
+    sim = ReadSimulator(small_genome, SimulatorConfig(seed=18, read_length=40))
+    reads = sim.simulate_pairs(20)
+    by_name = {}
+    for read in reads:
+        by_name.setdefault(read.name, []).append(read)
+    for name, mates in by_name.items():
+        assert len(mates) == 2
+        first, second = mates
+        assert first.mate_pos == second.pos
+        assert second.mate_pos == first.pos
+        assert first.mate_chrom == second.chrom

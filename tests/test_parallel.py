@@ -1,0 +1,44 @@
+"""Tests for multi-pipeline (Figure 8) execution of the real accelerators."""
+
+import pytest
+
+from repro.accel.metadata import run_metadata_update
+from repro.accel.parallel import run_metadata_parallel
+
+
+@pytest.fixture(scope="module")
+def parts(workload):
+    return [(pid, part) for pid, part in workload.partitions if part.num_rows > 0]
+
+
+def test_parallel_results_match_serial(workload, parts):
+    results, _stats = run_metadata_parallel(parts, workload.reference, n_pipelines=4)
+    for pid, part in parts:
+        serial = run_metadata_update(part, workload.reference.lookup(pid))
+        assert results[pid].nm == serial.nm, str(pid)
+        assert results[pid].md == serial.md, str(pid)
+        assert results[pid].uq == serial.uq, str(pid)
+
+
+def test_parallelism_reduces_wall_cycles(workload, parts):
+    if len(parts) < 2:
+        pytest.skip("needs multiple partitions")
+    _res1, serial = run_metadata_parallel(parts, workload.reference, n_pipelines=1)
+    _resn, parallel = run_metadata_parallel(
+        parts, workload.reference, n_pipelines=min(4, len(parts))
+    )
+    assert parallel.total_cycles < serial.total_cycles
+    assert parallel.waves < serial.waves
+
+
+def test_wave_count(workload, parts):
+    n = len(parts)
+    _res, stats = run_metadata_parallel(parts, workload.reference, n_pipelines=2)
+    assert stats.waves == (n + 1) // 2
+    assert len(stats.per_wave_cycles) == stats.waves
+    assert stats.cycles_including_load > stats.total_cycles
+
+
+def test_pipeline_count_validation(workload, parts):
+    with pytest.raises(ValueError):
+        run_metadata_parallel(parts, workload.reference, n_pipelines=0)

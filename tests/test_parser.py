@@ -1,0 +1,190 @@
+"""Unit tests for the extended-SQL parser."""
+
+import pytest
+
+from repro.sql.ast_nodes import (
+    BinOp,
+    ColumnRef,
+    CreateTable,
+    Declare,
+    ExecModule,
+    ForLoop,
+    FuncCall,
+    InsertInto,
+    Literal,
+    PosExplode,
+    ReadExplode,
+    Select,
+    SetVar,
+    Star,
+    SubQuery,
+    TableRef,
+    VarRef,
+)
+from repro.sql.parser import ParseError, parse, parse_query
+
+
+def test_simple_select():
+    query = parse_query("SELECT POS, SEQ FROM READS")
+    assert isinstance(query, Select)
+    assert [item.expr.column for item in query.items] == ["POS", "SEQ"]
+    assert query.source == TableRef("READS")
+
+
+def test_select_star():
+    query = parse_query("SELECT * FROM T")
+    assert isinstance(query.items[0].expr, Star)
+
+
+def test_select_alias():
+    query = parse_query("SELECT REFPOS AS POS FROM REF")
+    assert query.items[0].alias == "POS"
+
+
+def test_partition_clause():
+    query = parse_query("SELECT * FROM READS PARTITION (@P)")
+    assert query.source.partition == VarRef("P")
+
+
+def test_where_clause():
+    query = parse_query("SELECT * FROM T WHERE A > 3 AND B == C")
+    assert isinstance(query.where, BinOp)
+    assert query.where.op == "AND"
+
+
+def test_group_by():
+    query = parse_query("SELECT G, SUM(V) FROM T GROUP BY G")
+    assert query.group_by == (ColumnRef("G"),)
+    assert isinstance(query.items[1].expr, FuncCall)
+
+
+def test_limit_single():
+    query = parse_query("SELECT * FROM T LIMIT 10")
+    assert query.limit == (Literal(0), Literal(10))
+
+
+def test_limit_offset_count():
+    query = parse_query("SELECT * FROM T LIMIT 5, 10")
+    assert query.limit == (Literal(5), Literal(10))
+
+
+def test_inner_join():
+    query = parse_query(
+        "SELECT * FROM A INNER JOIN B ON A.K = B.K"
+    )
+    assert query.join.kind == "inner"
+    assert query.join.left_key == ColumnRef("K", table="A")
+    assert query.join.right_key == ColumnRef("K", table="B")
+
+
+def test_left_and_outer_join():
+    assert parse_query("SELECT * FROM A LEFT JOIN B ON A.K = B.K").join.kind == "left"
+    assert parse_query("SELECT * FROM A OUTER JOIN B ON A.K = B.K").join.kind == "outer"
+
+
+def test_bare_join_is_inner():
+    assert parse_query("SELECT * FROM A JOIN B ON A.K = B.K").join.kind == "inner"
+
+
+def test_join_requires_equality():
+    with pytest.raises(ParseError):
+        parse_query("SELECT * FROM A JOIN B ON A.K < B.K")
+
+
+def test_subquery_source():
+    query = parse_query("SELECT * FROM (SELECT * FROM T LIMIT 3)")
+    assert isinstance(query.source, SubQuery)
+
+
+def test_pos_explode():
+    query = parse_query("PosExplode (R.SEQ, R.POS) FROM R")
+    assert isinstance(query, PosExplode)
+    assert query.array == ColumnRef("SEQ", table="R")
+
+
+def test_read_explode():
+    query = parse_query("ReadExplode (S.POS, S.CIGAR, S.SEQ) FROM S")
+    assert isinstance(query, ReadExplode)
+    assert len(query.args) == 3
+
+
+def test_create_table():
+    script = parse("CREATE TABLE T AS SELECT * FROM U")
+    statement = script.statements[0]
+    assert isinstance(statement, CreateTable)
+    assert statement.name == "T"
+    assert not statement.temp
+
+
+def test_create_temp_table():
+    script = parse("CREATE TABLE #T AS SELECT * FROM U")
+    assert script.statements[0].temp
+
+
+def test_insert_into():
+    script = parse("INSERT INTO Output SELECT COUNT(*) FROM T")
+    assert isinstance(script.statements[0], InsertInto)
+
+
+def test_declare_and_set():
+    script = parse("DECLARE @x int; SET @x = 3 + 4")
+    assert isinstance(script.statements[0], Declare)
+    assert isinstance(script.statements[1], SetVar)
+
+
+def test_for_loop():
+    script = parse(
+        "FOR Row IN T: SET @x = Row.A; INSERT INTO O SELECT COUNT(*) FROM U; END LOOP;"
+    )
+    loop = script.statements[0]
+    assert isinstance(loop, ForLoop)
+    assert loop.row_var == "Row"
+    assert loop.table == "T"
+    assert len(loop.body) == 2
+
+
+def test_exec_module():
+    script = parse("EXEC MDGen InputStream1 = @a InputStream2 = @b")
+    statement = script.statements[0]
+    assert isinstance(statement, ExecModule)
+    assert statement.module == "MDGen"
+    assert [name for name, _ in statement.bindings] == [
+        "InputStream1", "InputStream2",
+    ]
+
+
+def test_operator_precedence():
+    query = parse_query("SELECT * FROM T WHERE A + B * 2 == C")
+    condition = query.where
+    assert condition.op == "=="
+    assert condition.left.op == "+"
+    assert condition.left.right.op == "*"
+
+
+def test_parentheses_override_precedence():
+    query = parse_query("SELECT * FROM T WHERE (A + B) * 2 == C")
+    assert query.where.left.op == "*"
+
+
+def test_equals_normalized_to_double():
+    query = parse_query("SELECT * FROM T WHERE A = 1")
+    assert query.where.op == "=="
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse("FLY ME TO THE MOON")
+
+
+def test_parse_error_missing_from():
+    with pytest.raises(ParseError):
+        parse_query("SELECT X")
+
+
+def test_figure4_script_parses():
+    from repro.sql.queries import FIGURE4_QUERY
+
+    script = parse(FIGURE4_QUERY)
+    types = [type(s).__name__ for s in script.statements]
+    assert types[:3] == ["CreateTable", "CreateTable", "CreateTable"]
+    assert "ForLoop" in types

@@ -1,0 +1,102 @@
+"""Unit tests for the partitioning scheme (Section III-B)."""
+
+import pytest
+
+from repro.tables.genomic_tables import reads_to_table
+from repro.tables.partition import (
+    PartitionId,
+    partition_reads,
+    partition_reads_by_group,
+    partition_reference,
+    reference_row_table,
+)
+
+
+def test_partition_id_str():
+    assert str(PartitionId(1, 3)) == "chr1:3"
+    assert str(PartitionId(2, 0, 5)) == "chr2:0:rg5"
+
+
+def test_partition_reads_complete_and_disjoint(small_reads):
+    table = reads_to_table(small_reads)
+    parts = partition_reads(table, psize=1000)
+    assert parts.total_rows() == table.num_rows
+    seen = set()
+    for pid, part in parts:
+        for rowid in part.column("ROWID").tolist():
+            assert rowid not in seen
+            seen.add(rowid)
+    assert len(seen) == table.num_rows
+
+
+def test_partition_reads_respects_intervals(small_reads):
+    table = reads_to_table(small_reads)
+    parts = partition_reads(table, psize=1000)
+    for pid, part in parts:
+        for pos in part.column("POS").tolist():
+            assert pid.segment * 1000 <= pos < (pid.segment + 1) * 1000
+        for chrom in part.column("CHR").tolist():
+            assert chrom == pid.chrom
+
+
+def test_partition_by_group(small_reads):
+    table = reads_to_table(small_reads)
+    parts = partition_reads_by_group(table, psize=1000)
+    assert parts.total_rows() == table.num_rows
+    for pid, part in parts:
+        assert pid.read_group >= 0
+        for group in part.column("RG").tolist():
+            assert group == pid.read_group
+
+
+def test_partition_pids_sorted(small_reads):
+    table = reads_to_table(small_reads)
+    parts = partition_reads(table, psize=1000)
+    pids = parts.pids
+    keys = [(p.chrom, p.segment) for p in pids]
+    assert keys == sorted(keys)
+
+
+def test_partition_psize_validation(small_reads):
+    table = reads_to_table(small_reads)
+    with pytest.raises(ValueError):
+        partition_reads(table, psize=0)
+
+
+def test_reference_partition_lookup(small_genome):
+    ref = partition_reference(small_genome, psize=1000, overlap=100)
+    assert len(ref) == 5
+    row = ref.lookup(PartitionId(1, 2))
+    assert row["REFPOS"] == 2000
+    assert PartitionId(1, 4) in ref
+    assert PartitionId(1, 9) not in ref
+
+
+def test_read_partition_always_has_reference(small_reads, small_genome):
+    table = reads_to_table(small_reads)
+    parts = partition_reads(table, psize=750)
+    ref = partition_reference(small_genome, psize=750, overlap=80)
+    for pid, _part in parts:
+        assert pid in ref
+
+
+def test_reads_fit_in_reference_overlap(small_reads, small_genome):
+    """Every read's span must lie inside its partition's reference row —
+    the invariant the overlap tail exists for (Section III-B)."""
+    table = reads_to_table(small_reads)
+    psize, overlap = 800, 80
+    parts = partition_reads(table, psize=psize)
+    ref = partition_reference(small_genome, psize=psize, overlap=overlap)
+    for pid, part in parts:
+        row = ref.lookup(pid)
+        limit = int(row["REFPOS"]) + len(row["SEQ"])
+        for endpos in part.column("ENDPOS").tolist():
+            assert endpos < limit
+
+
+def test_reference_row_table(small_genome):
+    ref = partition_reference(small_genome, psize=1000, overlap=50)
+    row = ref.lookup(PartitionId(1, 1))
+    table = reference_row_table(row)
+    assert table.num_rows == 1
+    assert table.row(0)["REFPOS"] == 1000

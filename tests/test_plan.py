@@ -1,0 +1,99 @@
+"""Unit tests for logical plan construction."""
+
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.sql.plan import (
+    AggregateNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PosExplodeNode,
+    ProjectNode,
+    ReadExplodeNode,
+    ScanNode,
+    build_plan,
+    describe,
+    walk,
+)
+
+
+def plan_of(text):
+    return build_plan(parse_query(text))
+
+
+def test_scan_plan():
+    plan = plan_of("SELECT * FROM T")
+    assert isinstance(plan, ScanNode)
+    assert plan.table == "T"
+
+
+def test_projection_plan():
+    plan = plan_of("SELECT A, B FROM T")
+    assert isinstance(plan, ProjectNode)
+    assert isinstance(plan.child, ScanNode)
+
+
+def test_filter_plan():
+    plan = plan_of("SELECT A FROM T WHERE A > 1")
+    assert isinstance(plan, ProjectNode)
+    assert isinstance(plan.child, FilterNode)
+
+
+def test_join_plan():
+    plan = plan_of("SELECT * FROM A INNER JOIN B ON A.K = B.K")
+    assert isinstance(plan, JoinNode)
+    assert plan.kind == "inner"
+    assert isinstance(plan.left, ScanNode)
+    assert isinstance(plan.right, ScanNode)
+
+
+def test_group_by_plan():
+    plan = plan_of("SELECT G, SUM(V) FROM T GROUP BY G")
+    assert isinstance(plan, GroupByNode)
+
+
+def test_aggregate_plan():
+    plan = plan_of("SELECT SUM(V) FROM T")
+    assert isinstance(plan, AggregateNode)
+
+
+def test_limit_plan_is_outermost():
+    plan = plan_of("SELECT A FROM T LIMIT 2, 5")
+    assert isinstance(plan, LimitNode)
+    assert isinstance(plan.child, ProjectNode)
+
+
+def test_pos_explode_plan():
+    plan = plan_of("PosExplode (R.SEQ, R.POS) FROM R")
+    assert isinstance(plan, PosExplodeNode)
+
+
+def test_read_explode_plan():
+    plan = plan_of("ReadExplode (S.POS, S.CIGAR, S.SEQ) FROM S")
+    assert isinstance(plan, ReadExplodeNode)
+
+
+def test_subquery_becomes_nested_plan():
+    plan = plan_of("SELECT * FROM (SELECT A FROM T LIMIT 3)")
+    assert isinstance(plan, LimitNode)
+
+
+def test_walk_children_first():
+    plan = plan_of("SELECT SUM(V) FROM T WHERE V > 0")
+    nodes = list(walk(plan))
+    assert isinstance(nodes[0], ScanNode)
+    assert isinstance(nodes[-1], AggregateNode)
+
+
+def test_describe_renders_tree():
+    text = describe(plan_of("SELECT SUM(V) FROM A INNER JOIN B ON A.K = B.K"))
+    assert "Aggregate" in text
+    assert "Join(inner)" in text
+    assert "Scan(A)" in text and "Scan(B)" in text
+
+
+def test_build_plan_rejects_non_query():
+    with pytest.raises(TypeError):
+        build_plan("not a query")

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatk.metadata import recover_reference
+from repro.genomics.cigar import Cigar, CigarElement, decode_elements, encode_elements
+from repro.genomics.read import AlignedRead
+from repro.genomics.reference import Chromosome, ReferenceGenome
+from repro.genomics.sequences import (
+    decode_sequence,
+    encode_sequence,
+    reverse_complement,
+)
+from repro.hw.flit import item_flits, split_items
+from repro.tables.genomic_tables import reads_to_table, table_to_reads
+from repro.tables.partition import partition_reads
+
+# -- strategies ---------------------------------------------------------------
+
+base_strings = st.text(alphabet="ACGT", min_size=0, max_size=80)
+
+
+@st.composite
+def cigars(draw, max_elements=6):
+    """Canonical CIGARs: optional clips at the ends, alternating ops,
+    starting and ending the body with M."""
+    body_ops = []
+    n = draw(st.integers(1, max_elements))
+    previous = None
+    for i in range(n):
+        choices = [op for op in "MID" if op != previous]
+        if i == 0 or i == n - 1:
+            choices = ["M"]
+            if previous == "M":
+                break
+        op = draw(st.sampled_from(choices))
+        body_ops.append(op)
+        previous = op
+    elements = []
+    if draw(st.booleans()):
+        elements.append(CigarElement(draw(st.integers(1, 5)), "S"))
+    for op in body_ops:
+        elements.append(CigarElement(draw(st.integers(1, 10)), op))
+    if draw(st.booleans()):
+        elements.append(CigarElement(draw(st.integers(1, 5)), "S"))
+    return Cigar(elements)
+
+
+@st.composite
+def reads_with_genomes(draw):
+    cigar = draw(cigars())
+    read_len = cigar.read_length()
+    ref_len = cigar.reference_length()
+    pos = draw(st.integers(0, 50))
+    genome_len = pos + ref_len + 10
+    rng_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(rng_seed)
+    genome = ReferenceGenome([
+        Chromosome(1, rng.integers(0, 4, genome_len).astype(np.uint8),
+                   np.zeros(genome_len, dtype=bool))
+    ])
+    read = AlignedRead(
+        name="p",
+        chrom=1,
+        pos=pos,
+        cigar=cigar,
+        seq=rng.integers(0, 4, read_len).astype(np.uint8),
+        qual=rng.integers(2, 42, read_len).astype(np.uint8),
+        flags=0,
+    )
+    return read, genome
+
+
+# -- sequence properties ---------------------------------------------------------
+
+
+@given(base_strings)
+def test_sequence_roundtrip(text):
+    assert decode_sequence(encode_sequence(text)) == text
+
+
+@given(base_strings)
+def test_reverse_complement_involution(text):
+    seq = encode_sequence(text)
+    assert np.array_equal(reverse_complement(reverse_complement(seq)), seq)
+
+
+# -- CIGAR properties ---------------------------------------------------------------
+
+
+@given(cigars())
+def test_cigar_string_roundtrip(cigar):
+    assert Cigar.parse(str(cigar)) == cigar
+
+
+@given(cigars())
+def test_cigar_encode_roundtrip(cigar):
+    assert decode_elements(encode_elements(cigar)) == cigar
+
+
+@given(cigars(), st.integers(0, 1000))
+def test_walk_consumes_exactly_read_and_ref(cigar, pos):
+    steps = list(cigar.walk(pos))
+    read_consumed = sum(1 for op, _, _ in steps if op in ("M", "I"))
+    ref_consumed = sum(1 for op, _, _ in steps if op in ("M", "D"))
+    clip = cigar.leading_soft_clip() + cigar.trailing_soft_clip()
+    assert read_consumed == cigar.read_length() - clip
+    assert ref_consumed == cigar.reference_length()
+    ref_positions = [p for op, p, _ in steps if op != "I"]
+    assert ref_positions == list(range(pos, pos + ref_consumed))
+
+
+# -- MD-tag property -----------------------------------------------------------------
+
+
+@given(reads_with_genomes())
+@settings(max_examples=60)
+def test_md_recovers_reference_property(read_and_genome):
+    """For ANY read/reference, the MD tag reconstructs the aligned
+    reference bases (Section IV-C)."""
+    read, genome = read_and_genome
+    from repro.gatk.metadata import compute_read_metadata
+
+    meta = compute_read_metadata(read, genome)
+    recovered = recover_reference(read, meta.md)
+    expected = "".join(
+        decode_sequence([genome[1].seq[p]])
+        for op, p, _ in read.cigar.walk(read.pos)
+        if op in ("M", "D")
+    )
+    assert recovered == expected
+
+
+@given(reads_with_genomes())
+@settings(max_examples=60)
+def test_nm_bounds_property(read_and_genome):
+    """0 <= NM <= aligned+inserted+deleted bases; UQ <= quality sum."""
+    read, genome = read_and_genome
+    from repro.gatk.metadata import compute_read_metadata
+
+    meta = compute_read_metadata(read, genome)
+    max_nm = sum(e.length for e in read.cigar if e.op in "MID")
+    assert 0 <= meta.nm <= max_nm
+    assert 0 <= meta.uq <= read.quality_sum()
+
+
+# -- tables properties ------------------------------------------------------------------
+
+
+@given(st.lists(reads_with_genomes(), min_size=1, max_size=6))
+@settings(max_examples=30)
+def test_reads_table_roundtrip_property(pairs):
+    reads = [read for read, _ in pairs]
+    back = table_to_reads(reads_to_table(reads))
+    for original, roundtrip in zip(reads, back):
+        assert roundtrip.pos == original.pos
+        assert roundtrip.cigar == original.cigar
+        assert np.array_equal(roundtrip.seq, original.seq)
+
+
+@given(st.lists(reads_with_genomes(), min_size=1, max_size=8),
+       st.integers(10, 200))
+@settings(max_examples=30)
+def test_partitioning_complete_and_disjoint_property(pairs, psize):
+    reads = [read for read, _ in pairs]
+    table = reads_to_table(reads)
+    parts = partition_reads(table, psize)
+    rowids = []
+    for pid, part in parts:
+        rowids.extend(part.column("ROWID").tolist())
+        for pos in part.column("POS").tolist():
+            assert pos // psize == pid.segment
+    assert sorted(rowids) == list(range(len(reads)))
+
+
+# -- flit framing property ---------------------------------------------------------------
+
+
+@given(st.lists(st.lists(st.integers(0, 100), max_size=10), min_size=1, max_size=8))
+def test_item_framing_roundtrip(items):
+    flits = [flit for item in items for flit in item_flits(item)]
+    groups = split_items(flits)
+    recovered = [
+        [flit["value"] for flit in group if "value" in flit]
+        for group in groups
+    ]
+    assert recovered == items
+
+
+# -- hardware-vs-software property -----------------------------------------------------------
+
+
+@given(st.lists(st.lists(st.integers(0, 60), max_size=20), min_size=1, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_quality_sum_pipeline_property(quals):
+    """The Figure 10 pipeline equals a plain software sum for any input."""
+    from repro.accel.markdup import run_quality_sums
+
+    result = run_quality_sums(quals)
+    assert result.quality_sums == [sum(item) for item in quals]

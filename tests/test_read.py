@@ -1,0 +1,106 @@
+"""Unit tests for aligned read records and mark-duplicates keys."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import (
+    FLAG_DUPLICATE,
+    FLAG_PAIRED,
+    FLAG_REVERSE,
+    AlignedRead,
+    pair_key,
+)
+
+
+def make_read(pos=100, cigar="5M", seq=None, qual=None, flags=0):
+    cig = Cigar.parse(cigar)
+    n = cig.read_length()
+    return AlignedRead(
+        name="r1",
+        chrom=1,
+        pos=pos,
+        cigar=cig,
+        seq=seq if seq is not None else np.zeros(n, dtype=np.uint8),
+        qual=qual if qual is not None else np.full(n, 30, dtype=np.uint8),
+        flags=flags,
+    )
+
+
+def test_end_pos():
+    read = make_read(pos=100, cigar="5M")
+    assert read.end_pos == 104
+
+
+def test_end_pos_with_deletion():
+    read = make_read(pos=100, cigar="3M2D2M")
+    assert read.end_pos == 106
+
+
+def test_seq_qual_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        make_read(cigar="5M", seq=np.zeros(5, dtype=np.uint8),
+                  qual=np.zeros(4, dtype=np.uint8))
+
+
+def test_cigar_seq_mismatch_rejected():
+    with pytest.raises(ValueError):
+        make_read(cigar="6M", seq=np.zeros(5, dtype=np.uint8),
+                  qual=np.zeros(5, dtype=np.uint8))
+
+
+def test_flags_properties():
+    read = make_read(flags=FLAG_REVERSE | FLAG_PAIRED)
+    assert read.is_reverse
+    assert read.is_paired
+    assert not read.is_duplicate
+
+
+def test_set_duplicate():
+    read = make_read()
+    read.set_duplicate(True)
+    assert read.flags & FLAG_DUPLICATE
+    read.set_duplicate(False)
+    assert not read.is_duplicate
+
+
+def test_unclipped_5prime_forward():
+    read = make_read(pos=100, cigar="3S5M")
+    assert read.unclipped_5prime() == 97
+
+
+def test_unclipped_5prime_reverse():
+    read = make_read(pos=100, cigar="5M2S", flags=FLAG_REVERSE)
+    assert read.unclipped_5prime() == 106
+
+
+def test_quality_sum():
+    read = make_read(cigar="4M", qual=np.array([10, 20, 30, 40], dtype=np.uint8))
+    assert read.quality_sum() == 100
+
+
+def test_quality_sum_no_overflow():
+    # 1000 bases of quality 255 would overflow uint8 accumulation.
+    read = make_read(cigar="1000M",
+                     seq=np.zeros(1000, dtype=np.uint8),
+                     qual=np.full(1000, 41, dtype=np.uint8))
+    assert read.quality_sum() == 41_000
+
+
+def test_pair_key_single():
+    read = make_read(pos=100, cigar="3S5M")
+    assert pair_key(read) == (1, 97, False)
+
+
+def test_pair_key_is_order_independent():
+    first = make_read(pos=100, cigar="5M")
+    second = make_read(pos=300, cigar="5M", flags=FLAG_REVERSE)
+    assert pair_key(first, second) == pair_key(second, first)
+
+
+def test_pair_key_distinguishes_strand():
+    fwd = make_read(pos=100, cigar="5M")
+    rev = make_read(pos=96, cigar="5M", flags=FLAG_REVERSE)
+    # rev's unclipped 5' end (96+4=100) equals fwd's start, strands differ.
+    assert rev.unclipped_5prime() == fwd.unclipped_5prime() == 100
+    assert pair_key(fwd) != pair_key(rev)

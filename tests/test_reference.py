@@ -1,0 +1,98 @@
+"""Unit tests for the reference genome substrate."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.reference import (
+    CHROMOSOMES,
+    GRCH38_CHROMOSOME_LENGTHS,
+    Chromosome,
+    ReferenceGenome,
+    chromosome_name,
+)
+
+
+def test_chromosome_names():
+    assert chromosome_name(1) == "1"
+    assert chromosome_name(22) == "22"
+    assert chromosome_name(23) == "X"
+    assert chromosome_name(24) == "Y"
+
+
+def test_grch38_lengths_plausible():
+    assert len(CHROMOSOMES) == 24
+    assert GRCH38_CHROMOSOME_LENGTHS[1] > GRCH38_CHROMOSOME_LENGTHS[21]
+    total = sum(GRCH38_CHROMOSOME_LENGTHS.values())
+    assert 3.0e9 < total < 3.2e9  # "roughly 3 billion base pairs" (Section II)
+
+
+def test_random_genome_deterministic():
+    a = ReferenceGenome.random({1: 1000}, seed=5)
+    b = ReferenceGenome.random({1: 1000}, seed=5)
+    assert np.array_equal(a[1].seq, b[1].seq)
+    assert np.array_equal(a[1].is_snp, b[1].is_snp)
+
+
+def test_random_genome_different_seeds_differ():
+    a = ReferenceGenome.random({1: 1000}, seed=5)
+    b = ReferenceGenome.random({1: 1000}, seed=6)
+    assert not np.array_equal(a[1].seq, b[1].seq)
+
+
+def test_snp_rate_approximate():
+    genome = ReferenceGenome.random({1: 200_000}, snp_rate=0.01, seed=7)
+    rate = genome[1].is_snp.mean()
+    assert 0.007 < rate < 0.013
+
+
+def test_snp_rate_validation():
+    with pytest.raises(ValueError):
+        ReferenceGenome.random({1: 100}, snp_rate=1.5)
+
+
+def test_fetch_bounds():
+    genome = ReferenceGenome.random({1: 100}, seed=8)
+    assert len(genome.fetch(1, 10, 20)) == 10
+    with pytest.raises(IndexError):
+        genome.fetch(1, 90, 101)
+    with pytest.raises(IndexError):
+        genome.fetch(1, -1, 5)
+    with pytest.raises(IndexError):
+        genome.fetch(1, 20, 10)
+
+
+def test_fetch_snp_matches_bitmap():
+    genome = ReferenceGenome.random({1: 500}, snp_rate=0.1, seed=9)
+    window = genome.fetch_snp(1, 100, 200)
+    assert np.array_equal(window, genome[1].is_snp[100:200])
+
+
+def test_grch38_like_preserves_proportions():
+    # Scale large enough that the 1 kbp minimum-length clamp never bites.
+    genome = ReferenceGenome.grch38_like(scale=1e-4, seed=10)
+    ratio = genome.length(1) / genome.length(21)
+    true_ratio = GRCH38_CHROMOSOME_LENGTHS[1] / GRCH38_CHROMOSOME_LENGTHS[21]
+    assert abs(ratio - true_ratio) / true_ratio < 0.01
+
+
+def test_total_length():
+    genome = ReferenceGenome.random({1: 100, 2: 250}, seed=11)
+    assert genome.total_length() == 350
+    assert genome.chromosomes == [1, 2]
+    assert 1 in genome and 3 not in genome
+
+
+def test_duplicate_chromosome_rejected():
+    chrom = Chromosome(1, np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=bool))
+    with pytest.raises(ValueError):
+        ReferenceGenome([chrom, chrom])
+
+
+def test_empty_genome_rejected():
+    with pytest.raises(ValueError):
+        ReferenceGenome([])
+
+
+def test_chromosome_seq_snp_length_mismatch():
+    with pytest.raises(ValueError):
+        Chromosome(1, np.zeros(10, dtype=np.uint8), np.zeros(9, dtype=bool))

@@ -1,0 +1,80 @@
+"""Unit tests for the SAM-style serialization."""
+
+import io
+
+import numpy as np
+
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import AlignedRead
+from repro.genomics.sam import format_read, parse_read, read_sam, write_sam
+
+
+def make_read(**overrides):
+    defaults = dict(
+        name="readA",
+        chrom=1,
+        pos=99,
+        cigar=Cigar.parse("3M1I2M"),
+        seq=np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8),
+        qual=np.array([30, 31, 32, 33, 34, 35], dtype=np.uint8),
+        flags=16,
+        read_group=2,
+    )
+    defaults.update(overrides)
+    return AlignedRead(**defaults)
+
+
+def test_roundtrip_basic_fields():
+    read = make_read()
+    parsed = parse_read(format_read(read))
+    assert parsed.name == read.name
+    assert parsed.chrom == read.chrom
+    assert parsed.pos == read.pos
+    assert str(parsed.cigar) == str(read.cigar)
+    assert np.array_equal(parsed.seq, read.seq)
+    assert np.array_equal(parsed.qual, read.qual)
+    assert parsed.flags == read.flags
+    assert parsed.read_group == read.read_group
+
+
+def test_roundtrip_tags():
+    read = make_read()
+    read.tags["NM"] = 3
+    read.tags["UQ"] = 61
+    read.tags["MD"] = "2A2"
+    parsed = parse_read(format_read(read))
+    assert parsed.tags["NM"] == 3
+    assert parsed.tags["UQ"] == 61
+    assert parsed.tags["MD"] == "2A2"
+
+
+def test_sam_is_one_based():
+    line = format_read(make_read(pos=99))
+    assert line.split("\t")[3] == "100"
+
+
+def test_x_y_chromosomes():
+    for chrom, name in ((23, "X"), (24, "Y")):
+        read = make_read(chrom=chrom)
+        line = format_read(read)
+        assert line.split("\t")[2] == name
+        assert parse_read(line).chrom == chrom
+
+
+def test_write_read_stream(small_genome, small_reads):
+    buffer = io.StringIO()
+    count = write_sam(buffer, small_reads, small_genome)
+    assert count == len(small_reads)
+    buffer.seek(0)
+    parsed = read_sam(buffer)
+    assert len(parsed) == len(small_reads)
+    for original, roundtrip in zip(small_reads, parsed):
+        assert roundtrip.pos == original.pos
+        assert str(roundtrip.cigar) == str(original.cigar)
+
+
+def test_header_lines_written(small_genome):
+    buffer = io.StringIO()
+    write_sam(buffer, [], small_genome)
+    lines = buffer.getvalue().splitlines()
+    assert lines and all(line.startswith("@SQ") for line in lines)

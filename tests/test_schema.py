@@ -1,0 +1,60 @@
+"""Unit tests for column specs and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.tables.schema import ColumnSpec, Schema
+
+
+def test_scalar_spec():
+    spec = ColumnSpec("POS", "uint32")
+    assert not spec.is_array
+    assert spec.dtype == np.dtype(np.uint32)
+    assert spec.element_size == 4
+
+
+def test_array_spec():
+    spec = ColumnSpec("SEQ", "uint8[]")
+    assert spec.is_array
+    assert spec.element_size == 1
+
+
+def test_invalid_kind():
+    with pytest.raises(ValueError):
+        ColumnSpec("X", "float128")
+
+
+def test_invalid_name():
+    with pytest.raises(ValueError):
+        ColumnSpec("2bad", "uint8")
+    with pytest.raises(ValueError):
+        ColumnSpec("", "uint8")
+
+
+def test_schema_of_ordering():
+    schema = Schema.of(A="uint8", B="uint32", C="bool")
+    assert schema.names == ("A", "B", "C")
+    assert len(schema) == 3
+
+
+def test_schema_lookup():
+    schema = Schema.of(POS="uint32", SEQ="uint8[]")
+    assert schema["SEQ"].is_array
+    assert "POS" in schema
+    assert "QUAL" not in schema
+
+
+def test_schema_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema((ColumnSpec("A", "uint8"), ColumnSpec("A", "uint32")))
+
+
+def test_schema_subset():
+    schema = Schema.of(A="uint8", B="uint32", C="bool")
+    sub = schema.subset(["C", "A"])
+    assert sub.names == ("C", "A")
+
+
+def test_schema_equality():
+    assert Schema.of(A="uint8") == Schema.of(A="uint8")
+    assert Schema.of(A="uint8") != Schema.of(A="uint16")

@@ -1,0 +1,110 @@
+"""Tests for FM-index seed finding: software kernel and hardware pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.accel.fm_seeding import full_occ_table, run_fm_seeding
+from repro.fmindex import FmIndex, find_seeds, seed_coverage, verify_seeds
+from repro.genomics.sequences import random_sequence
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(61)
+    ref = random_sequence(2500, rng)
+    return FmIndex(ref), ref, rng
+
+
+def test_perfect_read_yields_single_seed(setup):
+    index, ref, _rng = setup
+    read = ref[500:560]
+    seeds = find_seeds(index, read, min_seed_length=20)
+    assert len(seeds) == 1
+    assert seeds[0].read_start == 0
+    assert seeds[0].length == 60
+    assert 500 in index.locate(seeds[0].interval)
+
+
+def test_mismatch_splits_seeds(setup):
+    index, ref, _rng = setup
+    read = ref[800:860].copy()
+    read[30] = (read[30] + 1) % 4
+    seeds = find_seeds(index, read, min_seed_length=15)
+    assert len(seeds) == 2
+    # Seeds flank the mismatch.
+    assert seeds[0].read_end <= 31 or seeds[0].read_start >= 30
+    assert verify_seeds(index, read, seeds)
+
+
+def test_min_seed_length_filters(setup):
+    index, ref, _rng = setup
+    read = ref[100:130].copy()
+    read[10] = (read[10] + 1) % 4  # left fragment 10bp, right 19bp
+    long_only = find_seeds(index, read, min_seed_length=15)
+    assert all(seed.length >= 15 for seed in long_only)
+    permissive = find_seeds(index, read, min_seed_length=5)
+    assert len(permissive) >= len(long_only)
+
+
+def test_max_hits_drops_repetitive(setup):
+    index, _ref, _rng = setup
+    # A poly-A run is highly repetitive; with max_hits=1 it is dropped.
+    read = np.zeros(25, dtype=np.uint8)
+    strict = find_seeds(index, read, min_seed_length=4, max_hits=1)
+    assert strict == [] or all(s.hits <= 1 for s in strict)
+
+
+def test_seed_coverage(setup):
+    index, ref, _rng = setup
+    read = ref[300:360]
+    seeds = find_seeds(index, read, min_seed_length=20)
+    assert seed_coverage(seeds, len(read)) == pytest.approx(1.0)
+    assert seed_coverage([], 10) == 0.0
+    assert seed_coverage([], 0) == 0.0
+
+
+def test_validation(setup):
+    index, ref, _rng = setup
+    with pytest.raises(ValueError):
+        find_seeds(index, ref[:10], min_seed_length=0)
+
+
+def test_full_occ_table_matches_index(setup):
+    index, _ref, _rng = setup
+    table = full_occ_table(index)
+    for i in range(0, index.length + 1, 131):
+        for c in range(4):
+            assert table[i][c] == index.occ(c, i)
+
+
+def test_hw_seeding_matches_software(setup):
+    index, ref, _rng = setup
+    rng = np.random.default_rng(62)
+    reads = []
+    for _ in range(12):
+        start = int(rng.integers(0, len(ref) - 70))
+        read = ref[start:start + 70].copy()
+        for _ in range(int(rng.integers(0, 3))):
+            position = int(rng.integers(0, len(read)))
+            read[position] = (read[position] + 1) % 4
+        reads.append(read)
+    result = run_fm_seeding(index, reads, min_seed_length=15)
+    assert len(result.seeds) == len(reads)
+    for read, hw_seeds in zip(reads, result.seeds):
+        sw_seeds = find_seeds(index, read, min_seed_length=15)
+        assert [(s.read_start, s.length, s.interval) for s in hw_seeds] == \
+            [(s.read_start, s.length, s.interval) for s in sw_seeds]
+
+
+def test_hw_seeding_empty_read(setup):
+    index, _ref, _rng = setup
+    result = run_fm_seeding(index, [np.array([], dtype=np.uint8)])
+    assert result.seeds == [[]]
+
+
+def test_hw_cycle_cost_tracks_extensions(setup):
+    """Each base costs ~1 load cycle + ~1 extension cycle."""
+    index, ref, _rng = setup
+    read = ref[1000:1100]
+    result = run_fm_seeding(index, [read], min_seed_length=20)
+    assert result.stats.cycles < len(read) * 4 + 50

@@ -1,0 +1,91 @@
+"""Unit tests for base-pair sequence encoding."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.sequences import (
+    BASES,
+    N_CODE,
+    complement,
+    decode_base,
+    decode_sequence,
+    encode_base,
+    encode_sequence,
+    gc_content,
+    random_sequence,
+    reverse_complement,
+)
+
+
+def test_alphabet_order():
+    assert BASES == "ACGT"
+    assert [encode_base(b) for b in "ACGT"] == [0, 1, 2, 3]
+
+
+def test_encode_decode_roundtrip():
+    assert decode_sequence(encode_sequence("ACGTACGT")) == "ACGTACGT"
+
+
+def test_encode_lowercase():
+    assert encode_base("a") == 0
+    assert decode_sequence(encode_sequence("acgt")) == "ACGT"
+
+
+def test_n_base():
+    assert encode_base("N") == N_CODE
+    assert decode_base(N_CODE) == "N"
+
+
+def test_encode_invalid_base():
+    with pytest.raises(ValueError):
+        encode_base("Z")
+
+
+def test_decode_invalid_code():
+    with pytest.raises(ValueError):
+        decode_base(9)
+
+
+def test_complement_pairs():
+    seq = encode_sequence("ACGTN")
+    assert decode_sequence(complement(seq)) == "TGCAN"
+
+
+def test_reverse_complement():
+    seq = encode_sequence("AACGT")
+    assert decode_sequence(reverse_complement(seq)) == "ACGTT"
+
+
+def test_reverse_complement_involution():
+    rng = np.random.default_rng(1)
+    seq = random_sequence(97, rng)
+    assert np.array_equal(reverse_complement(reverse_complement(seq)), seq)
+
+
+def test_random_sequence_range():
+    rng = np.random.default_rng(2)
+    seq = random_sequence(1000, rng)
+    assert seq.dtype == np.uint8
+    assert seq.min() >= 0 and seq.max() <= 3
+
+
+def test_random_sequence_negative_length():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        random_sequence(-1, rng)
+
+
+def test_gc_content_all_gc():
+    assert gc_content(encode_sequence("GCGC")) == 1.0
+
+
+def test_gc_content_none():
+    assert gc_content(encode_sequence("ATAT")) == 0.0
+
+
+def test_gc_content_ignores_n():
+    assert gc_content(encode_sequence("GCNN")) == 1.0
+
+
+def test_gc_content_empty():
+    assert gc_content(np.array([], dtype=np.uint8)) == 0.0

@@ -1,0 +1,139 @@
+"""Unit tests for the Illumina-like read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import pair_key
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.simulator import ReadSimulator, SimulatorConfig
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return ReferenceGenome.random({1: 8000, 2: 4000}, seed=42)
+
+
+def test_reads_have_machine_length(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=1, read_length=75))
+    for read in sim.simulate(50):
+        assert len(read.seq) == 75
+        assert len(read.qual) == 75
+        assert read.cigar.read_length() == 75
+
+
+def test_reads_sorted_by_coordinate(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=2))
+    reads = sim.simulate(60)
+    keys = [(r.chrom, r.pos) for r in reads]
+    assert keys == sorted(keys)
+
+
+def test_deterministic_with_seed(genome):
+    a = ReadSimulator(genome, SimulatorConfig(seed=3)).simulate(30)
+    b = ReadSimulator(genome, SimulatorConfig(seed=3)).simulate(30)
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.pos == rb.pos
+        assert str(ra.cigar) == str(rb.cigar)
+        assert np.array_equal(ra.seq, rb.seq)
+
+
+def test_duplicates_share_key(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=4, duplicate_rate=1.0))
+    reads = sim.simulate(20)
+    keys = [pair_key(r) for r in reads]
+    # With duplicate_rate=1 every fragment spawns at least one duplicate.
+    assert len(set(keys)) < len(keys)
+
+
+def test_no_duplicates_when_rate_zero(genome):
+    sim = ReadSimulator(
+        genome, SimulatorConfig(seed=5, duplicate_rate=0.0, soft_clip_rate=0.0)
+    )
+    reads = sim.simulate(40)
+    assert len(reads) == 40
+
+
+def test_quality_range(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=6))
+    for read in sim.simulate(30):
+        assert read.qual.min() >= 2
+        assert read.qual.max() <= 41
+
+
+def test_read_groups_assigned(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=7, read_groups=3))
+    groups = {read.read_group for read in sim.simulate(60)}
+    assert groups <= {0, 1, 2}
+    assert len(groups) > 1
+
+
+def test_alignment_is_consistent_with_reference(genome):
+    """With zero error rates, every M base must equal the reference."""
+    config = SimulatorConfig(
+        seed=8, substitution_rate=0.0, insertion_rate=0.0,
+        deletion_rate=0.0, soft_clip_rate=0.0, duplicate_rate=0.0,
+    )
+    sim = ReadSimulator(genome, config)
+    for read in sim.simulate(30):
+        ref = genome[read.chrom].seq
+        for op, ref_pos, read_index in read.cigar.walk(read.pos):
+            assert op == "M"
+            assert int(read.seq[read_index]) == int(ref[ref_pos])
+
+
+def test_indels_present_at_high_rate(genome):
+    config = SimulatorConfig(seed=9, insertion_rate=0.05, deletion_rate=0.05)
+    sim = ReadSimulator(genome, config)
+    ops = set()
+    for read in sim.simulate(30):
+        ops.update(element.op for element in read.cigar)
+    assert "I" in ops and "D" in ops
+
+
+def test_soft_clips_present(genome):
+    config = SimulatorConfig(seed=10, soft_clip_rate=1.0)
+    sim = ReadSimulator(genome, config)
+    assert any(
+        read.cigar.leading_soft_clip() or read.cigar.trailing_soft_clip()
+        for read in sim.simulate(20)
+    )
+
+
+def test_cigar_canonical(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=11))
+    for read in sim.simulate(50):
+        assert read.cigar.is_canonical(), str(read.cigar)
+
+
+def test_paired_reads(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=12, paired=True))
+    reads = sim.simulate_pairs(15)
+    assert len(reads) == 30
+    by_name = {}
+    for read in reads:
+        by_name.setdefault(read.name, []).append(read)
+    for name, pair in by_name.items():
+        assert len(pair) == 2
+        assert pair[0].is_paired and pair[1].is_paired
+        strands = sorted(r.is_reverse for r in pair)
+        assert strands == [False, True]
+
+
+def test_chromosome_restriction(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=13))
+    assert all(r.chrom == 2 for r in sim.simulate(20, chrom=2))
+
+
+def test_unknown_chromosome_rejected(genome):
+    sim = ReadSimulator(genome, SimulatorConfig(seed=14))
+    with pytest.raises(KeyError):
+        sim.simulate(5, chrom=99)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulatorConfig(read_length=2)
+    with pytest.raises(ValueError):
+        SimulatorConfig(substitution_rate=1.5)

@@ -1,0 +1,88 @@
+"""Tests for the accelerated-stage timing model (Figure 13)."""
+
+import pytest
+
+from repro.perf.cpu_model import PAPER_READS
+from repro.perf.timing import (
+    CALIBRATIONS,
+    METADATA_CAL,
+    model_stage,
+    model_stage_pcie4,
+    with_pipelines,
+)
+
+
+def test_speedups_match_paper_shape():
+    """Figure 13(a): 2.08x / 19.25x / 12.59x."""
+    targets = {"markdup": 2.08, "metadata": 19.25, "bqsr_table": 12.59}
+    for stage, target in targets.items():
+        timing = model_stage(stage, PAPER_READS, 151)
+        assert timing.speedup == pytest.approx(target, rel=0.15), stage
+
+
+def test_speedup_ordering():
+    speedups = {
+        stage: model_stage(stage, PAPER_READS, 151).speedup
+        for stage in CALIBRATIONS
+    }
+    assert speedups["metadata"] > speedups["bqsr_table"] > speedups["markdup"]
+
+
+def test_markdup_host_dominated():
+    """Figure 13(b): the un-accelerated software portion dominates mark
+    duplicates (~99%)."""
+    breakdown = model_stage("markdup", PAPER_READS, 151).breakdown()
+    assert breakdown["host"] > 0.9
+
+
+def test_metadata_pcie_bound():
+    """Figure 13(b): PCIe is 53.4% of metadata-update runtime."""
+    breakdown = model_stage("metadata", PAPER_READS, 151).breakdown()
+    assert breakdown["pcie"] == pytest.approx(0.534, abs=0.08)
+
+
+def test_bqsr_pcie_fraction():
+    """Figure 13(b): PCIe is 29.5% of BQSR runtime."""
+    breakdown = model_stage("bqsr_table", PAPER_READS, 151).breakdown()
+    assert breakdown["pcie"] == pytest.approx(0.295, abs=0.08)
+
+
+def test_pcie4_what_if():
+    """Section V-B: PCIe 4.0 lifts metadata to ~33x and BQSR to ~16.4x."""
+    metadata = model_stage_pcie4("metadata", PAPER_READS, 151)
+    bqsr = model_stage_pcie4("bqsr_table", PAPER_READS, 151)
+    assert metadata.speedup == pytest.approx(33.0, rel=0.15)
+    assert bqsr.speedup == pytest.approx(16.4, rel=0.15)
+
+
+def test_pcie4_never_slower():
+    for stage in CALIBRATIONS:
+        v3 = model_stage(stage, PAPER_READS, 151)
+        v4 = model_stage_pcie4(stage, PAPER_READS, 151)
+        assert v4.speedup >= v3.speedup
+
+
+def test_breakdown_sums_to_one():
+    for stage in CALIBRATIONS:
+        breakdown = model_stage(stage, PAPER_READS, 151).breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_more_pipelines_reduce_hw_time():
+    cal8 = with_pipelines(METADATA_CAL, 8)
+    cal32 = with_pipelines(METADATA_CAL, 32)
+    t8 = model_stage("metadata", PAPER_READS, 151, calibration=cal8)
+    t32 = model_stage("metadata", PAPER_READS, 151, calibration=cal32)
+    assert t32.hw_seconds < t8.hw_seconds
+    assert t32.pcie_seconds == t8.pcie_seconds  # PCIe unaffected
+
+
+def test_with_pipelines_validation():
+    with pytest.raises(ValueError):
+        with_pipelines(METADATA_CAL, 0)
+
+
+def test_measured_cpb_moves_hw_component():
+    slow = model_stage("metadata", PAPER_READS, 151, cycles_per_base=2.0)
+    fast = model_stage("metadata", PAPER_READS, 151, cycles_per_base=1.0)
+    assert slow.hw_seconds == pytest.approx(2 * fast.hw_seconds)

@@ -1,0 +1,78 @@
+"""Tests for the cycle tracer."""
+
+from repro.hw.engine import Engine
+from repro.hw.flit import item_flits
+from repro.hw.modules import Reducer
+from repro.hw.trace import Tracer
+
+from hw_harness import ListSink, ListSource
+
+
+def build_chain(n_values=20):
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits(list(range(n_values)))))
+    middle = engine.add_module(Reducer("mid", op="sum"))
+    sink = engine.add_module(ListSink("sink"))
+    engine.connect(source, middle)
+    engine.connect(middle, sink)
+    return engine, source, middle, sink
+
+
+def test_traced_run_matches_untraced_result():
+    engine, _src, _mid, sink = build_chain()
+    tracer = Tracer(engine)
+    tracer.run_traced()
+    assert len(sink.collected) == 1
+    assert sink.collected[0]["value"] == sum(range(20))
+
+
+def test_utilization_sums():
+    engine, source, _mid, _sink = build_chain()
+    tracer = Tracer(engine)
+    tracer.run_traced()
+    summary = tracer.summary()
+    assert 0 < summary["src"]["utilization"] <= 1.0
+    for stats in summary.values():
+        total = stats["utilization"] + stats["stalled"] + stats["starved"]
+        assert total <= 1.0 + 1e-9
+
+
+def test_bottleneck_is_busiest_module():
+    engine, _src, _mid, _sink = build_chain()
+    tracer = Tracer(engine)
+    tracer.run_traced()
+    assert tracer.bottleneck() in ("src", "mid", "sink")
+
+
+def test_render_waveform():
+    engine, _src, _mid, _sink = build_chain(5)
+    tracer = Tracer(engine)
+    tracer.run_traced()
+    text = tracer.render(width=40)
+    assert "src" in text and "sink" in text
+    assert "#" in text  # some activity recorded
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + three modules
+
+
+def test_max_cycles_caps_samples():
+    engine, _src, _mid, _sink = build_chain(50)
+    tracer = Tracer(engine, max_cycles=10)
+    tracer.run_traced(max_cycles=10)
+    assert tracer.cycles_traced == 10
+
+
+def test_backpressure_visible_in_trace():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits(list(range(40)))))
+
+    class SlowSink(ListSink):
+        def tick(self, cycle):
+            if cycle % 3 == 0:
+                super().tick(cycle)
+
+    sink = engine.add_module(SlowSink("sink"))
+    engine.connect(source, sink, capacity=2)
+    tracer = Tracer(engine)
+    tracer.run_traced()
+    assert tracer.summary()["src"]["stalled"] > 0.2

@@ -1,0 +1,39 @@
+"""Tracer integration with a real accelerator pipeline."""
+
+from repro.accel.common import load_reference_spm, spm_base
+from repro.accel.example_query import (
+    build_example_pipeline,
+    configure_example_streams,
+    count_matching_bases_sw,
+)
+from repro.hw.engine import Engine
+from repro.hw.memory import MemorySystem
+from repro.hw.trace import Tracer
+
+
+def test_trace_real_pipeline(workload):
+    pid, part = max(
+        ((p, t) for p, t in workload.partitions), key=lambda x: x[1].num_rows
+    )
+    ref_row = workload.reference.lookup(pid)
+    spm, _ = load_reference_spm(ref_row)
+    engine = Engine(MemorySystem())
+    pipe = build_example_pipeline(engine, "tr", spm, spm_base(ref_row))
+    configure_example_streams(pipe, part)
+    tracer = Tracer(engine, max_cycles=50_000)
+    tracer.run_traced()
+
+    # Tracing must not change functional results.
+    counts = [int(item[0]) for item in pipe.modules["tr.writer"].items]
+    assert counts == count_matching_bases_sw(part, ref_row)
+
+    summary = tracer.summary()
+    # The base-granularity modules are the busy ones; the per-read modules
+    # (pos/endpos readers, writer) mostly idle.
+    assert summary["tr.r2b"]["utilization"] > summary["tr.pos"]["utilization"]
+    assert summary["tr.join"]["utilization"] > 0.3
+    assert tracer.bottleneck() in summary
+
+    waveform = tracer.render(width=60)
+    assert "tr.join" in waveform
+    assert "#" in waveform

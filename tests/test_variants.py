@@ -1,0 +1,104 @@
+"""Unit tests for the variant substrate (records, callsets, VCF)."""
+
+import io
+
+import pytest
+
+from repro.variants import CallSet, Variant, read_vcf, snv, write_vcf
+
+
+def v(chrom=1, pos=10, ref="A", alt="C", **kwargs):
+    return Variant(chrom=chrom, pos=pos, ref=ref, alt=alt, **kwargs)
+
+
+def test_variant_classification():
+    assert v(ref="A", alt="C").is_snv
+    assert v(ref="A", alt="ACG").is_insertion
+    assert v(ref="ACG", alt="A").is_deletion
+
+
+def test_variant_validation():
+    with pytest.raises(ValueError):
+        v(ref="")
+    with pytest.raises(ValueError):
+        v(genotype="2/2")
+
+
+def test_allele_fraction():
+    assert v(depth=10, alt_depth=4).allele_fraction == pytest.approx(0.4)
+    assert v(depth=0).allele_fraction == 0.0
+
+
+def test_snv_constructor():
+    variant = snv(2, 99, 0, 3)
+    assert variant.ref == "A" and variant.alt == "T"
+
+
+def test_callset_sorted_iteration():
+    callset = CallSet([v(pos=30), v(pos=10), v(chrom=2, pos=5), v(pos=20)])
+    keys = [(x.chrom, x.pos) for x in callset]
+    assert keys == sorted(keys)
+
+
+def test_callset_add_keeps_order():
+    callset = CallSet([v(pos=20)])
+    callset.add(v(pos=5))
+    assert [x.pos for x in callset] == [5, 20]
+
+
+def test_intersect_and_subtract():
+    a = CallSet([v(pos=1), v(pos=2), v(pos=3)], name="a")
+    b = CallSet([v(pos=2), v(pos=3, alt="G"), v(pos=9)], name="b")
+    inter = a.intersect(b)
+    assert [x.pos for x in inter] == [2]  # pos 3 differs in alt allele
+    diff = a.subtract(b)
+    assert [x.pos for x in diff] == [1, 3]
+
+
+def test_snv_indel_split():
+    calls = CallSet([v(pos=1), v(pos=2, alt="ACG")])
+    assert len(calls.snvs()) == 1
+    assert len(calls.indels()) == 1
+
+
+def test_concordance_metrics():
+    truth = CallSet([v(pos=1), v(pos=2), v(pos=3), v(pos=4)])
+    called = CallSet([v(pos=1), v(pos=2), v(pos=99)])
+    metrics = called.concordance(truth)
+    assert metrics["precision"] == pytest.approx(2 / 3)
+    assert metrics["recall"] == pytest.approx(0.5)
+    assert 0 < metrics["f1"] < 1
+
+
+def test_concordance_empty_sets():
+    assert CallSet([]).concordance(CallSet([v()]))["f1"] == 0.0
+
+
+def test_by_chromosome():
+    calls = CallSet([v(chrom=1, pos=1), v(chrom=2, pos=2), v(chrom=1, pos=3)])
+    grouped = calls.by_chromosome()
+    assert len(grouped[1]) == 2 and len(grouped[2]) == 1
+
+
+def test_vcf_roundtrip():
+    calls = CallSet([
+        v(pos=9, qual=31.5, genotype="1/1", depth=20, alt_depth=19),
+        v(chrom=23, pos=100, ref="G", alt="GTT", depth=8, alt_depth=4),
+    ], name="test")
+    buffer = io.StringIO()
+    count = write_vcf(buffer, calls)
+    assert count == 2
+    buffer.seek(0)
+    back = read_vcf(buffer, name="back")
+    assert back.keys() == calls.keys()
+    first = back[0]
+    assert first.qual == pytest.approx(31.5)
+    assert first.genotype == "1/1"
+    assert first.depth == 20 and first.alt_depth == 19
+
+
+def test_vcf_one_based_positions():
+    buffer = io.StringIO()
+    write_vcf(buffer, CallSet([v(pos=0)]))
+    data_line = buffer.getvalue().splitlines()[-1]
+    assert data_line.split("\t")[1] == "1"

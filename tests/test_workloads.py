@@ -1,0 +1,47 @@
+"""Tests for the evaluation workload builder."""
+
+from repro.eval.workloads import (
+    make_single_chromosome_workload,
+    make_workload,
+    per_chromosome_counts,
+)
+
+
+def test_default_workload_structure(workload):
+    assert workload.n_reads >= 80
+    assert workload.partitions.total_rows() == workload.n_reads
+    assert workload.group_partitions.total_rows() == workload.n_reads
+
+
+def test_all_partitions_have_reference(workload):
+    for pid, _part in workload.partitions:
+        assert pid in workload.reference
+    for pid, _part in workload.group_partitions:
+        assert pid in workload.reference
+
+
+def test_overlap_covers_read_span(workload):
+    for pid, part in workload.partitions:
+        row = workload.reference.lookup(pid)
+        limit = int(row["REFPOS"]) + len(row["SEQ"])
+        for endpos in part.column("ENDPOS").tolist():
+            assert endpos < limit
+
+
+def test_single_chromosome_workload():
+    wl = make_single_chromosome_workload(chrom=21, n_reads=30)
+    assert all(read.chrom == 21 for read in wl.reads)
+
+
+def test_per_chromosome_counts(workload):
+    counts = per_chromosome_counts(workload)
+    assert sum(counts.values()) == workload.n_reads
+    assert set(counts) <= {20, 21}
+    for chrom, count in counts.items():
+        assert workload.reads_on_chromosome(chrom) == count
+
+
+def test_workload_determinism():
+    a = make_workload(n_reads=30, read_length=40, chromosomes=(21,), seed=9)
+    b = make_workload(n_reads=30, read_length=40, chromosomes=(21,), seed=9)
+    assert [r.pos for r in a.reads] == [r.pos for r in b.reads]
