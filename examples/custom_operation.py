@@ -53,7 +53,7 @@ class HomopolymerCounter(Module):
             self._note_starved()
             return
         if queue.peek().last and not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         flit = queue.pop()
         if "value" in flit:

@@ -68,7 +68,7 @@ class AnchorInsertions(Module):
             self._note_starved()
             return
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         flit = queue.pop()
         if flit.fields:

@@ -115,7 +115,7 @@ class FmSeeder(Module):
     def tick(self, cycle: int) -> None:
         out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
 
         if not self._loaded:
@@ -226,7 +226,7 @@ def run_fm_seeding(
             self._note_busy()
 
     # Replace the plain writer with the record-collecting sink.
-    engine.modules.remove(pipe.modules["fm.writer"])
+    engine.remove_module(pipe.modules["fm.writer"])
     sink = SeedSink("fm.sink", engine.memory, elem_size=16)
     engine.add_module(sink)
     sink.connect_input("in", pipe.modules["fm.seeder"].output())

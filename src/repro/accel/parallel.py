@@ -28,12 +28,24 @@ from .metadata import (
 
 @dataclass
 class ParallelRunStats:
-    """Aggregate statistics of a waved multi-pipeline run."""
+    """Aggregate statistics of a waved multi-pipeline run.
+
+    Besides the simulated-cycle accounting, the host-side fields
+    aggregate the event scheduler's metrics across waves so multi-workload
+    sweeps can report how much simulator time the wake sets and
+    fast-forwarding saved (``ticks_executed`` vs ``ticks_possible``).
+    """
 
     waves: int
     total_cycles: int
     spm_load_cycles: int
     per_wave_cycles: List[int]
+    # host-side (simulator throughput) metrics, summed over waves
+    wall_seconds: float = 0.0
+    ticks_executed: int = 0
+    ticks_possible: int = 0
+    fast_forward_cycles: int = 0
+    total_flits: int = 0
 
     @property
     def cycles_including_load(self) -> int:
@@ -42,18 +54,35 @@ class ParallelRunStats:
         slowest load)."""
         return self.total_cycles + self.spm_load_cycles
 
+    @property
+    def skip_ratio(self) -> float:
+        """Fraction of dense-equivalent module ticks never executed."""
+        if not self.ticks_possible:
+            return 0.0
+        return 1.0 - self.ticks_executed / self.ticks_possible
+
+    @property
+    def host_flits_per_second(self) -> float:
+        """Simulated flits per host wall second across all waves."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_flits / self.wall_seconds
+
 
 def run_metadata_parallel(
     partitions: List[Tuple[PartitionId, object]],
     reference,
     n_pipelines: int,
     memory_config: Optional[MemoryConfig] = None,
+    mode: Optional[str] = None,
 ) -> Tuple[Dict[PartitionId, MetadataAccelResult], ParallelRunStats]:
     """Run metadata update over many partitions with N replicated
     pipelines sharing one memory system.
 
-    Returns per-partition results (same shape as the serial driver) plus
-    the wave statistics.
+    ``mode`` selects the engine schedule per wave (``"event"`` skips
+    idle replicas and fast-forwards shared-memory latency; ``"dense"``
+    is the differential-testing fallback).  Returns per-partition
+    results (same shape as the serial driver) plus the wave statistics.
     """
     if n_pipelines < 1:
         raise ValueError("need at least one pipeline")
@@ -62,6 +91,11 @@ def run_metadata_parallel(
     per_wave_cycles: List[int] = []
     spm_load_cycles = 0
     waves = 0
+    wall_seconds = 0.0
+    ticks_executed = 0
+    ticks_possible = 0
+    fast_forward_cycles = 0
+    total_flits = 0
     for wave_start in range(0, len(todo), n_pipelines):
         wave = todo[wave_start:wave_start + n_pipelines]
         waves += 1
@@ -77,9 +111,14 @@ def run_metadata_parallel(
             )
             configure_metadata_streams(pipe, part)
             wave_pipes.append((pid, pipe, load_stats))
-        stats = engine.run()
+        stats = engine.run(mode=mode)
         per_wave_cycles.append(stats.cycles)
         spm_load_cycles += wave_load_cycles
+        wall_seconds += stats.wall_seconds
+        ticks_executed += stats.ticks_executed
+        ticks_possible += stats.ticks_possible
+        fast_forward_cycles += stats.fast_forward_cycles
+        total_flits += sum(stats.flits_by_module.values())
         for pid, pipe, load_stats in wave_pipes:
             name = pipe.name
             from .common import AcceleratorRun
@@ -95,4 +134,9 @@ def run_metadata_parallel(
         total_cycles=sum(per_wave_cycles),
         spm_load_cycles=spm_load_cycles,
         per_wave_cycles=per_wave_cycles,
+        wall_seconds=wall_seconds,
+        ticks_executed=ticks_executed,
+        ticks_possible=ticks_possible,
+        fast_forward_cycles=fast_forward_cycles,
+        total_flits=total_flits,
     )

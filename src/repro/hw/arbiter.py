@@ -34,6 +34,10 @@ class RoundRobinArbiter:
                 f"{self.name}: expected {self.num_requesters} request lines, "
                 f"got {len(requesting)}"
             )
+        if not any(requesting):
+            # Idle fast path: no request lines asserted, priority pointer
+            # unchanged — identical outcome to the scan, without it.
+            return None
         for offset in range(self.num_requesters):
             index = (self._next + offset) % self.num_requesters
             if requesting[index]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .arbiter import RoundRobinArbiter
 
@@ -58,10 +58,17 @@ class MemorySystem:
         self._ports_by_channel: List[List[int]] = [
             [] for _ in range(self.config.channels)
         ]
+        self._pending_total = 0
+        # Per-channel pending counts let tick() skip a channel without
+        # rebuilding its request vector (the arbitration loop runs every
+        # simulated cycle while any request is queued, in both engine
+        # modes, so this is shared hot path).
+        self._pending_by_channel: List[int] = [0] * self.config.channels
         # statistics
         self.requests_served = 0
         self.bytes_transferred = 0
         self.busy_channel_cycles = 0
+        self.responses_completed = 0
 
     # -- port registration ------------------------------------------------------
 
@@ -86,6 +93,8 @@ class MemorySystem:
         if count < 1:
             raise ValueError("count must be positive")
         self._pending[port].extend([1] * count)
+        self._pending_total += count
+        self._pending_by_channel[self._ports[port][0]] += count
 
     def pending_requests(self, port: int) -> int:
         """Requests of ``port`` not yet granted a channel slot."""
@@ -95,33 +104,65 @@ class MemorySystem:
         """Requests granted but not yet completed."""
         return len(self._in_flight)
 
+    # -- event-driven scheduling hooks -------------------------------------------
+
+    def has_pending(self) -> bool:
+        """True while any request still waits for a channel grant (the
+        arbiters then need a tick every cycle).  O(1)."""
+        return self._pending_total > 0
+
+    def has_work(self) -> bool:
+        """True when ticking this cycle could change memory state."""
+        return self._pending_total > 0 or bool(self._in_flight)
+
+    def next_response_cycle(self) -> Optional[int]:
+        """The cycle the oldest in-flight request completes (None when
+        nothing is in flight).  In-flight entries are ordered by their
+        ready cycle — grants are issued in cycle order with a fixed
+        latency — so this is the engine's fast-forward target when every
+        module is asleep and no request is waiting for a grant."""
+        return self._in_flight[0][0] if self._in_flight else None
+
     # -- simulation ---------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
         """One cycle: each channel grants one request; complete responses
         whose latency elapsed."""
-        for channel, ports in enumerate(self._ports_by_channel):
-            if not ports:
-                continue
-            requesting = [bool(self._pending[p]) for p in ports]
-            if not any(requesting):
-                continue
-            winner = self._arbiters[channel].grant(requesting)
-            if winner is None:
-                continue
-            port = ports[winner]
-            self._pending[port].popleft()
-            self.requests_served += 1
-            self.bytes_transferred += self.config.access_bytes
-            self.busy_channel_cycles += 1
-            _channel, on_response = self._ports[port]
-            ready_at = cycle + self.config.latency_cycles
-            self._in_flight.append((ready_at, port, on_response, 1))
-        while self._in_flight and self._in_flight[0][0] <= cycle:
-            _ready, _port, on_response, count = self._in_flight.popleft()
+        if self._pending_total:
+            pending = self._pending
+            for channel, ports in enumerate(self._ports_by_channel):
+                if not self._pending_by_channel[channel]:
+                    continue
+                requesting = [bool(pending[p]) for p in ports]
+                winner = self._arbiters[channel].grant(requesting)
+                if winner is None:
+                    continue
+                port = ports[winner]
+                pending[port].popleft()
+                self._pending_total -= 1
+                self._pending_by_channel[channel] -= 1
+                self.requests_served += 1
+                self.bytes_transferred += self.config.access_bytes
+                self.busy_channel_cycles += 1
+                _channel, on_response = self._ports[port]
+                ready_at = cycle + self.config.latency_cycles
+                self._in_flight.append((ready_at, port, on_response, 1))
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= cycle:
+            _ready, _port, on_response, count = in_flight.popleft()
+            self.responses_completed += 1
             if on_response is not None:
                 on_response(count)
 
     def is_idle(self) -> bool:
         """True when no requests are pending or in flight."""
-        return not self._in_flight and all(not q for q in self._pending)
+        return not self._in_flight and self._pending_total == 0
+
+    def pending_by_port(self) -> Dict[int, int]:
+        """Outstanding (ungranted) request counts per port — deadlock
+        diagnostics."""
+        return {
+            port: len(queue)
+            for port, queue in enumerate(self._pending)
+            if queue
+        }

@@ -99,9 +99,11 @@ class StreamAlu(Module):
         return Flit(fields, last=flit.last)
 
     def tick(self, cycle: int) -> None:
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         if self.two_streams and not self._unary:
             queue_a, queue_b = self.input("a"), self.input("b")
@@ -117,7 +119,9 @@ class StreamAlu(Module):
                 out.push(result)
             self._note_busy()
             return
-        queue = self.input()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
         if not queue.can_pop():
             self._note_starved()
             return
@@ -137,16 +141,23 @@ class Fork(Module):
         if ports < 2:
             raise ValueError("a fork needs at least two output ports")
         self.port_names = [f"out{i}" for i in range(ports)]
+        self._outs = None
 
     def tick(self, cycle: int) -> None:
-        queue = self.input()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
         if not queue.can_pop():
             self._note_starved()
             return
-        outs = [self.output(port) for port in self.port_names]
-        if not all(out.can_push() for out in outs):
-            self._note_stalled()
-            return
+        outs = self._outs
+        if outs is None:
+            outs = self._outs = [self.output(port) for port in self.port_names]
+        for out in outs:
+            if not out.can_push():
+                # A broadcast stalls on its slowest branch; charge that queue.
+                self._note_stalled(out)
+                return
         flit = queue.pop()
         for out in outs:
             out.push(Flit(dict(flit.fields), last=flit.last))

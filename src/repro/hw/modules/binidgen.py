@@ -50,7 +50,7 @@ class BinIdGen(Module):
     def tick(self, cycle: int) -> None:
         out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
 
         # Latch the per-read header (strand, stored length) first.

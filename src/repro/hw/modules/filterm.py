@@ -68,13 +68,17 @@ class Filter(Module):
         return COMPARATORS[self.op](left, right)
 
     def tick(self, cycle: int) -> None:
-        queue = self.input()
-        out = self.output()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not queue.can_pop():
             self._note_starved()
             return
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         flit = queue.pop()
         if not flit.fields:
@@ -83,7 +87,8 @@ class Filter(Module):
             self._note_busy()
             return
         if self._passes(flit):
-            out.push(Flit(dict(flit.fields), last=flit.last))
+            # Flits are immutable once pushed: forward the object itself.
+            out.push(flit)
             self._note_busy()
         else:
             self.dropped += 1

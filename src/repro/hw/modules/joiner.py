@@ -77,9 +77,11 @@ class Joiner(Module):
     # -- simulation ----------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
 
         # Item boundary: both sides consumed -> emit the boundary flit.
@@ -99,7 +101,8 @@ class Joiner(Module):
             queue_b.pop()
             self._consume("b", head_b)
             if self.mode == "outer" and head_b.fields:
-                self._emit(Flit(dict(head_b.fields), last=False))
+                # Fields dicts are immutable by convention — share them.
+                self._emit(Flit(head_b.fields, last=False))
             else:
                 self.discarded += 1
             return
@@ -107,7 +110,7 @@ class Joiner(Module):
             queue_a.pop()
             self._consume("a", head_a)
             if self.mode in ("left", "outer") and head_a.fields:
-                self._emit(Flit(dict(head_a.fields), last=False))
+                self._emit(Flit(head_a.fields, last=False))
             else:
                 self.discarded += 1
             return

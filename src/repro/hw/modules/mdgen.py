@@ -82,9 +82,11 @@ class MdGen(Module):
     # -- simulation ----------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         # Drain pending tokens first, one per cycle.
         if self._tokens:
@@ -95,7 +97,9 @@ class MdGen(Module):
                 out.push(Flit({self.out_field: token}, last=False))
             self._note_busy()
             return
-        queue = self.input()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
         if not queue.can_pop():
             self._note_starved()
             return

@@ -77,6 +77,9 @@ class MemoryReader(SourceModule):
     def _on_response(self, count: int) -> None:
         self._lines_completed += count
         self._credits += count * self._elems_per_line
+        # Fresh data (or a freed prefetch slot): make sure the scheduler
+        # ticks us next cycle even if we went to sleep waiting for it.
+        self._wake()
 
     def tick(self, cycle: int) -> None:
         # Issue up to one request per cycle while the prefetch window has room.
@@ -90,16 +93,36 @@ class MemoryReader(SourceModule):
         if self._credits <= 0 and self._flits[self._cursor].fields:
             self._note_starved()
             return
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         flit = self._flits[self._cursor]
         self._cursor += 1
         if flit.fields:
             self._credits -= 1
-        out.push(Flit(dict(flit.fields), last=flit.last))
+        # Flits are immutable once pushed (modules build new flits rather
+        # than editing received ones; Fork makes its own per-port copies),
+        # so the preloaded stream objects can be sent as-is.
+        out.push(flit)
         self._note_busy()
+
+    def wants_tick(self) -> bool:
+        """Precise wake contract: while every prefetch credit is spoken
+        for and the request window is full, this reader can make no
+        progress until a memory response lands — exactly the DRAM-latency
+        dead time the event engine fast-forwards.  ``_on_response`` wakes
+        it back up."""
+        outstanding = self._lines_requested - self._lines_completed
+        if self._lines_requested < self._lines_total and outstanding < self.prefetch_lines:
+            return True  # can issue another request
+        if self._cursor < len(self._flits):
+            head = self._flits[self._cursor]
+            # Boundary flits need no credits; payload flits need one.
+            return self._credits > 0 or not head.fields
+        return False
 
     def is_idle(self) -> bool:
         return (

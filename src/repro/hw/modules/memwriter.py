@@ -4,6 +4,11 @@ Section III-C: consumes one flit per cycle into an internal buffer; every
 time the buffer fills one memory access granularity, a write request is
 issued to memory.  Functionally the writer also records everything it
 consumed so drivers can read results back (the ``genesis_flush`` path).
+
+The writer is purely input-driven — it never stalls and holds no
+time-dependent state — so the base wake contract (tick while input data
+is buffered, sleep otherwise) is exact: under the event engine it is only
+ever ticked on cycles where the dense engine would have popped a flit.
 """
 
 from __future__ import annotations
@@ -39,7 +44,9 @@ class MemoryWriter(SinkModule):
         self._current_item: List[object] = []
 
     def tick(self, cycle: int) -> None:
-        queue = self.input()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
         if not queue.can_pop():
             self._note_starved()
             return
@@ -57,7 +64,6 @@ class MemoryWriter(SinkModule):
             self._current_item = []
         self._note_busy()
 
-    def is_idle(self) -> bool:
-        # Partial lines are flushed with the final write burst; the
-        # sub-line remainder is not worth a dedicated request in the model.
-        return True
+    # ``is_idle`` is inherited (always True): partial lines are flushed
+    # with the final write burst — the sub-line remainder is not worth a
+    # dedicated request in the model.

@@ -86,9 +86,11 @@ class ReadToBases(Module):
     # -- simulation ---------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
 
         if self._pos is None:

@@ -78,7 +78,7 @@ class Reducer(Module):
         head = queue.peek()
         emits = head.last and self.per_item
         if emits and not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         flit = queue.pop()
         if self._contributes(flit):

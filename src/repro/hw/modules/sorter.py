@@ -50,7 +50,7 @@ class MergeUnit(Module):
     def tick(self, cycle: int) -> None:
         out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         queue_a = self.input("a")
         queue_b = self.input("b")

@@ -60,7 +60,9 @@ class SpmUpdater(Module):
         return self._interlock.hazard_stalls
 
     def tick(self, cycle: int) -> None:
-        queue = self.input()
+        queue = self._in
+        if queue is None:
+            queue = self._in = self.input()
         if not queue.can_pop():
             self._note_starved()
             return
@@ -86,8 +88,13 @@ class SpmUpdater(Module):
         self.updates += 1
         self._note_busy()
 
-    def is_idle(self) -> bool:
-        return True
+    # The base wake contract is exact here, including for rmw hazards: a
+    # hazard-stalled flit stays at the head of the input queue, so "tick
+    # while input data is buffered" retries it every cycle, and the
+    # interlock expires by *cycle stamp* (not tick count) so skipped idle
+    # cycles never change when an address frees up.  The base ``is_idle``
+    # (always True) is inherited rather than overridden so the engine can
+    # statically skip the idle-flip check for this module.
 
 
 class SpmReader(Module):
@@ -182,9 +189,11 @@ class SpmReader(Module):
         self._note_busy()
 
     def tick(self, cycle: int) -> None:
-        out = self.output()
+        out = self._out
+        if out is None:
+            out = self._out = self.output()
         if not out.can_push():
-            self._note_stalled()
+            self._note_stalled(out)
             return
         if self.mode == "lookup":
             self._tick_lookup()

@@ -11,9 +11,9 @@ real.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from .engine import Engine
+from .engine import Engine, RunStats
 from .module import Module
 
 
@@ -57,6 +57,19 @@ class ReplicaSet:
     def n(self) -> int:
         """Number of parallel pipelines."""
         return len(self.replicas)
+
+    def total_flits(self) -> int:
+        """Flits emitted across every replica (host-throughput metric)."""
+        return sum(pipe.total_flits() for pipe in self.replicas)
+
+    def run(
+        self, max_cycles: int = 100_000_000, mode: Optional[str] = None
+    ) -> RunStats:
+        """Run the shared engine to quiescence.  With the event scheduler
+        (the default) whole replicas sleep while their memory readers
+        wait on DRAM, so an N-replica engine costs far fewer host ticks
+        than N times a single pipeline."""
+        return self.engine.run(max_cycles=max_cycles, mode=mode)
 
 
 def replicate(

@@ -7,16 +7,31 @@ cycle N+1 (the engine commits staged pushes at the end of every cycle).
 That single-cycle hop latency is what makes the simulation behave like a
 pipelined circuit regardless of the order modules are ticked in.
 
+Queues are also the event source of the activity-driven scheduler: when
+attached to an engine they report pushes (the queue becomes *dirty* and
+needs an end-of-cycle commit) and pops (activity that resets the
+quiescence clock; no wake-up is needed because a blocked producer keeps
+itself awake by reporting non-idle).  Queues built standalone (unit
+tests, ad-hoc harnesses) work exactly as before; the hooks are inert
+until :meth:`attach` is called.
+
 Queues track occupancy statistics so benchmarks can report where
-back-pressure accumulates.
+back-pressure accumulates; ``full_stalls`` counts the cycles a producer
+reported being blocked on this queue (via
+:meth:`repro.hw.module.Module._note_stalled`), which is what the
+Fig-13(b)-style attribution plots consume.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from .flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine
+    from .module import Module
 
 
 class HardwareQueue:
@@ -29,10 +44,22 @@ class HardwareQueue:
         self.capacity = capacity
         self._items: Deque[Flit] = deque()
         self._staged: List[Flit] = []
+        # scheduler wiring (None when used standalone)
+        self._scheduler: Optional["Engine"] = None
+        self._dirty = False
+        self.producers: List["Module"] = []
+        self.consumers: List["Module"] = []
         # statistics
         self.total_pushed = 0
         self.max_occupancy = 0
         self.full_stalls = 0
+
+    # -- scheduler wiring -----------------------------------------------------
+
+    def attach(self, scheduler: "Engine") -> None:
+        """Attach this queue to an engine so pushes and pops feed the
+        activity-driven scheduler (no-op behaviour change otherwise)."""
+        self._scheduler = scheduler
 
     # -- producer side -------------------------------------------------------
 
@@ -41,12 +68,35 @@ class HardwareQueue:
         return len(self._items) + len(self._staged) < self.capacity
 
     def push(self, flit: Flit) -> None:
-        """Stage one flit; it becomes visible after the cycle commits."""
-        if not self.can_push():
-            self.full_stalls += 1
+        """Stage one flit; it becomes visible after the cycle commits.
+
+        Pushing to a full queue is a module bug (back-pressure must be
+        checked first) and raises.  Use :meth:`try_push` for the
+        non-raising variant.
+        """
+        if len(self._items) + len(self._staged) >= self.capacity:
             raise RuntimeError(f"push to full queue {self.name}")
         self._staged.append(flit)
         self.total_pushed += 1
+        # Scheduler bookkeeping, inlined (this is the hottest path in the
+        # simulator): the push is activity and the queue now needs an
+        # end-of-cycle commit.
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._activity += 1
+            if not self._dirty:
+                self._dirty = True
+                scheduler._dirty.append(self)
+
+    def try_push(self, flit: Flit) -> bool:
+        """Stage one flit if there is room; returns False (and leaves the
+        queue untouched) when full.  Producers that use this path should
+        record the stall against this queue with ``_note_stalled(queue)``
+        so back-pressure attribution stays accurate."""
+        if not self.can_push():
+            return False
+        self.push(flit)
+        return True
 
     # -- consumer side ---------------------------------------------------------
 
@@ -62,7 +112,14 @@ class HardwareQueue:
         """Consume and return the head flit."""
         if not self._items:
             raise RuntimeError(f"pop from empty queue {self.name}")
-        return self._items.popleft()
+        flit = self._items.popleft()
+        # A pop is activity (it resets the quiescence clock) but wakes
+        # nobody: a producer with something to push reports non-idle and
+        # stays in the wake set on its own.
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._activity += 1
+        return flit
 
     # -- engine hooks ---------------------------------------------------------
 
@@ -77,6 +134,14 @@ class HardwareQueue:
     def is_empty(self) -> bool:
         """True when nothing is committed or staged."""
         return not self._items and not self._staged
+
+    def is_full(self) -> bool:
+        """True when no flit can be staged this cycle."""
+        return not self.can_push()
+
+    def occupancy(self) -> int:
+        """Committed plus staged flits currently held."""
+        return len(self._items) + len(self._staged)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -95,6 +95,14 @@ class RmwInterlock:
         for address in expired:
             del self._in_flight[address]
 
+    def pending(self) -> int:
+        """Updates that may still occupy a pipeline stage — an upper
+        bound, since entries are lazily expired on the next
+        ``try_enter``/``busy`` call.  Expiry is keyed to cycle stamps,
+        not call counts, so the interlock behaves identically under the
+        dense and event-driven engine schedules."""
+        return len(self._in_flight)
+
     def busy(self, cycle: int) -> bool:
         """True while updates are still in the pipeline stages."""
         self._expire(cycle)

@@ -26,10 +26,9 @@ class ListSource(Module):
         if self._cursor >= len(self._flits):
             return
         out = self.output()
-        if not out.can_push():
-            self._note_stalled()
+        if not out.try_push(self._flits[self._cursor]):
+            self._note_stalled(out)
             return
-        out.push(self._flits[self._cursor])
         self._cursor += 1
         self._note_busy()
 

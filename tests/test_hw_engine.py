@@ -153,3 +153,219 @@ def test_reducer_lanes_increase_cost():
     assert wide.luts > narrow.luts
     with pytest.raises(ValueError):
         estimate_pipeline({"Reducer": 1}, reducer_lanes=0)
+
+
+# -- event/dense differential tests ------------------------------------------------
+#
+# The activity-driven scheduler must be indistinguishable from the dense
+# loop on everything the paper measures: cycle counts, flit counts, busy
+# cycles, memory traffic, and functional outputs.  Executed-tick metrics
+# (starve tallies, ticks_executed) legitimately differ — that difference
+# is the scheduler's win and is covered by the RunStats tests instead.
+
+
+def _force_mode(monkeypatch, mode):
+    monkeypatch.setattr(Engine, "default_mode", mode)
+
+
+def _assert_runs_equivalent(dense_stats, event_stats):
+    assert dense_stats.cycles == event_stats.cycles
+    assert dense_stats.flits_by_module == event_stats.flits_by_module
+    assert dense_stats.busy_by_module == event_stats.busy_by_module
+    assert dense_stats.memory_bytes == event_stats.memory_bytes
+    assert dense_stats.memory_requests == event_stats.memory_requests
+
+
+def test_example_query_identical_across_modes(workload, monkeypatch):
+    from repro.accel.example_query import run_example_query
+
+    pid, part = next((p, t) for p, t in workload.partitions if t.num_rows > 0)
+    ref_row = workload.reference.lookup(pid)
+    _force_mode(monkeypatch, "dense")
+    dense = run_example_query(part, ref_row)
+    _force_mode(monkeypatch, "event")
+    event = run_example_query(part, ref_row)
+    assert dense.counts == event.counts
+    _assert_runs_equivalent(dense.run.stats, event.run.stats)
+
+
+def test_markdup_identical_across_modes(workload, monkeypatch):
+    from repro.accel.markdup import run_quality_sums_table
+
+    pid, part = next((p, t) for p, t in workload.partitions if t.num_rows > 0)
+    _force_mode(monkeypatch, "dense")
+    dense = run_quality_sums_table(part)
+    _force_mode(monkeypatch, "event")
+    event = run_quality_sums_table(part)
+    assert dense.quality_sums == event.quality_sums
+    _assert_runs_equivalent(dense.stats, event.stats)
+
+
+def test_metadata_identical_across_modes(workload, monkeypatch):
+    from repro.accel.metadata import run_metadata_update
+
+    checked = 0
+    for pid, part in workload.partitions:
+        if part.num_rows == 0:
+            continue
+        ref_row = workload.reference.lookup(pid)
+        _force_mode(monkeypatch, "dense")
+        dense = run_metadata_update(part, ref_row)
+        _force_mode(monkeypatch, "event")
+        event = run_metadata_update(part, ref_row)
+        assert (dense.nm, dense.md, dense.uq) == (event.nm, event.md, event.uq)
+        _assert_runs_equivalent(dense.run.stats, event.run.stats)
+        checked += 1
+    assert checked > 0
+
+
+def test_bqsr_identical_across_modes(workload, monkeypatch):
+    import numpy as np
+
+    from repro.accel.bqsr import run_bqsr_partition
+
+    pid, part = next(
+        (p, t) for p, t in workload.group_partitions if t.num_rows > 0
+    )
+    ref_row = workload.reference.lookup(pid)
+    _force_mode(monkeypatch, "dense")
+    dense = run_bqsr_partition(part, ref_row, workload.read_length)
+    _force_mode(monkeypatch, "event")
+    event = run_bqsr_partition(part, ref_row, workload.read_length)
+    for field in ("total_cycle", "total_context", "error_cycle", "error_context"):
+        assert np.array_equal(getattr(dense, field), getattr(event, field))
+    assert dense.hazard_stalls == event.hazard_stalls
+    _assert_runs_equivalent(dense.run.stats, event.run.stats)
+
+
+def test_metadata_parallel_identical_across_modes(workload):
+    from repro.accel.parallel import run_metadata_parallel
+
+    runs = {}
+    for mode in ("dense", "event"):
+        results, stats = run_metadata_parallel(
+            workload.partitions, workload.reference, n_pipelines=4, mode=mode
+        )
+        runs[mode] = (results, stats)
+    dense_results, dense_stats = runs["dense"]
+    event_results, event_stats = runs["event"]
+    assert dense_stats.per_wave_cycles == event_stats.per_wave_cycles
+    assert dense_stats.total_flits == event_stats.total_flits
+    assert set(dense_results) == set(event_results)
+    for pid in dense_results:
+        assert dense_results[pid].nm == event_results[pid].nm
+        assert dense_results[pid].md == event_results[pid].md
+        assert dense_results[pid].uq == event_results[pid].uq
+
+
+def test_event_mode_fast_forwards_memory_latency():
+    """A single reader on a high-latency memory: the event engine must
+    skip the dead cycles in clock jumps yet land on the dense cycle
+    count."""
+    from repro.hw.memory import MemoryConfig, MemorySystem
+    from repro.hw.modules import MemoryReader
+
+    def build():
+        engine = Engine(MemorySystem(MemoryConfig(latency_cycles=250)))
+        reader = engine.add_module(MemoryReader("r", engine.memory, elem_size=1))
+        sink = engine.add_module(ListSink("s"))
+        engine.connect(reader, sink)
+        reader.set_items([list(range(40))])
+        return engine, sink
+
+    engine_d, sink_d = build()
+    dense = engine_d.run(mode="dense")
+    engine_e, sink_e = build()
+    event = engine_e.run(mode="event")
+    assert dense.cycles == event.cycles
+    assert [f.fields for f in sink_d.collected] == [f.fields for f in sink_e.collected]
+    assert event.fast_forward_cycles > 0
+    assert event.ticks_executed < dense.ticks_executed
+
+
+def test_run_stats_host_metrics():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits(list(range(20)))))
+    sink = engine.add_module(ListSink("sink"))
+    engine.connect(source, sink)
+    stats = engine.run(mode="event")
+    assert stats.mode == "event"
+    assert stats.wall_seconds > 0
+    assert 0 < stats.ticks_executed <= stats.ticks_possible
+    assert 0.0 <= stats.skip_ratio < 1.0
+    assert stats.host_flits_per_second(20) > 0
+    dense = Engine()
+    src2 = dense.add_module(ListSource("src", item_flits(list(range(20)))))
+    sink2 = dense.add_module(ListSink("sink"))
+    dense.connect(src2, sink2)
+    dstats = dense.run(mode="dense")
+    assert dstats.mode == "dense"
+    assert dstats.skip_ratio == 0.0
+    assert dstats.ticks_executed == dstats.ticks_possible
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        Engine().run(mode="quantum")
+
+
+def test_deadlock_report_names_the_stuck_parts():
+    """On overflow the error must say which modules and queues are stuck,
+    not just 'deadlock'."""
+    engine = Engine()
+
+    class Stuck(ListSource):
+        def is_idle(self):
+            return False
+
+        def tick(self, cycle):
+            self._note_stalled(self.output())
+
+    stuck = engine.add_module(Stuck("jammed", []))
+    sink = engine.add_module(ListSink("sink"))
+    queue = engine.connect(stuck, sink, capacity=2)
+    queue.push(Flit({}))
+    queue.push(Flit({}))
+    queue.commit()
+    sink.tick = lambda cycle: None  # sink never consumes
+    with pytest.raises(RuntimeError) as err:
+        engine.run(max_cycles=50, mode="dense")
+    message = str(err.value)
+    assert "jammed" in message
+    assert "FULL" in message
+    assert "full_stalls" in message
+
+
+def test_event_deadlock_detected_without_spinning():
+    """The event engine spots a stuck-but-non-idle module the moment the
+    wake set drains, long before max_cycles."""
+    engine = Engine()
+
+    class Wedged(ListSource):
+        """Claims pending work but never produces and never wants a tick."""
+
+        def is_idle(self):
+            return False
+
+        def wants_tick(self):
+            return False
+
+        def tick(self, cycle):
+            pass
+
+    engine.add_module(Wedged("wedged", []))
+    with pytest.raises(RuntimeError) as err:
+        engine.run(max_cycles=100_000_000, mode="event")
+    assert "wedged" in str(err.value)
+
+
+def test_remove_module_keeps_scheduler_consistent():
+    engine = Engine()
+    source = engine.add_module(ListSource("src", item_flits([1, 2])))
+    middle = engine.add_module(Reducer("mid", op="sum"))
+    sink = engine.add_module(ListSink("sink"))
+    q1 = engine.connect(source, middle)
+    engine.connect(middle, sink)
+    engine.remove_module(middle)
+    assert [m._index for m in engine.modules] == [0, 1]
+    assert middle not in q1.consumers
