@@ -105,8 +105,29 @@ __all__ += [
 ]
 
 from .parallel import ParallelRunStats, run_metadata_parallel
+from .scheduler import (
+    BqsrWaveDriver,
+    MarkdupWaveDriver,
+    MetadataWaveDriver,
+    SpmImageCache,
+    WaveDriver,
+    WorkerStats,
+    pack_waves,
+    run_partitioned,
+)
 
-__all__ += ["ParallelRunStats", "run_metadata_parallel"]
+__all__ += [
+    "BqsrWaveDriver",
+    "MarkdupWaveDriver",
+    "MetadataWaveDriver",
+    "ParallelRunStats",
+    "SpmImageCache",
+    "WaveDriver",
+    "WorkerStats",
+    "pack_waves",
+    "run_metadata_parallel",
+    "run_partitioned",
+]
 
 from .sort import HwSortResult, coordinate_sort_reads, run_hw_sort
 

@@ -206,15 +206,32 @@ def drain_spms(
 
 @dataclass
 class BqsrAccelResult:
-    """One partition's covariate counts plus simulation statistics."""
+    """One partition's covariate counts plus simulation statistics.
+
+    ``run`` is ``None`` for partitions the scheduler never simulated
+    (empty partitions contribute all-zero count tables).
+    """
 
     total_cycle: np.ndarray
     total_context: np.ndarray
     error_cycle: np.ndarray
     error_context: np.ndarray
-    run: AcceleratorRun
+    run: Optional[AcceleratorRun]
     drain_stats: Optional[RunStats] = None
     hazard_stalls: int = 0
+
+    @classmethod
+    def empty(cls, read_length: int) -> "BqsrAccelResult":
+        """The result shape of a partition slice with no reads."""
+        n_b1 = MAX_QUALITY * n_cycle_values(read_length)
+        n_b2 = MAX_QUALITY * N_CONTEXTS
+        return cls(
+            total_cycle=np.zeros(n_b1, dtype=np.int64),
+            total_context=np.zeros(n_b2, dtype=np.int64),
+            error_cycle=np.zeros(n_b1, dtype=np.int64),
+            error_context=np.zeros(n_b2, dtype=np.int64),
+            run=None,
+        )
 
 
 def run_bqsr_partition(

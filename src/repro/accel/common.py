@@ -11,7 +11,7 @@ are identical across drivers and live here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,9 +98,14 @@ def load_reference_spm(
 
 @dataclass
 class AcceleratorRun:
-    """Result of simulating one accelerator invocation on one partition."""
+    """Result of simulating one accelerator invocation on one partition.
 
-    pipeline: Pipeline
+    ``pipeline`` is ``None`` for runs harvested by the partition scheduler
+    (:mod:`repro.accel.scheduler`), whose per-partition results must stay
+    picklable across worker processes; the statistics are always present.
+    """
+
+    pipeline: Optional[Pipeline]
     stats: RunStats
     load_stats: Optional[RunStats] = None
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..genomics.cigar import decode_elements
-from ..hw.engine import Engine, RunStats
+from ..hw.engine import Engine
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.modules import (
     Filter,

@@ -36,10 +36,19 @@ def build_markdup_pipeline(engine: Engine, name: str) -> Pipeline:
 
 @dataclass
 class MarkDupAccelResult:
-    """Per-read quality sums plus simulation statistics."""
+    """Per-read quality sums plus simulation statistics.
+
+    ``stats`` is ``None`` for partitions the scheduler never simulated
+    (empty partitions have no reads to sum).
+    """
 
     quality_sums: List[int]
-    stats: RunStats
+    stats: Optional[RunStats]
+
+    @classmethod
+    def empty(cls) -> "MarkDupAccelResult":
+        """The result shape of a partition with no reads."""
+        return cls(quality_sums=[], stats=None)
 
 
 def run_quality_sums(

@@ -17,10 +17,9 @@ One pipeline computes NM, MD, and UQ for every read of one partition:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from ..hw.engine import Engine, RunStats
-from ..hw.flit import DEL
+from ..hw.engine import Engine
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.modules import (
     Filter,
@@ -122,14 +121,34 @@ def configure_metadata_streams(pipe: Pipeline, partition: Table) -> None:
     pipe.modules[f"{name}.qual"].set_items(streams.qual)
 
 
+def collect_metadata_outputs(
+    pipe: Pipeline,
+) -> Tuple[List[int], List[str], List[int]]:
+    """Read back the NM/MD/UQ memory-writer contents of one pipeline."""
+    name = pipe.name
+    nm = [int(item[0]) for item in pipe.modules[f"{name}.nmw"].items]
+    md = [join_md_tokens(item) for item in pipe.modules[f"{name}.mdw"].items]
+    uq = [int(item[0]) for item in pipe.modules[f"{name}.uqw"].items]
+    return nm, md, uq
+
+
 @dataclass
 class MetadataAccelResult:
-    """Per-read NM/MD/UQ computed by the simulated pipeline."""
+    """Per-read NM/MD/UQ computed by the simulated pipeline.
+
+    ``run`` is ``None`` for partitions the scheduler never simulated
+    (empty partitions produce empty tag lists and no cycle accounting).
+    """
 
     nm: List[int]
     md: List[str]
     uq: List[int]
-    run: AcceleratorRun
+    run: Optional[AcceleratorRun] = None
+
+    @classmethod
+    def empty(cls) -> "MetadataAccelResult":
+        """The result shape of a partition with no reads."""
+        return cls(nm=[], md=[], uq=[], run=None)
 
 
 def run_metadata_update(
@@ -143,9 +162,7 @@ def run_metadata_update(
     pipe = build_metadata_pipeline(engine, "mu", spm, spm_base(ref_row))
     configure_metadata_streams(pipe, partition)
     stats = engine.run()
-    nm = [int(item[0]) for item in pipe.modules["mu.nmw"].items]
-    uq = [int(item[0]) for item in pipe.modules["mu.uqw"].items]
-    md = [join_md_tokens(item) for item in pipe.modules["mu.mdw"].items]
+    nm, md, uq = collect_metadata_outputs(pipe)
     return MetadataAccelResult(
         nm=nm,
         md=md,

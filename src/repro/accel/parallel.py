@@ -2,141 +2,65 @@
 
 The paper replicates each accelerator's pipeline 16x (8x for BQSR) so
 independent partitions process concurrently behind the shared memory
-fabric.  These drivers do exactly that in simulation: N replicas of the
-metadata-update pipeline live in ONE engine with ONE memory system, each
-working a different partition; waves repeat until every partition is
-done.  Results are bit-identical to the serial driver, and the measured
-wall-cycles demonstrate the near-N-fold speedup the replication buys.
+fabric.  :func:`run_metadata_parallel` keeps the original metadata-update
+entry point, now implemented on the generalized partition scheduler
+(:mod:`repro.accel.scheduler`): N replicas of the pipeline live in ONE
+engine with ONE memory system per wave, waves repeat until every
+partition is done, and — new — waves can fan out over host worker
+processes (``workers=``) while staying bit-identical to the serial
+schedule.  Empty partitions are included in the results with empty tag
+lists, matching the serial driver's per-partition result shapes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..hw.engine import Engine, RunStats
-from ..hw.memory import MemoryConfig, MemorySystem
-from ..hw.modules import join_md_tokens
+from ..hw.memory import MemoryConfig
 from ..tables.partition import PartitionId
-from .common import load_reference_spm, spm_base
-from .metadata import (
-    MetadataAccelResult,
-    build_metadata_pipeline,
-    configure_metadata_streams,
+from .metadata import MetadataAccelResult
+from .scheduler import (
+    MetadataWaveDriver,
+    ParallelRunStats,
+    SpmImageCache,
+    WorkerStats,
+    run_partitioned,
 )
 
-
-@dataclass
-class ParallelRunStats:
-    """Aggregate statistics of a waved multi-pipeline run.
-
-    Besides the simulated-cycle accounting, the host-side fields
-    aggregate the event scheduler's metrics across waves so multi-workload
-    sweeps can report how much simulator time the wake sets and
-    fast-forwarding saved (``ticks_executed`` vs ``ticks_possible``).
-    """
-
-    waves: int
-    total_cycles: int
-    spm_load_cycles: int
-    per_wave_cycles: List[int]
-    # host-side (simulator throughput) metrics, summed over waves
-    wall_seconds: float = 0.0
-    ticks_executed: int = 0
-    ticks_possible: int = 0
-    fast_forward_cycles: int = 0
-    total_flits: int = 0
-
-    @property
-    def cycles_including_load(self) -> int:
-        """Wall cycles including the reference SPM loads (which the
-        replicas also perform concurrently, so each wave charges the
-        slowest load)."""
-        return self.total_cycles + self.spm_load_cycles
-
-    @property
-    def skip_ratio(self) -> float:
-        """Fraction of dense-equivalent module ticks never executed."""
-        if not self.ticks_possible:
-            return 0.0
-        return 1.0 - self.ticks_executed / self.ticks_possible
-
-    @property
-    def host_flits_per_second(self) -> float:
-        """Simulated flits per host wall second across all waves."""
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.total_flits / self.wall_seconds
+__all__ = [
+    "ParallelRunStats",
+    "SpmImageCache",
+    "WorkerStats",
+    "run_metadata_parallel",
+]
 
 
 def run_metadata_parallel(
-    partitions: List[Tuple[PartitionId, object]],
+    partitions,
     reference,
     n_pipelines: int,
     memory_config: Optional[MemoryConfig] = None,
     mode: Optional[str] = None,
+    workers: int = 1,
+    spm_cache: Optional[SpmImageCache] = None,
 ) -> Tuple[Dict[PartitionId, MetadataAccelResult], ParallelRunStats]:
     """Run metadata update over many partitions with N replicated
-    pipelines sharing one memory system.
+    pipelines sharing one memory system per wave.
 
     ``mode`` selects the engine schedule per wave (``"event"`` skips
     idle replicas and fast-forwards shared-memory latency; ``"dense"``
-    is the differential-testing fallback).  Returns per-partition
-    results (same shape as the serial driver) plus the wave statistics.
+    is the differential-testing fallback); ``workers`` fans the waves
+    out over that many host processes.  Returns per-partition results
+    (same key set as the input, empty partitions included) plus the
+    aggregated wave statistics.
     """
-    if n_pipelines < 1:
-        raise ValueError("need at least one pipeline")
-    todo = [(pid, part) for pid, part in partitions if part.num_rows > 0]
-    results: Dict[PartitionId, MetadataAccelResult] = {}
-    per_wave_cycles: List[int] = []
-    spm_load_cycles = 0
-    waves = 0
-    wall_seconds = 0.0
-    ticks_executed = 0
-    ticks_possible = 0
-    fast_forward_cycles = 0
-    total_flits = 0
-    for wave_start in range(0, len(todo), n_pipelines):
-        wave = todo[wave_start:wave_start + n_pipelines]
-        waves += 1
-        engine = Engine(MemorySystem(memory_config))
-        wave_pipes = []
-        wave_load_cycles = 0
-        for index, (pid, part) in enumerate(wave):
-            ref_row = reference.lookup(pid)
-            spm, load_stats = load_reference_spm(ref_row, memory_config)
-            wave_load_cycles = max(wave_load_cycles, load_stats.cycles)
-            pipe = build_metadata_pipeline(
-                engine, f"p{index}", spm, spm_base(ref_row)
-            )
-            configure_metadata_streams(pipe, part)
-            wave_pipes.append((pid, pipe, load_stats))
-        stats = engine.run(mode=mode)
-        per_wave_cycles.append(stats.cycles)
-        spm_load_cycles += wave_load_cycles
-        wall_seconds += stats.wall_seconds
-        ticks_executed += stats.ticks_executed
-        ticks_possible += stats.ticks_possible
-        fast_forward_cycles += stats.fast_forward_cycles
-        total_flits += sum(stats.flits_by_module.values())
-        for pid, pipe, load_stats in wave_pipes:
-            name = pipe.name
-            from .common import AcceleratorRun
-
-            results[pid] = MetadataAccelResult(
-                nm=[int(i[0]) for i in pipe.modules[f"{name}.nmw"].items],
-                md=[join_md_tokens(i) for i in pipe.modules[f"{name}.mdw"].items],
-                uq=[int(i[0]) for i in pipe.modules[f"{name}.uqw"].items],
-                run=AcceleratorRun(pipe, stats, load_stats),
-            )
-    return results, ParallelRunStats(
-        waves=waves,
-        total_cycles=sum(per_wave_cycles),
-        spm_load_cycles=spm_load_cycles,
-        per_wave_cycles=per_wave_cycles,
-        wall_seconds=wall_seconds,
-        ticks_executed=ticks_executed,
-        ticks_possible=ticks_possible,
-        fast_forward_cycles=fast_forward_cycles,
-        total_flits=total_flits,
+    driver = MetadataWaveDriver(
+        reference=reference, memory_config=memory_config, mode=mode
+    )
+    return run_partitioned(
+        driver,
+        partitions,
+        n_pipelines,
+        workers=workers,
+        spm_cache=spm_cache,
     )

@@ -1,0 +1,621 @@
+"""Host-side partition scheduler: multi-core wave fan-out for every
+accelerator, with a reference-SPM image cache.
+
+The paper replicates each accelerator pipeline 16x (8x for BQSR) so
+independent genome partitions process concurrently behind the shared
+memory fabric (Figure 8).  The simulator reproduces the replication —
+N replicas in ONE engine with ONE memory system per *wave* — but waves
+themselves are embarrassingly parallel: each wave is an independent
+engine over disjoint partitions.  :func:`run_partitioned` therefore
+drives them three ways at once:
+
+* **one entry point for all accelerators** — a :class:`WaveDriver`
+  builds and harvests the replicas of one wave; concrete drivers exist
+  for metadata update (:class:`MetadataWaveDriver`), mark duplicates
+  (:class:`MarkdupWaveDriver`), and BQSR covariate construction
+  (:class:`BqsrWaveDriver`);
+* **multi-core fan-out** — with ``workers > 1`` the waves are dispatched
+  onto a :class:`~concurrent.futures.ProcessPoolExecutor`.  Waves are
+  packed largest-partition-first (an LPT schedule) and pulled from the
+  executor's shared queue by whichever worker frees up first, so a
+  straggler wave never serializes the tail;
+* **SPM image caching** — :class:`SpmImageCache` memoizes the simulated
+  reference-SPM load by ``(partition, memory config, snp flag)``.
+  Repeated accelerator stages over the same partitions (and BQSR
+  read-group slices of one segment) replay the cached image instead of
+  re-simulating the load.
+
+Results are bit-identical across ``workers`` settings: wave packing is
+deterministic, every wave simulates in its own engine, and a cache
+replay returns exactly the scratchpad contents and cycle statistics a
+fresh load simulation would produce.  Only the host-side throughput
+metrics (wall seconds, per-worker breakdowns, cache hit counts) vary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.engine import Engine, RunStats
+from ..hw.memory import MemoryConfig, MemorySystem
+from ..hw.modules import SpmUpdater
+from ..hw.spm import Scratchpad
+from ..tables.partition import PartitionId, PartitionedReference
+from ..tables.table import Table
+from .bqsr import (
+    BqsrAccelResult,
+    BqsrSpms,
+    build_bqsr_pipeline,
+    configure_bqsr_streams,
+    drain_spms,
+)
+from .common import AcceleratorRun, load_reference_spm, spm_base
+from .markdup import MarkDupAccelResult, build_markdup_pipeline
+from .metadata import (
+    MetadataAccelResult,
+    build_metadata_pipeline,
+    collect_metadata_outputs,
+    configure_metadata_streams,
+)
+
+#: One (pid, partition) work item as accepted by the scheduler.
+WaveItem = Tuple[PartitionId, Table]
+
+
+# -- SPM image cache -----------------------------------------------------------------
+
+
+@dataclass
+class CachedImage:
+    """One memoized reference-SPM load: the word contents the load
+    simulation produced plus its cycle statistics."""
+
+    words: List[object]
+    stats: RunStats
+
+
+def _copy_stats(stats: RunStats) -> RunStats:
+    """A fresh RunStats equal to ``stats`` (own dict instances, so a
+    caller mutating one run's maps cannot corrupt the cache)."""
+    return replace(
+        stats,
+        flits_by_module=dict(stats.flits_by_module),
+        busy_by_module=dict(stats.busy_by_module),
+        starve_by_module=dict(stats.starve_by_module),
+    )
+
+
+class SpmImageCache:
+    """Memoizes reference-SPM load simulations.
+
+    ``load_reference_spm`` is deterministic in the REF partition row, the
+    memory configuration, and the snp flag, so its scratchpad image and
+    cycle statistics can be keyed on
+    ``(chrom, refpos, with_snp, memory parameters)`` and replayed.  A
+    replay builds a fresh :class:`Scratchpad` (replicas never share the
+    physical SPM) and returns a copy of the recorded statistics —
+    bit-identical to re-simulating the load, minus the host time.
+    """
+
+    def __init__(self, max_images: Optional[int] = None):
+        self._images: "OrderedDict[tuple, CachedImage]" = OrderedDict()
+        self.max_images = max_images
+        self.hits = 0
+        self.misses = 0
+        self.cycles_saved = 0
+
+    @staticmethod
+    def key(
+        ref_row: dict,
+        memory_config: Optional[MemoryConfig] = None,
+        with_snp: bool = False,
+    ) -> tuple:
+        """The cache key of one REF partition row under one memory
+        configuration (``None`` normalizes to the default config)."""
+        config = memory_config or MemoryConfig()
+        return (
+            int(ref_row["CHR"]),
+            int(ref_row["REFPOS"]),
+            bool(with_snp),
+            (config.channels, config.access_bytes, config.latency_cycles),
+        )
+
+    def load(
+        self,
+        ref_row: dict,
+        memory_config: Optional[MemoryConfig] = None,
+        with_snp: bool = False,
+    ) -> Tuple[Scratchpad, RunStats]:
+        """The cached equivalent of :func:`load_reference_spm`."""
+        key = self.key(ref_row, memory_config, with_snp)
+        image = self._images.get(key)
+        if image is None:
+            self.misses += 1
+            spm, stats = load_reference_spm(
+                ref_row, memory_config, with_snp=with_snp
+            )
+            self._store(key, CachedImage(words=spm.dump(), stats=stats))
+            return spm, stats
+        self.hits += 1
+        self.cycles_saved += image.stats.cycles
+        self._images.move_to_end(key)
+        spm = Scratchpad("ref_spm", len(image.words))
+        spm.load(image.words)
+        return spm, _copy_stats(image.stats)
+
+    def _store(self, key: tuple, image: CachedImage) -> None:
+        self._images[key] = image
+        if self.max_images is not None:
+            while len(self._images) > self.max_images:
+                self._images.popitem(last=False)
+
+    def images(self) -> Dict[tuple, CachedImage]:
+        """A snapshot of every cached image."""
+        return dict(self._images)
+
+    def images_for(self, keys: Iterable[tuple]) -> Dict[tuple, CachedImage]:
+        """The subset of cached images present for ``keys``."""
+        return {key: self._images[key] for key in keys if key in self._images}
+
+    def merge(self, images: Dict[tuple, CachedImage]) -> None:
+        """Adopt images (e.g. shipped back from a worker process) without
+        overwriting entries already present."""
+        for key, image in images.items():
+            if key not in self._images:
+                self._store(key, image)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+
+# -- wave drivers --------------------------------------------------------------------
+
+
+class WaveDriver:
+    """Builds, runs, and harvests one wave of replicated pipelines.
+
+    A wave is N pipeline replicas in one engine sharing one memory
+    system, each assigned a different partition — exactly the Figure 8
+    replication.  Concrete drivers supply three hooks:
+    ``empty_result`` (the result shape of a partition with no reads),
+    ``build_replica`` (wire one replica and load its streams), and
+    ``harvest`` (post-process one replica's outputs).  Drivers must be
+    picklable: they are shipped to worker processes together with the
+    wave's partitions.
+    """
+
+    stage = "wave"
+    #: Whether replicas need a reference SPM loaded (and hence the cache).
+    uses_reference = False
+    #: Whether the reference SPM holds ``(base, is_snp)`` pairs.
+    with_snp = False
+
+    def empty_result(self, pid: PartitionId):
+        """Result for a partition with no reads (never simulated)."""
+        raise NotImplementedError
+
+    def build_replica(
+        self,
+        engine: Engine,
+        name: str,
+        part: Table,
+        spm: Optional[Scratchpad],
+        base: int,
+    ):
+        """Wire one replica into ``engine`` and load its streams."""
+        raise NotImplementedError
+
+    def harvest(self, context, stats: RunStats, load_stats: Optional[RunStats]):
+        """Turn one replica's writer contents into a per-partition result."""
+        raise NotImplementedError
+
+    def reference_row(self, pid: PartitionId) -> dict:
+        """The REF partition row serving ``pid``."""
+        return self.reference.lookup(pid)
+
+    def wave_keys(self, wave: Sequence[WaveItem]) -> List[tuple]:
+        """The SPM-cache keys a wave will look up (for seeding workers)."""
+        if not self.uses_reference:
+            return []
+        return [
+            SpmImageCache.key(
+                self.reference_row(pid), self.memory_config, self.with_snp
+            )
+            for pid, _part in wave
+        ]
+
+    def run_wave(
+        self, wave: Sequence[WaveItem], spm_cache: SpmImageCache
+    ) -> Tuple[Dict[PartitionId, object], RunStats, int]:
+        """Simulate one wave; returns per-partition results, the wave's
+        engine statistics, and the wave's SPM load cycles (the replicas
+        load concurrently, so the wave charges the slowest load)."""
+        engine = Engine(MemorySystem(self.memory_config))
+        contexts = []
+        load_cycles = 0
+        for index, (pid, part) in enumerate(wave):
+            spm: Optional[Scratchpad] = None
+            base = 0
+            load_stats: Optional[RunStats] = None
+            if self.uses_reference:
+                ref_row = self.reference_row(pid)
+                spm, load_stats = spm_cache.load(
+                    ref_row, self.memory_config, self.with_snp
+                )
+                load_cycles = max(load_cycles, load_stats.cycles)
+                base = spm_base(ref_row)
+            context = self.build_replica(engine, f"p{index}", part, spm, base)
+            contexts.append((pid, context, load_stats))
+        stats = engine.run(mode=self.mode)
+        results = {
+            pid: self.harvest(context, stats, load_stats)
+            for pid, context, load_stats in contexts
+        }
+        return results, stats, load_cycles
+
+
+@dataclass
+class MetadataWaveDriver(WaveDriver):
+    """Waves of Figure 11 metadata-update replicas."""
+
+    reference: PartitionedReference
+    memory_config: Optional[MemoryConfig] = None
+    mode: Optional[str] = None
+
+    stage = "metadata"
+    uses_reference = True
+
+    def empty_result(self, pid: PartitionId) -> MetadataAccelResult:
+        return MetadataAccelResult.empty()
+
+    def build_replica(self, engine, name, part, spm, base):
+        pipe = build_metadata_pipeline(engine, name, spm, base)
+        configure_metadata_streams(pipe, part)
+        return pipe
+
+    def harvest(self, pipe, stats, load_stats) -> MetadataAccelResult:
+        nm, md, uq = collect_metadata_outputs(pipe)
+        return MetadataAccelResult(
+            nm=nm, md=md, uq=uq, run=AcceleratorRun(None, stats, load_stats)
+        )
+
+
+@dataclass
+class MarkdupWaveDriver(WaveDriver):
+    """Waves of Figure 10 quality-sum replicas."""
+
+    memory_config: Optional[MemoryConfig] = None
+    mode: Optional[str] = None
+
+    stage = "markdup"
+    uses_reference = False
+
+    def empty_result(self, pid: PartitionId) -> MarkDupAccelResult:
+        return MarkDupAccelResult.empty()
+
+    def build_replica(self, engine, name, part, spm, base):
+        pipe = build_markdup_pipeline(engine, name)
+        pipe.modules[f"{name}.qual"].set_items(
+            [[int(q) for q in item] for item in part.column("QUAL")]
+        )
+        return pipe
+
+    def harvest(self, pipe, stats, load_stats) -> MarkDupAccelResult:
+        writer = pipe.modules[f"{pipe.name}.writer"]
+        return MarkDupAccelResult(
+            quality_sums=[int(item[0]) for item in writer.items], stats=stats
+        )
+
+
+@dataclass
+class BqsrWaveDriver(WaveDriver):
+    """Waves of Figure 12 covariate-construction replicas.
+
+    Each replica owns its four count scratchpads; the reference SPM is
+    loaded with ``(base, is_snp)`` words.  Read-group slices of the same
+    genome segment share one REF row, so a wave over group partitions
+    hits the SPM cache within a single run.
+    """
+
+    reference: PartitionedReference
+    read_length: int
+    memory_config: Optional[MemoryConfig] = None
+    mode: Optional[str] = None
+    drain: bool = True
+
+    stage = "bqsr"
+    uses_reference = True
+    with_snp = True
+
+    def empty_result(self, pid: PartitionId) -> BqsrAccelResult:
+        return BqsrAccelResult.empty(self.read_length)
+
+    def build_replica(self, engine, name, part, spm, base):
+        spms = BqsrSpms.allocate(self.read_length)
+        pipe = build_bqsr_pipeline(
+            engine, name, spm, base, spms, self.read_length
+        )
+        configure_bqsr_streams(pipe, part)
+        return pipe, spms
+
+    def harvest(self, context, stats, load_stats) -> BqsrAccelResult:
+        pipe, spms = context
+        drain_stats = (
+            drain_spms(spms, self.memory_config) if self.drain else None
+        )
+        hazard_stalls = sum(
+            module.hazard_stalls
+            for module in pipe.modules.values()
+            if isinstance(module, SpmUpdater)
+        )
+        return BqsrAccelResult(
+            total_cycle=np.array(spms.total_cycle.dump(), dtype=np.int64),
+            total_context=np.array(spms.total_context.dump(), dtype=np.int64),
+            error_cycle=np.array(spms.error_cycle.dump(), dtype=np.int64),
+            error_context=np.array(spms.error_context.dump(), dtype=np.int64),
+            run=AcceleratorRun(None, stats, load_stats),
+            drain_stats=drain_stats,
+            hazard_stalls=hazard_stalls,
+        )
+
+
+# -- aggregate statistics ------------------------------------------------------------
+
+
+@dataclass
+class WorkerStats:
+    """One worker's share of a partitioned run."""
+
+    waves: int = 0
+    cycles: int = 0
+    wall_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class ParallelRunStats:
+    """Aggregate statistics of a waved multi-pipeline run.
+
+    Besides the simulated-cycle accounting, the host-side fields
+    aggregate the event scheduler's metrics across waves so multi-workload
+    sweeps can report how much simulator time the wake sets and
+    fast-forwarding saved (``ticks_executed`` vs ``ticks_possible``), and
+    the scheduler fields record how the waves were spread over host
+    workers and what the SPM image cache saved.
+    """
+
+    waves: int
+    total_cycles: int
+    spm_load_cycles: int
+    per_wave_cycles: List[int]
+    # host-side (simulator throughput) metrics, summed over waves
+    wall_seconds: float = 0.0
+    ticks_executed: int = 0
+    ticks_possible: int = 0
+    fast_forward_cycles: int = 0
+    total_flits: int = 0
+    # host scheduler metrics
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+    spm_cache_hits: int = 0
+    spm_cache_misses: int = 0
+    spm_cycles_saved: int = 0
+    per_worker: Dict[str, WorkerStats] = field(default_factory=dict)
+
+    @property
+    def cycles_including_load(self) -> int:
+        """Wall cycles including the reference SPM loads (which the
+        replicas also perform concurrently, so each wave charges the
+        slowest load)."""
+        return self.total_cycles + self.spm_load_cycles
+
+    @property
+    def skip_ratio(self) -> float:
+        """Fraction of dense-equivalent module ticks never executed."""
+        if not self.ticks_possible:
+            return 0.0
+        return 1.0 - self.ticks_executed / self.ticks_possible
+
+    @property
+    def host_flits_per_second(self) -> float:
+        """Simulated flits per host wall second across all waves."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_flits / self.wall_seconds
+
+    @property
+    def host_parallelism(self) -> float:
+        """Effective concurrency: summed per-wave engine seconds over the
+        end-to-end scheduler seconds (≈1 serial, →N with N busy workers)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.wall_seconds / self.elapsed_seconds
+
+
+# -- wave packing and dispatch -------------------------------------------------------
+
+
+def pack_waves(
+    partitions: Iterable[WaveItem], n_pipelines: int
+) -> Tuple[List[PartitionId], List[List[WaveItem]]]:
+    """Split partitions into empty pids and largest-first waves.
+
+    Non-empty partitions are sorted by descending read count (ties break
+    on input order, so packing is deterministic) and chunked into waves
+    of ``n_pipelines``.  Largest-first packing keeps each wave's replicas
+    similarly sized — the wave costs its slowest replica — and, under
+    multi-worker dispatch, schedules the heavy waves first so the run
+    never ends on a lone straggler (the LPT heuristic).
+    """
+    if n_pipelines < 1:
+        raise ValueError("need at least one pipeline")
+    empty: List[PartitionId] = []
+    todo: List[Tuple[int, PartitionId, Table]] = []
+    for index, (pid, part) in enumerate(partitions):
+        if part.num_rows == 0:
+            empty.append(pid)
+        else:
+            todo.append((index, pid, part))
+    todo.sort(key=lambda item: (-item[2].num_rows, item[0]))
+    waves = [
+        [(pid, part) for _index, pid, part in todo[start:start + n_pipelines]]
+        for start in range(0, len(todo), n_pipelines)
+    ]
+    return empty, waves
+
+
+def _run_wave_task(driver, wave_index, wave, seed_images):
+    """Worker-side wave execution (module-level so it pickles).
+
+    The worker runs against a private cache seeded with the images the
+    parent already holds for this wave, and ships newly loaded images
+    back so the parent cache (and later stages) can reuse them.
+    """
+    cache = SpmImageCache()
+    cache.merge(seed_images)
+    started = time.perf_counter()
+    results, stats, load_cycles = driver.run_wave(wave, cache)
+    elapsed = time.perf_counter() - started
+    new_images = {
+        key: image
+        for key, image in cache.images().items()
+        if key not in seed_images
+    }
+    return (
+        wave_index,
+        results,
+        stats,
+        load_cycles,
+        new_images,
+        cache.hits,
+        cache.misses,
+        cache.cycles_saved,
+        os.getpid(),
+        elapsed,
+    )
+
+
+def run_partitioned(
+    driver: WaveDriver,
+    partitions: Iterable[WaveItem],
+    n_pipelines: int,
+    workers: int = 1,
+    spm_cache: Optional[SpmImageCache] = None,
+) -> Tuple[Dict[PartitionId, object], ParallelRunStats]:
+    """Run an accelerator over many partitions: N replicated pipelines
+    per wave, waves fanned out over ``workers`` host processes.
+
+    Empty partitions are never simulated; they appear in the results with
+    the driver's empty shape so per-partition result sets match the
+    serial drivers key-for-key.  Pass ``spm_cache`` to share reference-SPM
+    images across stages (each call otherwise uses a private cache).
+    Results and simulated cycles are bit-identical for every ``workers``
+    value; only host-side metrics differ.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    cache = spm_cache if spm_cache is not None else SpmImageCache()
+    started = time.perf_counter()
+    empty_pids, waves = pack_waves(partitions, n_pipelines)
+    results: Dict[PartitionId, object] = {
+        pid: driver.empty_result(pid) for pid in empty_pids
+    }
+
+    per_wave_cycles = [0] * len(waves)
+    spm_load_cycles = 0
+    wall_seconds = 0.0
+    ticks_executed = 0
+    ticks_possible = 0
+    fast_forward_cycles = 0
+    total_flits = 0
+    per_worker: Dict[str, WorkerStats] = {}
+
+    def account(worker, wave_index, wave_results, stats, load_cycles, elapsed):
+        nonlocal spm_load_cycles, wall_seconds, ticks_executed
+        nonlocal ticks_possible, fast_forward_cycles, total_flits
+        results.update(wave_results)
+        per_wave_cycles[wave_index] = stats.cycles
+        spm_load_cycles += load_cycles
+        wall_seconds += stats.wall_seconds
+        ticks_executed += stats.ticks_executed
+        ticks_possible += stats.ticks_possible
+        fast_forward_cycles += stats.fast_forward_cycles
+        total_flits += sum(stats.flits_by_module.values())
+        tally = per_worker.setdefault(worker, WorkerStats())
+        tally.waves += 1
+        tally.cycles += stats.cycles
+        tally.wall_seconds += stats.wall_seconds
+        tally.elapsed_seconds += elapsed
+
+    if workers == 1 or len(waves) <= 1:
+        workers_used = 1
+        hits0, misses0, saved0 = cache.hits, cache.misses, cache.cycles_saved
+        for wave_index, wave in enumerate(waves):
+            t0 = time.perf_counter()
+            wave_results, stats, load_cycles = driver.run_wave(wave, cache)
+            account(
+                "w0", wave_index, wave_results, stats, load_cycles,
+                time.perf_counter() - t0,
+            )
+        hits = cache.hits - hits0
+        misses = cache.misses - misses0
+        cycles_saved = cache.cycles_saved - saved0
+    else:
+        workers_used = min(workers, len(waves))
+        hits = misses = cycles_saved = 0
+        worker_pids: Dict[int, str] = {}
+        with ProcessPoolExecutor(max_workers=workers_used) as pool:
+            futures = [
+                pool.submit(
+                    _run_wave_task,
+                    driver,
+                    wave_index,
+                    wave,
+                    cache.images_for(driver.wave_keys(wave)),
+                )
+                for wave_index, wave in enumerate(waves)
+            ]
+            for future in futures:
+                (
+                    wave_index, wave_results, stats, load_cycles, new_images,
+                    wave_hits, wave_misses, wave_saved, worker_pid, elapsed,
+                ) = future.result()
+                cache.merge(new_images)
+                cache.hits += wave_hits
+                cache.misses += wave_misses
+                cache.cycles_saved += wave_saved
+                hits += wave_hits
+                misses += wave_misses
+                cycles_saved += wave_saved
+                label = worker_pids.setdefault(
+                    worker_pid, f"w{len(worker_pids)}"
+                )
+                account(
+                    label, wave_index, wave_results, stats, load_cycles,
+                    elapsed,
+                )
+
+    return results, ParallelRunStats(
+        waves=len(waves),
+        total_cycles=sum(per_wave_cycles),
+        spm_load_cycles=spm_load_cycles,
+        per_wave_cycles=per_wave_cycles,
+        wall_seconds=wall_seconds,
+        ticks_executed=ticks_executed,
+        ticks_possible=ticks_possible,
+        fast_forward_cycles=fast_forward_cycles,
+        total_flits=total_flits,
+        workers=workers_used,
+        elapsed_seconds=time.perf_counter() - started,
+        spm_cache_hits=hits,
+        spm_cache_misses=misses,
+        spm_cycles_saved=cycles_saved,
+        per_worker=per_worker,
+    )

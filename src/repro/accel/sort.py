@@ -11,14 +11,14 @@ ordered stream emerges at one record per cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..genomics.read import AlignedRead
 from ..hw.engine import Engine, RunStats
 from ..hw.flit import Flit
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.module import Module
-from ..hw.modules.sorter import build_merge_tree, sorted_run_flits
+from ..hw.modules.sorter import build_merge_tree
 
 
 class _RunFeeder(Module):

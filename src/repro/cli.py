@@ -47,7 +47,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     from .accel.markdup import accelerated_mark_duplicates
-    from .accel.metadata import run_metadata_update
+    from .accel.scheduler import (
+        MetadataWaveDriver,
+        SpmImageCache,
+        run_partitioned,
+    )
     from .tables.genomic_tables import reads_to_table
     from .tables.partition import partition_reads, partition_reference
 
@@ -60,17 +64,37 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
 
     table = reads_to_table(markdup.sorted_reads)
     reference = partition_reference(genome, args.psize, args.overlap)
+    partitions = partition_reads(table, args.psize)
+    spm_cache = SpmImageCache()
+    results, stats = run_partitioned(
+        MetadataWaveDriver(reference=reference),
+        partitions,
+        args.pipelines,
+        workers=args.workers,
+        spm_cache=spm_cache,
+    )
     tagged = 0
-    for pid, part in partition_reads(table, args.psize):
-        if part.num_rows == 0:
-            continue
-        result = run_metadata_update(part, reference.lookup(pid))
+    for pid, part in partitions:
+        result = results[pid]
         for rowid, nm, md, uq in zip(
             part.column("ROWID").tolist(), result.nm, result.md, result.uq
         ):
             markdup.sorted_reads[rowid].tags.update(NM=nm, MD=md, UQ=uq)
             tagged += 1
-    print(f"metadata update: {tagged} reads tagged")
+    print(
+        f"metadata update: {tagged} reads tagged "
+        f"({stats.waves} waves x {args.pipelines} pipelines, "
+        f"workers={stats.workers}, {stats.cycles_including_load} cycles, "
+        f"spm cache {stats.spm_cache_hits} hits / "
+        f"{stats.spm_cache_misses} misses)"
+    )
+    if stats.workers > 1:
+        for worker in sorted(stats.per_worker):
+            tally = stats.per_worker[worker]
+            print(
+                f"  {worker}: {tally.waves} waves, {tally.cycles} cycles, "
+                f"{tally.elapsed_seconds:.3f}s host"
+            )
     with open(args.out, "w") as handle:
         write_sam(handle, markdup.sorted_reads, genome)
     print(f"wrote {args.out}")
@@ -142,6 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
     preprocess.add_argument("--psize", type=int, default=4000)
     preprocess.add_argument("--overlap", type=int, default=200)
     preprocess.add_argument("--snp-rate", type=float, default=0.001)
+    preprocess.add_argument(
+        "--pipelines", type=int, default=4,
+        help="pipeline replicas per wave (the paper's 16x replication)",
+    )
+    preprocess.add_argument(
+        "--workers", type=int, default=1,
+        help="host worker processes the waves fan out over",
+    )
     preprocess.set_defaults(func=_cmd_preprocess)
 
     call = commands.add_parser("call", help="pileup variant calling")

@@ -11,7 +11,7 @@ against user pipelines.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, List
 
 from ..hw.pipeline import Pipeline
 from ..sql.parser import parse_query

@@ -15,19 +15,16 @@ from ..accel.bqsr import run_bqsr_partition
 from ..accel.example_query import (
     build_example_pipeline,
     configure_example_streams,
-    run_example_query,
 )
 from ..accel.markdup import run_quality_sums
 from ..accel.metadata import run_metadata_update
 from ..gatk.bqsr import n_cycle_values
 from ..hw.engine import Engine
 from ..hw.memory import MemoryConfig, MemorySystem
-from ..hw.pipeline import replicate
 from ..hw.resources import ResourceVector, estimate_accelerator
 from ..perf.cost import table3_row
 from ..perf.cpu_model import PAPER_READS, CpuModel
 from ..perf.timing import (
-    CALIBRATIONS,
     StageTiming,
     model_stage,
     model_stage_pcie4,
@@ -180,7 +177,7 @@ def figure13_per_chromosome(
             )
             cycles = result.run.stats.cycles
         else:
-            raise KeyError(f"per-chromosome supports metadata/bqsr_table")
+            raise KeyError("per-chromosome supports metadata/bqsr_table")
         prev_cycles, prev_bases = per_chrom.get(pid.chrom, (0, 0))
         per_chrom[pid.chrom] = (prev_cycles + cycles, prev_bases + count_bases(part))
 
@@ -245,6 +242,73 @@ def table4_estimates() -> Dict[str, ResourceVector]:
         "metadata": estimate_accelerator(metadata_census, _METADATA_SPM, 16),
         "bqsr_table": estimate_accelerator(bqsr_census, _BQSR_SPM, 8),
     }
+
+
+# -- Host scheduler ------------------------------------------------------------------
+
+
+def _wave_driver(stage: str, workload: Workload, memory_config=None):
+    """The partition-scheduler driver for one accelerated stage."""
+    from ..accel.scheduler import (
+        BqsrWaveDriver,
+        MarkdupWaveDriver,
+        MetadataWaveDriver,
+    )
+
+    if stage == "markdup":
+        return MarkdupWaveDriver(memory_config=memory_config)
+    if stage == "metadata":
+        return MetadataWaveDriver(
+            reference=workload.reference, memory_config=memory_config
+        )
+    if stage == "bqsr_table":
+        return BqsrWaveDriver(
+            reference=workload.reference,
+            read_length=workload.read_length,
+            memory_config=memory_config,
+        )
+    raise KeyError(f"unknown stage {stage!r}")
+
+
+def scheduler_scaling(
+    workload: Optional[Workload] = None,
+    stage: str = "metadata",
+    worker_counts: Tuple[int, ...] = (1, 2, 4),
+    n_pipelines: int = 4,
+    memory_config=None,
+) -> Dict[int, Dict[str, float]]:
+    """Host-scheduler ablation: one partitioned run fanned out over each
+    worker count.  Simulated cycles must not change with ``workers`` —
+    only the host-side wall clock does; a mismatch raises."""
+    from ..accel.scheduler import run_partitioned
+
+    workload = workload or make_workload()
+    partitions = (
+        workload.group_partitions if stage == "bqsr_table" else workload.partitions
+    )
+    driver = _wave_driver(stage, workload, memory_config)
+    out: Dict[int, Dict[str, float]] = {}
+    baseline_cycles: Optional[int] = None
+    for workers in worker_counts:
+        _results, stats = run_partitioned(
+            driver, partitions, n_pipelines, workers=workers
+        )
+        if baseline_cycles is None:
+            baseline_cycles = stats.total_cycles
+        elif stats.total_cycles != baseline_cycles:
+            raise AssertionError(
+                f"workers={workers} changed simulated cycles: "
+                f"{stats.total_cycles} != {baseline_cycles}"
+            )
+        out[workers] = {
+            "elapsed_seconds": stats.elapsed_seconds,
+            "wall_seconds": stats.wall_seconds,
+            "host_parallelism": stats.host_parallelism,
+            "total_cycles": float(stats.total_cycles),
+            "spm_cache_hits": float(stats.spm_cache_hits),
+            "spm_cache_misses": float(stats.spm_cache_misses),
+        }
+    return out
 
 
 # -- Figure 8 ------------------------------------------------------------------------

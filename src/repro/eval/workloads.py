@@ -11,7 +11,7 @@ extrapolate to paper scale through :mod:`repro.perf`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..genomics.read import AlignedRead
 from ..genomics.reference import CHROMOSOMES, ReferenceGenome

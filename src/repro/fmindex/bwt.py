@@ -9,7 +9,7 @@ constructions over the DNA alphabet plus a unique terminator.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ suffix array with LF-walks, exactly as real FM-index implementations do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

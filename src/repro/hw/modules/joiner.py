@@ -24,7 +24,7 @@ but must flow through left joins (metadata update needs them for NM).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import FrozenSet
 
 from ..flit import INS, Flit
 from ..module import Module

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import List
 
-from ..flit import Flit
 from ..memory import MemorySystem
 from ..module import SinkModule
 

@@ -9,7 +9,7 @@ field selects which values contribute (Section III-C).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from ..flit import DEL, Flit
 from ..module import Module

@@ -21,7 +21,7 @@ exists for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .device import DeviceConfig, GenesisDevice
 

@@ -13,7 +13,7 @@ reports the wall-clock difference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from .api import GenesisRuntime
 from .device import DeviceConfig

@@ -12,7 +12,7 @@ the accelerator finished *yet*".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 #: Measured host->FPGA DMA bandwidth on the F1 (Section V-B): ~7 GB/s.

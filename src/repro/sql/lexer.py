@@ -9,7 +9,7 @@ dialect allows alongside ``=``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 KEYWORDS = {
     "CREATE", "TABLE", "AS", "SELECT", "FROM", "WHERE", "GROUP", "BY",

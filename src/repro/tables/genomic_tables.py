@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from ..genomics.cigar import decode_elements, encode_elements
 from ..genomics.read import AlignedRead

@@ -10,7 +10,7 @@ provides the variant data model those operations manipulate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..genomics.sequences import decode_sequence

@@ -1,11 +1,9 @@
 """Integration tests: the Figure 12 BQSR covariate-table accelerator."""
 
 import numpy as np
-import pytest
 
 from repro.accel.bqsr import merge_partition_results, run_bqsr_partition
 from repro.gatk.bqsr import build_covariate_tables
-from repro.tables.genomic_tables import table_to_reads
 
 
 def accumulate_hw(workload):
@@ -52,7 +50,7 @@ def test_drain_phase_streams_all_spms(workload):
     result = run_bqsr_partition(
         part, workload.reference.lookup(pid), workload.read_length, drain=True
     )
-    spm_words = (
+    _spm_words = (
         len(result.total_cycle) + len(result.total_context)
         + len(result.error_cycle) + len(result.error_context)
     )

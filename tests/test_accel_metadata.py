@@ -1,6 +1,5 @@
 """Integration tests: the Figure 11 metadata-update accelerator."""
 
-import pytest
 
 from repro.accel.metadata import run_metadata_update
 from repro.gatk.metadata import compute_read_metadata

@@ -50,6 +50,31 @@ def test_pipelined_results_cover_all_jobs():
     assert outcome.wall_seconds > 0
 
 
+def test_pipelined_zero_jobs():
+    outcome = run_batch_pipelined([])
+    assert outcome.jobs == 0
+    assert outcome.wall_seconds == 0.0
+
+
+def test_pipelined_jobs_without_host_work():
+    jobs = jobs_with(host_seconds=0.0, n=3)
+    outcome = run_batch_pipelined(jobs)
+    assert outcome.jobs == 3
+    # No host work to overlap: matches the serial schedule exactly.
+    assert outcome.wall_seconds == pytest.approx(
+        run_batch_serial(jobs).wall_seconds
+    )
+
+
+def test_overlap_never_slower_on_host_bound_batch():
+    """Host work dominating accelerator time: pipelining still must not
+    lose to the serial schedule."""
+    accel_seconds = 250_000 / CLOCK_HZ
+    jobs = jobs_with(host_seconds=50 * accel_seconds, n=6)
+    comparison = compare_schedules(jobs)
+    assert comparison["overlap_speedup"] >= 1.0
+
+
 def test_output_transfers_charged():
     with_output = [BatchJob("a", 1_000_000, 100_000, output_bytes=50_000_000)]
     without = [BatchJob("a", 1_000_000, 100_000)]

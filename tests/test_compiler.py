@@ -1,6 +1,5 @@
 """Tests for the plan-to-hardware mapping (Section III-D)."""
 
-import pytest
 
 from repro.compiler import (
     blueprint_summary,

@@ -1,6 +1,5 @@
 """Unit tests for the SQL executor (reference semantics)."""
 
-import numpy as np
 import pytest
 
 from repro.sql.executor import Executor, SqlError

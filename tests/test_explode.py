@@ -1,7 +1,6 @@
 """Unit tests for the ReadExplode/PosExplode reference semantics."""
 
 import numpy as np
-import pytest
 
 from repro.genomics.cigar import Cigar, encode_elements
 from repro.genomics.sequences import encode_sequence

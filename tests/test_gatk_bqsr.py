@@ -6,8 +6,6 @@ import numpy as np
 import pytest
 
 from repro.gatk.bqsr import (
-    MAX_QUALITY,
-    N_CONTEXTS,
     CovariateTables,
     apply_recalibration,
     build_covariate_tables,
@@ -159,7 +157,6 @@ def test_recalibration_of_empty_tables_is_identity():
 
 
 def test_apply_recalibration_skips_unknown_groups():
-    genome = make_genome("AAAA")
     read = make_read(0, "4M", "AAAA", read_group=9)
     changed = apply_recalibration([read], models={})
     assert changed == 0

@@ -1,7 +1,6 @@
 """Unit tests for the metadata-update software baseline (Section IV-C)."""
 
 import numpy as np
-import pytest
 
 from repro.gatk.metadata import (
     MdBuilder,

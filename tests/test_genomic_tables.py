@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.genomics.cigar import decode_elements
 from repro.tables.genomic_tables import (
     READS_SCHEMA,
     REF_SCHEMA,

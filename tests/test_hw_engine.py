@@ -8,7 +8,6 @@ from repro.hw.modules import MemoryWriter, Reducer
 from repro.hw.pipeline import Pipeline, replicate
 from repro.hw.resources import (
     SHELL_COST,
-    VU9P_LUTS,
     ResourceVector,
     estimate_accelerator,
     estimate_pipeline,

@@ -3,7 +3,7 @@
 from repro.hw.flit import INS, Flit
 from repro.hw.modules import Joiner
 
-from hw_harness import drive, items_of
+from hw_harness import drive
 
 
 def keyed(pairs, key="key", data="data"):

@@ -7,7 +7,7 @@ from repro.hw.flit import Flit
 from repro.hw.memory import MemoryConfig, MemorySystem
 from repro.hw.modules import MemoryReader, MemoryWriter
 
-from hw_harness import ListSink, drive
+from hw_harness import ListSink
 
 
 def run_reader(reader_setup, memory_config=None):

@@ -6,7 +6,6 @@ memory latencies may change cycle-level behaviour but never outputs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

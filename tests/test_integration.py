@@ -2,7 +2,6 @@
 runtime API, checked against the pure-software pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.accel.bqsr import merge_partition_results, run_bqsr_partition
 from repro.accel.markdup import run_quality_sums

@@ -1,6 +1,5 @@
 """Tests for QC metrics (software + the Genesis reduction pipeline)."""
 
-import numpy as np
 import pytest
 
 from repro.gatk.metrics import (

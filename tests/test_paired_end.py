@@ -1,11 +1,10 @@
 """Paired-end coverage: mark duplicates with mate-aware keys (footnote 1)."""
 
 import numpy as np
-import pytest
 
 from repro.accel.markdup import accelerated_mark_duplicates
 from repro.gatk.markdup import mark_duplicates
-from repro.genomics import ReadSimulator, ReferenceGenome, SimulatorConfig
+from repro.genomics import ReadSimulator, SimulatorConfig
 from repro.genomics.cigar import Cigar
 from repro.genomics.read import (
     FLAG_FIRST_IN_PAIR,
@@ -52,8 +51,6 @@ def test_duplicate_pairs_marked_together():
     reads[1].qual[:] = 35
     result = mark_duplicates(reads)
     # Both reads of pair b flagged, both of pair a kept.
-    flags = {read.name: read.is_duplicate
-             for read in result.sorted_reads}
     # one pair fully duplicate, the other fully kept
     names_dup = {r.name for r in result.sorted_reads if r.is_duplicate}
     assert names_dup == {"b"}

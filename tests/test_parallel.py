@@ -3,7 +3,8 @@
 import pytest
 
 from repro.accel.metadata import run_metadata_update
-from repro.accel.parallel import run_metadata_parallel
+from repro.accel.parallel import ParallelRunStats, run_metadata_parallel
+from repro.tables.partition import PartitionId
 
 
 @pytest.fixture(scope="module")
@@ -42,3 +43,52 @@ def test_wave_count(workload, parts):
 def test_pipeline_count_validation(workload, parts):
     with pytest.raises(ValueError):
         run_metadata_parallel(parts, workload.reference, n_pipelines=0)
+
+
+def test_empty_partitions_included_in_results(workload, parts):
+    """Regression: the parallel path used to drop empty partitions from
+    its results dict while the serial driver included them."""
+    empty_pid = PartitionId(20, 4096)
+    with_empty = parts + [(empty_pid, workload.table.take([]))]
+    results, _stats = run_metadata_parallel(
+        with_empty, workload.reference, n_pipelines=2
+    )
+    assert set(results) == {pid for pid, _part in with_empty}
+    empty = results[empty_pid]
+    assert empty.nm == [] and empty.md == [] and empty.uq == []
+    assert empty.run is None
+
+
+def test_workers_kwarg_matches_serial(workload, parts):
+    serial_res, serial_stats = run_metadata_parallel(
+        parts, workload.reference, n_pipelines=1, workers=1
+    )
+    pool_res, pool_stats = run_metadata_parallel(
+        parts, workload.reference, n_pipelines=1, workers=2
+    )
+    assert serial_stats.per_wave_cycles == pool_stats.per_wave_cycles
+    for pid in serial_res:
+        assert pool_res[pid].nm == serial_res[pid].nm
+        assert pool_res[pid].md == serial_res[pid].md
+
+
+def _stats(**overrides):
+    base = dict(waves=0, total_cycles=0, spm_load_cycles=0, per_wave_cycles=[])
+    base.update(overrides)
+    return ParallelRunStats(**base)
+
+
+def test_skip_ratio_guards_division_by_zero():
+    assert _stats().skip_ratio == 0.0
+    assert _stats(ticks_executed=3, ticks_possible=4).skip_ratio == 0.25
+
+
+def test_host_flits_per_second_guards_division_by_zero():
+    assert _stats().host_flits_per_second == 0.0
+    assert _stats(total_flits=10).host_flits_per_second == 0.0
+    assert _stats(total_flits=10, wall_seconds=2.0).host_flits_per_second == 5.0
+
+
+def test_host_parallelism_guards_division_by_zero():
+    assert _stats().host_parallelism == 0.0
+    assert _stats(wall_seconds=4.0, elapsed_seconds=2.0).host_parallelism == 2.0

@@ -1,6 +1,5 @@
 """Unit tests for the ReadToBases module (the hardware ReadExplode)."""
 
-import numpy as np
 
 from repro.genomics.cigar import Cigar, encode_elements
 from repro.genomics.sequences import encode_sequence

@@ -1,0 +1,303 @@
+"""Tests for the host partition scheduler (repro.accel.scheduler).
+
+The oracle pattern follows PR 1's event-vs-dense differential tests:
+``workers=N`` runs must be bit-identical — per-partition outputs AND
+simulated cycle accounting — to the ``workers=1`` serial schedule, and
+the scheduler's per-partition outputs must match the stand-alone
+per-partition drivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.markdup import run_quality_sums
+from repro.accel.metadata import run_metadata_update
+from repro.accel.scheduler import (
+    BqsrWaveDriver,
+    MarkdupWaveDriver,
+    MetadataWaveDriver,
+    SpmImageCache,
+    pack_waves,
+    run_partitioned,
+)
+from repro.eval.workloads import make_workload
+from repro.tables.partition import PartitionId
+
+BQSR_FIELDS = ("total_cycle", "total_context", "error_cycle", "error_context")
+
+
+@pytest.fixture(scope="module")
+def sched_workload():
+    """Enough partitions for multi-wave, multi-worker schedules."""
+    return make_workload(
+        n_reads=120,
+        read_length=60,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=1000,
+        seed=105,
+    )
+
+
+def _assert_same_aggregate(a, b):
+    """The deterministic half of ParallelRunStats must agree exactly."""
+    assert a.waves == b.waves
+    assert a.per_wave_cycles == b.per_wave_cycles
+    assert a.total_cycles == b.total_cycles
+    assert a.spm_load_cycles == b.spm_load_cycles
+    assert a.cycles_including_load == b.cycles_including_load
+    assert a.total_flits == b.total_flits
+
+
+# -- differential: workers=N vs the serial schedule ---------------------------------
+
+
+def test_metadata_workers_bit_identical(sched_workload):
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    serial_res, serial_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, workers=1
+    )
+    parallel_res, parallel_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, workers=4
+    )
+    assert serial_stats.waves > 1, "need a multi-wave schedule to compare"
+    _assert_same_aggregate(serial_stats, parallel_stats)
+    assert set(serial_res) == set(parallel_res)
+    for pid in serial_res:
+        assert parallel_res[pid].nm == serial_res[pid].nm, str(pid)
+        assert parallel_res[pid].md == serial_res[pid].md, str(pid)
+        assert parallel_res[pid].uq == serial_res[pid].uq, str(pid)
+
+
+def test_markdup_workers_bit_identical(sched_workload):
+    driver = MarkdupWaveDriver()
+    serial_res, serial_stats = run_partitioned(
+        driver, sched_workload.partitions, 1, workers=1
+    )
+    parallel_res, parallel_stats = run_partitioned(
+        driver, sched_workload.partitions, 1, workers=4
+    )
+    _assert_same_aggregate(serial_stats, parallel_stats)
+    for pid in serial_res:
+        assert parallel_res[pid].quality_sums == serial_res[pid].quality_sums
+
+
+def test_bqsr_workers_bit_identical(sched_workload):
+    driver = BqsrWaveDriver(
+        reference=sched_workload.reference,
+        read_length=sched_workload.read_length,
+    )
+    serial_res, serial_stats = run_partitioned(
+        driver, sched_workload.group_partitions, 4, workers=1
+    )
+    parallel_res, parallel_stats = run_partitioned(
+        driver, sched_workload.group_partitions, 4, workers=4
+    )
+    _assert_same_aggregate(serial_stats, parallel_stats)
+    for pid in serial_res:
+        for field in BQSR_FIELDS:
+            assert np.array_equal(
+                getattr(parallel_res[pid], field), getattr(serial_res[pid], field)
+            ), (str(pid), field)
+        assert parallel_res[pid].hazard_stalls == serial_res[pid].hazard_stalls
+        serial_drain = serial_res[pid].drain_stats
+        parallel_drain = parallel_res[pid].drain_stats
+        assert (serial_drain is None) == (parallel_drain is None)
+        if serial_drain is not None:
+            assert parallel_drain.cycles == serial_drain.cycles
+
+
+# -- scheduler vs the stand-alone per-partition drivers ------------------------------
+
+
+def test_metadata_matches_standalone_driver(sched_workload):
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    results, _stats = run_partitioned(driver, sched_workload.partitions, 4)
+    for pid, part in sched_workload.partitions:
+        if part.num_rows == 0:
+            continue
+        standalone = run_metadata_update(
+            part, sched_workload.reference.lookup(pid)
+        )
+        assert results[pid].nm == standalone.nm, str(pid)
+        assert results[pid].md == standalone.md, str(pid)
+        assert results[pid].uq == standalone.uq, str(pid)
+
+
+def test_markdup_matches_standalone_driver(sched_workload):
+    driver = MarkdupWaveDriver()
+    results, _stats = run_partitioned(driver, sched_workload.partitions, 4)
+    for pid, part in sched_workload.partitions:
+        if part.num_rows == 0:
+            continue
+        standalone = run_quality_sums(part.column("QUAL"))
+        assert results[pid].quality_sums == standalone.quality_sums, str(pid)
+
+
+# -- empty partitions ----------------------------------------------------------------
+
+
+def test_empty_partitions_get_empty_results(sched_workload):
+    empty_pid = PartitionId(20, 999)
+    empty_part = sched_workload.table.take([])
+    parts = list(sched_workload.partitions) + [(empty_pid, empty_part)]
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    for workers in (1, 2):
+        results, stats = run_partitioned(driver, parts, 2, workers=workers)
+        assert empty_pid in results
+        empty = results[empty_pid]
+        assert empty.nm == [] and empty.md == [] and empty.uq == []
+        assert empty.run is None
+        # the empty partition never consumed a pipeline slot
+        assert stats.waves == (len(parts) - 1 + 1) // 2
+
+
+def test_empty_partition_never_hits_reference():
+    """Empty partitions must not trigger a reference lookup (their pid
+    may have no REF row at all)."""
+    workload = make_workload(
+        n_reads=20, read_length=40, chromosomes=(21,),
+        genome_scale=1.2e-6, psize=2500, seed=9,
+    )
+    bogus = PartitionId(99, 12345)  # no REF partition exists for this
+    parts = list(workload.partitions) + [(bogus, workload.table.take([]))]
+    driver = MetadataWaveDriver(reference=workload.reference)
+    results, _stats = run_partitioned(driver, parts, 2)
+    assert results[bogus].nm == []
+
+
+# -- SPM image cache -----------------------------------------------------------------
+
+
+def test_spm_cache_replay_bit_identical(sched_workload):
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    cache = SpmImageCache()
+    cold_res, cold_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, spm_cache=cache
+    )
+    assert cold_stats.spm_cache_hits == 0
+    assert cold_stats.spm_cache_misses > 0
+    warm_res, warm_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, spm_cache=cache
+    )
+    # every re-used partition hits; nothing is re-simulated
+    assert warm_stats.spm_cache_misses == 0
+    assert warm_stats.spm_cache_hits == cold_stats.spm_cache_misses
+    assert warm_stats.spm_cycles_saved > 0
+    # and the replayed images leave results and cycles bit-identical
+    _assert_same_aggregate(cold_stats, warm_stats)
+    for pid in cold_res:
+        assert warm_res[pid].nm == cold_res[pid].nm
+        assert warm_res[pid].md == cold_res[pid].md
+        assert warm_res[pid].uq == cold_res[pid].uq
+
+
+def test_spm_cache_seeds_worker_processes(sched_workload):
+    """A warm parent cache must reach pool workers (no re-simulation in
+    the fanned-out run either)."""
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    cache = SpmImageCache()
+    _cold, cold_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, spm_cache=cache
+    )
+    warm_res, warm_stats = run_partitioned(
+        driver, sched_workload.partitions, 2, workers=2, spm_cache=cache
+    )
+    assert warm_stats.spm_cache_misses == 0
+    assert warm_stats.spm_cache_hits == cold_stats.spm_cache_misses
+    _assert_same_aggregate(cold_stats, warm_stats)
+    for pid in warm_res:
+        assert warm_res[pid].nm is not None
+
+
+def test_spm_cache_shared_across_stages(sched_workload):
+    """Metadata then BQSR: the with_snp images differ, but a second
+    metadata-style pass (e.g. another stage on the same partitions)
+    replays every image."""
+    cache = SpmImageCache()
+    metadata = MetadataWaveDriver(reference=sched_workload.reference)
+    _res, first = run_partitioned(
+        metadata, sched_workload.partitions, 4, spm_cache=cache
+    )
+    bqsr = BqsrWaveDriver(
+        reference=sched_workload.reference,
+        read_length=sched_workload.read_length,
+        drain=False,
+    )
+    _res2, second = run_partitioned(
+        bqsr, sched_workload.group_partitions, 4, spm_cache=cache
+    )
+    # BQSR's (base, is_snp) images are distinct entries, but read-group
+    # slices of one segment share an image within the run.
+    assert second.spm_cache_misses <= len(
+        {(pid.chrom, pid.segment) for pid, p in sched_workload.group_partitions}
+    )
+    _res3, third = run_partitioned(
+        metadata, sched_workload.partitions, 4, spm_cache=cache
+    )
+    assert third.spm_cache_misses == 0
+    assert third.spm_cache_hits == first.spm_cache_misses
+
+
+def test_bqsr_read_group_slices_share_images(sched_workload):
+    segments = {}
+    for pid, part in sched_workload.group_partitions:
+        if part.num_rows:
+            segments.setdefault((pid.chrom, pid.segment), 0)
+            segments[(pid.chrom, pid.segment)] += 1
+    if max(segments.values(), default=0) < 2:
+        pytest.skip("no segment with multiple read groups")
+    driver = BqsrWaveDriver(
+        reference=sched_workload.reference,
+        read_length=sched_workload.read_length,
+        drain=False,
+    )
+    _res, stats = run_partitioned(driver, sched_workload.group_partitions, 8)
+    assert stats.spm_cache_misses == len(segments)
+    assert stats.spm_cache_hits == sum(segments.values()) - len(segments)
+
+
+def test_spm_cache_eviction():
+    workload = make_workload(
+        n_reads=40, read_length=40, chromosomes=(20, 21),
+        genome_scale=1.2e-6, psize=2500, seed=11,
+    )
+    cache = SpmImageCache(max_images=1)
+    driver = MetadataWaveDriver(reference=workload.reference)
+    run_partitioned(driver, workload.partitions, 1, spm_cache=cache)
+    assert len(cache) == 1
+
+
+# -- wave packing --------------------------------------------------------------------
+
+
+def test_pack_waves_largest_first(sched_workload):
+    parts = list(sched_workload.partitions)
+    empty, waves = pack_waves(parts, 2)
+    sizes = [part.num_rows for wave in waves for _pid, part in wave]
+    assert sizes == sorted(sizes, reverse=True)
+    packed = {pid for wave in waves for pid, _part in wave}
+    assert packed | set(empty) == {pid for pid, _part in parts}
+    # deterministic: same input, same packing
+    assert pack_waves(parts, 2)[1] == waves
+
+
+def test_pack_waves_validates_pipelines(sched_workload):
+    with pytest.raises(ValueError):
+        pack_waves(list(sched_workload.partitions), 0)
+
+
+def test_run_partitioned_validates_workers(sched_workload):
+    driver = MarkdupWaveDriver()
+    with pytest.raises(ValueError):
+        run_partitioned(driver, sched_workload.partitions, 1, workers=0)
+
+
+def test_per_worker_breakdown_accounts_every_wave(sched_workload):
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    _res, stats = run_partitioned(
+        driver, sched_workload.partitions, 1, workers=2
+    )
+    assert sum(w.waves for w in stats.per_worker.values()) == stats.waves
+    assert sum(w.cycles for w in stats.per_worker.values()) == stats.total_cycles
+    assert stats.workers == 2

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.genomics.cigar import Cigar
 from repro.genomics.read import pair_key
 from repro.genomics.reference import ReferenceGenome
 from repro.genomics.simulator import ReadSimulator, SimulatorConfig
