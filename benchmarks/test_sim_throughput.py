@@ -122,6 +122,69 @@ def test_sim_throughput_event_vs_dense(benchmark, report):
     ])
 
 
+def test_metrics_disabled_zero_overhead(benchmark, report):
+    """The observability layer must be free when off.  With no probe
+    attached the engine hot loops pay one ``is None`` check per cycle and
+    nothing else, so two independent best-of-3 samples of the disabled
+    path must agree within 5% — any systematic metrics tax would show up
+    as a stable gap between them.  The enabled-profiling cost (probe
+    attached, timelines + queue depths on) is recorded alongside for the
+    trajectory; it is allowed to cost real time."""
+    from repro.accel.markdup import run_quality_sums
+    from repro.obs import Profiler
+
+    quals = [read.qual for read in _workload().reads]
+
+    def time_once(profiled):
+        start = time.perf_counter()
+        profiler = Profiler(name="overhead") if profiled else None
+        result = run_quality_sums(quals, profiler=profiler)
+        wall = time.perf_counter() - start
+        return wall, result.stats.cycles
+
+    # Warm up caches/allocators, then interleave the two disabled-path
+    # samples — alternating which goes first — so drift and ordering
+    # effects hit both equally.
+    time_once(False)
+    sample_a, sample_b = [], []
+    for i in range(4):
+        first, second = (sample_a, sample_b) if i % 2 == 0 else (sample_b, sample_a)
+        first.append(time_once(False))
+        second.append(time_once(False))
+    base_wall, base_cycles = min(sample_a)
+    check_wall, check_cycles = min(sample_b)
+    assert base_cycles == check_cycles
+
+    enabled_runs = []
+
+    def run_enabled():
+        enabled_runs.append(time_once(True))
+
+    benchmark.pedantic(run_enabled, rounds=3, iterations=1)
+    enabled_wall, enabled_cycles = min(enabled_runs)
+    assert enabled_cycles == base_cycles  # profiling never perturbs timing
+
+    ratio = check_wall / base_wall
+    assert ratio <= 1.05, (
+        f"disabled-metrics path regressed: {ratio:.3f}x between two "
+        "samples of the same configuration"
+    )
+    enabled_ratio = enabled_wall / base_wall
+
+    benchmark.extra_info.update(
+        disabled_seconds=round(base_wall, 4),
+        disabled_check_ratio=round(ratio, 4),
+        enabled_seconds=round(enabled_wall, 4),
+        enabled_overhead=round(enabled_ratio, 3),
+        simulated_cycles=base_cycles,
+    )
+    report("Metrics overhead - disabled vs profiled run", [
+        f"disabled: {base_wall:.3f}s (A/A ratio {ratio:.3f}x, gate 1.05x)",
+        f"profiled: {enabled_wall:.3f}s ({enabled_ratio:.2f}x of disabled, "
+        "timelines + queue depths on)",
+    ])
+
+
 def test_sim_throughput_default_latency(report):
     """The same comparison at the default memory latency — a tougher
     regime for the event engine (fewer dead cycles to skip) recorded for

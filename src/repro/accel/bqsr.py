@@ -240,8 +240,12 @@ def run_bqsr_partition(
     read_length: int,
     memory_config: Optional[MemoryConfig] = None,
     drain: bool = True,
+    profiler=None,
 ) -> BqsrAccelResult:
-    """Simulate the Figure 12 pipeline on one partition slice."""
+    """Simulate the Figure 12 pipeline on one partition slice.
+
+    ``profiler`` is an optional :class:`repro.obs.Profiler` attached to
+    the binning engine (SPM load and drain phases run unprofiled)."""
     ref_spm, load_stats = load_reference_spm(ref_row, memory_config, with_snp=True)
     spms = BqsrSpms.allocate(read_length)
     engine = Engine(MemorySystem(memory_config))
@@ -249,6 +253,8 @@ def run_bqsr_partition(
         engine, "bq", ref_spm, spm_base(ref_row), spms, read_length
     )
     configure_bqsr_streams(pipe, partition)
+    if profiler is not None:
+        profiler.attach(engine)
     stats = engine.run()
     drain_stats = drain_spms(spms, memory_config) if drain else None
     hazard_stalls = sum(

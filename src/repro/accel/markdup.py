@@ -52,12 +52,21 @@ class MarkDupAccelResult:
 
 
 def run_quality_sums(
-    quals: Sequence, memory_config: Optional[MemoryConfig] = None
+    quals: Sequence,
+    memory_config: Optional[MemoryConfig] = None,
+    profiler=None,
 ) -> MarkDupAccelResult:
-    """Simulate the quality-sum pipeline over per-read QUAL arrays."""
+    """Simulate the quality-sum pipeline over per-read QUAL arrays.
+
+    ``profiler`` is an optional :class:`repro.obs.Profiler`; when given it
+    is attached to the engine before the run and left holding the run's
+    observations for ``profiler.report()``.
+    """
     engine = Engine(MemorySystem(memory_config))
     pipe = build_markdup_pipeline(engine, "md")
     pipe.modules["md.qual"].set_items([[int(q) for q in item] for item in quals])
+    if profiler is not None:
+        profiler.attach(engine)
     stats = engine.run()
     writer = pipe.modules["md.writer"]
     return MarkDupAccelResult(

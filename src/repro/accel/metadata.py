@@ -155,12 +155,19 @@ def run_metadata_update(
     partition: Table,
     ref_row: dict,
     memory_config: Optional[MemoryConfig] = None,
+    profiler=None,
 ) -> MetadataAccelResult:
-    """Simulate the Figure 11 pipeline on one partition."""
+    """Simulate the Figure 11 pipeline on one partition.
+
+    ``profiler`` is an optional :class:`repro.obs.Profiler` attached to
+    the compute engine (the SPM load phase runs unprofiled — it is the
+    same fixed setup work for every driver)."""
     spm, load_stats = load_reference_spm(ref_row, memory_config)
     engine = Engine(MemorySystem(memory_config))
     pipe = build_metadata_pipeline(engine, "mu", spm, spm_base(ref_row))
     configure_metadata_streams(pipe, partition)
+    if profiler is not None:
+        profiler.attach(engine)
     stats = engine.run()
     nm, md, uq = collect_metadata_outputs(pipe)
     return MetadataAccelResult(

@@ -47,6 +47,7 @@ from ..hw.engine import Engine, RunStats
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.modules import SpmUpdater
 from ..hw.spm import Scratchpad
+from ..obs.registry import MetricsRegistry, registry_or_null
 from ..tables.partition import PartitionId, PartitionedReference
 from ..tables.table import Table
 from .bqsr import (
@@ -383,6 +384,11 @@ class WorkerStats:
 class ParallelRunStats:
     """Aggregate statistics of a waved multi-pipeline run.
 
+    Since the observability layer landed this is a *view*: the scheduler
+    accounts every wave into a :class:`~repro.obs.registry.MetricsRegistry`
+    and :meth:`from_registry` assembles the dataclass from the registry's
+    contents; the fields and semantics are unchanged for existing callers.
+
     Besides the simulated-cycle accounting, the host-side fields
     aggregate the event scheduler's metrics across waves so multi-workload
     sweeps can report how much simulator time the wake sets and
@@ -437,6 +443,85 @@ class ParallelRunStats:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.wall_seconds / self.elapsed_seconds
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: MetricsRegistry,
+        waves: int,
+        workers: int,
+        elapsed_seconds: float,
+    ) -> "ParallelRunStats":
+        """Assemble the stats view from one run's accounting registry
+        (the ``scheduler.*`` / ``sim.*`` metrics ``run_partitioned``
+        publishes per wave)."""
+        per_wave_cycles = [0] * waves
+        for labels, gauge in registry.values("scheduler.wave.cycles").items():
+            per_wave_cycles[int(dict(labels)["wave"])] = gauge.value
+        per_worker: Dict[str, WorkerStats] = {}
+        for metric, attr in (
+            ("scheduler.worker.waves", "waves"),
+            ("scheduler.worker.cycles", "cycles"),
+            ("scheduler.worker.wall_seconds", "wall_seconds"),
+            ("scheduler.worker.elapsed_seconds", "elapsed_seconds"),
+        ):
+            for labels, counter in registry.values(metric).items():
+                worker = dict(labels)["worker"]
+                tally = per_worker.setdefault(worker, WorkerStats())
+                setattr(tally, attr, counter.value)
+        return cls(
+            waves=waves,
+            total_cycles=sum(per_wave_cycles),
+            spm_load_cycles=registry.value("scheduler.spm_load_cycles"),
+            per_wave_cycles=per_wave_cycles,
+            wall_seconds=registry.value("sim.wall_seconds"),
+            ticks_executed=registry.value("sim.ticks_executed"),
+            ticks_possible=registry.value("sim.ticks_possible"),
+            fast_forward_cycles=registry.value("sim.fast_forward_cycles"),
+            total_flits=registry.value("sim.flits"),
+            workers=workers,
+            elapsed_seconds=elapsed_seconds,
+            spm_cache_hits=registry.value("scheduler.spm_cache.hits"),
+            spm_cache_misses=registry.value("scheduler.spm_cache.misses"),
+            spm_cycles_saved=registry.value("scheduler.spm_cache.cycles_saved"),
+            per_worker=per_worker,
+        )
+
+    def publish(self, registry: MetricsRegistry, stage: str = "run") -> None:
+        """Mirror the aggregates into an external registry (labelled by
+        accelerator stage) so cross-stage consumers — the runtime API,
+        ``eval/experiments.py`` — see scheduler totals next to their own
+        metrics."""
+        registry.counter("scheduler.runs", stage=stage).inc()
+        registry.counter("scheduler.waves", stage=stage).inc(self.waves)
+        registry.counter("scheduler.cycles", stage=stage).inc(self.total_cycles)
+        registry.counter(
+            "scheduler.spm_load_cycles", stage=stage
+        ).inc(self.spm_load_cycles)
+        registry.counter(
+            "scheduler.elapsed_seconds", stage=stage
+        ).inc(self.elapsed_seconds)
+        registry.counter(
+            "scheduler.spm_cache.hits", stage=stage
+        ).inc(self.spm_cache_hits)
+        registry.counter(
+            "scheduler.spm_cache.misses", stage=stage
+        ).inc(self.spm_cache_misses)
+        registry.counter(
+            "scheduler.spm_cache.cycles_saved", stage=stage
+        ).inc(self.spm_cycles_saved)
+        registry.counter("sim.wall_seconds", stage=stage).inc(self.wall_seconds)
+        registry.counter(
+            "sim.ticks_executed", stage=stage
+        ).inc(self.ticks_executed)
+        registry.counter(
+            "sim.ticks_possible", stage=stage
+        ).inc(self.ticks_possible)
+        registry.counter(
+            "sim.fast_forward_cycles", stage=stage
+        ).inc(self.fast_forward_cycles)
+        registry.counter("sim.flits", stage=stage).inc(self.total_flits)
+        registry.gauge("scheduler.workers", stage=stage).set(self.workers)
 
 
 # -- wave packing and dispatch -------------------------------------------------------
@@ -508,6 +593,7 @@ def run_partitioned(
     n_pipelines: int,
     workers: int = 1,
     spm_cache: Optional[SpmImageCache] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[Dict[PartitionId, object], ParallelRunStats]:
     """Run an accelerator over many partitions: N replicated pipelines
     per wave, waves fanned out over ``workers`` host processes.
@@ -518,6 +604,11 @@ def run_partitioned(
     images across stages (each call otherwise uses a private cache).
     Results and simulated cycles are bit-identical for every ``workers``
     value; only host-side metrics differ.
+
+    All accounting flows through a per-run metrics registry (the
+    returned :class:`ParallelRunStats` is a view over it); pass
+    ``registry`` to additionally receive the aggregates — labelled by
+    the driver's stage — in a registry shared across runs.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -528,31 +619,43 @@ def run_partitioned(
         pid: driver.empty_result(pid) for pid in empty_pids
     }
 
-    per_wave_cycles = [0] * len(waves)
-    spm_load_cycles = 0
-    wall_seconds = 0.0
-    ticks_executed = 0
-    ticks_possible = 0
-    fast_forward_cycles = 0
-    total_flits = 0
-    per_worker: Dict[str, WorkerStats] = {}
+    run_registry = MetricsRegistry()
 
     def account(worker, wave_index, wave_results, stats, load_cycles, elapsed):
-        nonlocal spm_load_cycles, wall_seconds, ticks_executed
-        nonlocal ticks_possible, fast_forward_cycles, total_flits
         results.update(wave_results)
-        per_wave_cycles[wave_index] = stats.cycles
-        spm_load_cycles += load_cycles
-        wall_seconds += stats.wall_seconds
-        ticks_executed += stats.ticks_executed
-        ticks_possible += stats.ticks_possible
-        fast_forward_cycles += stats.fast_forward_cycles
-        total_flits += sum(stats.flits_by_module.values())
-        tally = per_worker.setdefault(worker, WorkerStats())
-        tally.waves += 1
-        tally.cycles += stats.cycles
-        tally.wall_seconds += stats.wall_seconds
-        tally.elapsed_seconds += elapsed
+        run_registry.gauge(
+            "scheduler.wave.cycles", wave=wave_index
+        ).set(stats.cycles)
+        run_registry.gauge(
+            "scheduler.wave.seconds", wave=wave_index
+        ).set(elapsed)
+        run_registry.counter("scheduler.spm_load_cycles").inc(load_cycles)
+        run_registry.counter("sim.wall_seconds").inc(stats.wall_seconds)
+        run_registry.counter("sim.ticks_executed").inc(stats.ticks_executed)
+        run_registry.counter("sim.ticks_possible").inc(stats.ticks_possible)
+        run_registry.counter(
+            "sim.fast_forward_cycles"
+        ).inc(stats.fast_forward_cycles)
+        run_registry.counter("sim.flits").inc(
+            sum(stats.flits_by_module.values())
+        )
+        run_registry.counter("scheduler.worker.waves", worker=worker).inc()
+        run_registry.counter(
+            "scheduler.worker.cycles", worker=worker
+        ).inc(stats.cycles)
+        run_registry.counter(
+            "scheduler.worker.wall_seconds", worker=worker
+        ).inc(stats.wall_seconds)
+        run_registry.counter(
+            "scheduler.worker.elapsed_seconds", worker=worker
+        ).inc(elapsed)
+
+    def account_cache(hits, misses, cycles_saved):
+        run_registry.counter("scheduler.spm_cache.hits").inc(hits)
+        run_registry.counter("scheduler.spm_cache.misses").inc(misses)
+        run_registry.counter(
+            "scheduler.spm_cache.cycles_saved"
+        ).inc(cycles_saved)
 
     if workers == 1 or len(waves) <= 1:
         workers_used = 1
@@ -564,12 +667,13 @@ def run_partitioned(
                 "w0", wave_index, wave_results, stats, load_cycles,
                 time.perf_counter() - t0,
             )
-        hits = cache.hits - hits0
-        misses = cache.misses - misses0
-        cycles_saved = cache.cycles_saved - saved0
+        account_cache(
+            cache.hits - hits0,
+            cache.misses - misses0,
+            cache.cycles_saved - saved0,
+        )
     else:
         workers_used = min(workers, len(waves))
-        hits = misses = cycles_saved = 0
         worker_pids: Dict[int, str] = {}
         with ProcessPoolExecutor(max_workers=workers_used) as pool:
             futures = [
@@ -591,9 +695,7 @@ def run_partitioned(
                 cache.hits += wave_hits
                 cache.misses += wave_misses
                 cache.cycles_saved += wave_saved
-                hits += wave_hits
-                misses += wave_misses
-                cycles_saved += wave_saved
+                account_cache(wave_hits, wave_misses, wave_saved)
                 label = worker_pids.setdefault(
                     worker_pid, f"w{len(worker_pids)}"
                 )
@@ -602,20 +704,11 @@ def run_partitioned(
                     elapsed,
                 )
 
-    return results, ParallelRunStats(
+    stats = ParallelRunStats.from_registry(
+        run_registry,
         waves=len(waves),
-        total_cycles=sum(per_wave_cycles),
-        spm_load_cycles=spm_load_cycles,
-        per_wave_cycles=per_wave_cycles,
-        wall_seconds=wall_seconds,
-        ticks_executed=ticks_executed,
-        ticks_possible=ticks_possible,
-        fast_forward_cycles=fast_forward_cycles,
-        total_flits=total_flits,
         workers=workers_used,
         elapsed_seconds=time.perf_counter() - started,
-        spm_cache_hits=hits,
-        spm_cache_misses=misses,
-        spm_cycles_saved=cycles_saved,
-        per_worker=per_worker,
     )
+    stats.publish(registry_or_null(registry), stage=driver.stage)
+    return results, stats

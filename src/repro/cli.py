@@ -6,7 +6,10 @@ Commands:
 * ``preprocess``  — run the accelerated GATK4-style preprocessing over a
   SAM file against a FASTA reference, writing the tagged SAM;
 * ``call``        — call variants from a preprocessed SAM, writing VCF;
-* ``reproduce``   — print the paper-vs-measured headline numbers.
+* ``reproduce``   — print the paper-vs-measured headline numbers;
+* ``profile``     — run one accelerator stage on a synthetic workload with
+  the profiler attached, print the cycle-attribution report, and
+  optionally save a Chrome-trace timeline and JSON/CSV dumps.
 
 Everything is laptop-scale and offline; see README.md.
 """
@@ -136,6 +139,30 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .eval.experiments import profile_stage
+    from .eval.workloads import make_workload
+    from .obs import write_chrome_trace, write_report_csv, write_report_json
+
+    workload = make_workload(
+        n_reads=args.reads, read_length=80, chromosomes=(20,),
+        genome_scale=4.5e-5, psize=4000, seed=args.seed,
+    )
+    report = profile_stage(args.stage, workload, mode=args.mode)
+    print(report.render())
+    if args.trace:
+        write_chrome_trace(report, args.trace)
+        print(f"wrote chrome trace -> {args.trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.out:
+        write_report_json(report, args.out)
+        print(f"wrote report json -> {args.out}")
+    if args.csv:
+        write_report_csv(report, args.csv)
+        print(f"wrote report csv -> {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -188,6 +215,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--reads", type=int, default=120)
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    profile = commands.add_parser(
+        "profile", help="profile one accelerator stage on a demo workload"
+    )
+    profile.add_argument(
+        "--stage", choices=("markdup", "metadata", "bqsr_table"),
+        default="markdup",
+    )
+    profile.add_argument("--reads", type=int, default=120)
+    profile.add_argument("--seed", type=int, default=9)
+    profile.add_argument(
+        "--mode", choices=("event", "dense"), default=None,
+        help="force the engine schedule (default: event)",
+    )
+    profile.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a chrome://tracing JSON timeline",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the flat JSON report",
+    )
+    profile.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the report as CSV rows",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

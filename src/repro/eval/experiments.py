@@ -244,6 +244,70 @@ def table4_estimates() -> Dict[str, ResourceVector]:
     }
 
 
+# -- Profiling -----------------------------------------------------------------------
+
+
+def profile_stage(
+    stage: str,
+    workload: Optional[Workload] = None,
+    memory_config: Optional[MemoryConfig] = None,
+    mode: Optional[str] = None,
+):
+    """Profile one representative run of an accelerated stage.
+
+    Runs the stage's serial driver with a :class:`repro.obs.Profiler`
+    attached and returns the validated
+    :class:`~repro.obs.profile.ProfileReport` — the queryable per-module
+    / queue / memory-channel breakdown Figure 9-style bottleneck analysis
+    needs.  ``mode`` forces the engine schedule (default: the engine's
+    own default, event).
+    """
+    from ..hw.engine import Engine as _Engine
+    from ..obs import Profiler
+
+    workload = workload or make_workload()
+    profiler = Profiler(name=stage)
+    saved_mode = _Engine.default_mode
+    if mode is not None:
+        _Engine.default_mode = mode
+    try:
+        if stage == "markdup":
+            quals = [read.qual for read in workload.reads]
+            run_quality_sums(quals, memory_config, profiler=profiler)
+            extra = {"stage": stage, "reads": len(quals)}
+        elif stage == "metadata":
+            pid, part = next(
+                (pid, part)
+                for pid, part in workload.partitions
+                if part.num_rows > 0
+            )
+            run_metadata_update(
+                part, workload.reference.lookup(pid), memory_config,
+                profiler=profiler,
+            )
+            extra = {"stage": stage, "partition": str(pid),
+                     "reads": part.num_rows}
+        elif stage in ("bqsr", "bqsr_table"):
+            pid, part = next(
+                (pid, part)
+                for pid, part in workload.group_partitions
+                if part.num_rows > 0
+            )
+            run_bqsr_partition(
+                part, workload.reference.lookup(pid), workload.read_length,
+                memory_config, drain=False, profiler=profiler,
+            )
+            extra = {"stage": stage, "partition": str(pid),
+                     "reads": part.num_rows}
+        else:
+            raise KeyError(f"unknown stage {stage!r}")
+    finally:
+        _Engine.default_mode = saved_mode
+    report = profiler.report(extra=extra)
+    report.validate()
+    return report
+
+
 # -- Host scheduler ------------------------------------------------------------------
 
 

@@ -113,6 +113,10 @@ class Engine:
         self.default_queue_capacity = default_queue_capacity
         self._queue_serial = 0
         self.cycle = 0
+        #: Optional observer (:class:`repro.obs.profile.Profiler`).  With
+        #: no probe attached, each simulated cycle pays exactly one
+        #: ``is None`` check — the metrics-disabled path stays free.
+        self.probe = None
         # event-scheduler state (inert in dense mode)
         self._event_active = False
         self._dirty: List[HardwareQueue] = []
@@ -209,6 +213,8 @@ class Engine:
             queue.commit()
             queue._dirty = False
         self._dirty.clear()
+        if self.probe is not None:
+            self.probe.on_cycle(self, self.cycle)
         self.cycle += 1
 
     def is_quiescent(self) -> bool:
@@ -240,13 +246,16 @@ class Engine:
             self.step()
             idle_streak = idle_streak + 1 if self.is_quiescent() else 0
         cycles = self.cycle - start
-        return self._stats(
+        stats = self._stats(
             cycles,
             mode="dense",
             wall_seconds=time.perf_counter() - t0,
             ticks_executed=cycles * len(self.modules),
             fast_forward_cycles=0,
         )
+        if self.probe is not None:
+            self.probe.on_run_end(self, stats)
+        return stats
 
     def _run_event(self, max_cycles: int) -> RunStats:
         start = self.cycle
@@ -256,6 +265,7 @@ class Engine:
         last_activity: Optional[int] = None
         memory = self.memory
         modules = self.modules
+        probe = self.probe
 
         by_index = attrgetter("_index")
         self._event_active = True
@@ -338,6 +348,8 @@ class Engine:
 
                 if self._activity != activity_before:
                     last_activity = cycle
+                if probe is not None:
+                    probe.on_cycle(self, cycle)
                 self.cycle = next_cycle
         finally:
             self._event_active = False
@@ -357,13 +369,16 @@ class Engine:
         else:
             cycles = last_activity - start + 2
         self.cycle = start + cycles
-        return self._stats(
+        stats = self._stats(
             cycles,
             mode="event",
             wall_seconds=time.perf_counter() - t0,
             ticks_executed=ticks_executed,
             fast_forward_cycles=fast_forwarded,
         )
+        if probe is not None:
+            probe.on_run_end(self, stats)
+        return stats
 
     # -- diagnostics ---------------------------------------------------------------
 

@@ -69,6 +69,9 @@ class MemorySystem:
         self.bytes_transferred = 0
         self.busy_channel_cycles = 0
         self.responses_completed = 0
+        #: Grants issued per channel — the profiler's per-channel
+        #: utilization is grants/cycles (one access per channel-cycle).
+        self.channel_grants: List[int] = [0] * self.config.channels
 
     # -- port registration ------------------------------------------------------
 
@@ -144,6 +147,7 @@ class MemorySystem:
                 self.requests_served += 1
                 self.bytes_transferred += self.config.access_bytes
                 self.busy_channel_cycles += 1
+                self.channel_grants[channel] += 1
                 _channel, on_response = self._ports[port]
                 ready_at = cycle + self.config.latency_cycles
                 self._in_flight.append((ready_at, port, on_response, 1))

@@ -6,12 +6,21 @@ state (busy / starved / stalled / idle).  The trace renders as a compact
 text "waveform" — invaluable when a composed pipeline underperforms and
 you need to see where bubbles originate — and computes per-module
 utilization summaries for the benchmark reports.
+
+The Tracer is a thin view over :class:`repro.obs.timeline.TimelineRecorder`
+(the same recorder the profiler uses), which keys every sample to an
+explicit cycle stamp.  That fixes two long-standing sampling bugs: a
+tracer attached mid-run starts at the next cycle boundary instead of
+recording a phantom pre-attach cycle, and calling ``sample()`` twice
+without stepping no longer double-counts the cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.obs.timeline import TimelineRecorder
 
 from .engine import Engine
 
@@ -61,40 +70,25 @@ class Tracer:
     def __init__(self, engine: Engine, max_cycles: int = 10_000):
         self.engine = engine
         self.max_cycles = max_cycles
-        self.traces: Dict[str, ModuleTrace] = {
-            module.name: ModuleTrace(module.name) for module in engine.modules
-        }
-        self._previous = {
-            module.name: (module.busy_cycles, module.starve_cycles,
-                          module.stall_cycles)
-            for module in engine.modules
-        }
-        self.cycles_traced = 0
+        self._recorder = TimelineRecorder(engine, max_cycles=max_cycles)
 
-    def sample(self) -> None:
-        """Record one cycle's activity (call after ``engine.step()``)."""
-        if self.cycles_traced >= self.max_cycles:
-            return
-        self.cycles_traced += 1
-        for module in self.engine.modules:
-            previous = self._previous.get(module.name, (0, 0, 0))
-            busy, starved, stalled = (
-                module.busy_cycles, module.starve_cycles, module.stall_cycles
-            )
-            if busy > previous[0]:
-                state = "busy"
-            elif stalled > previous[2]:
-                state = "stalled"
-            elif starved > previous[1]:
-                state = "starved"
-            else:
-                state = "idle"
-            trace = self.traces.get(module.name)
-            if trace is None:
-                trace = ModuleTrace(module.name)
-                self.traces[module.name] = trace
-            trace.samples.append(state)
-            self._previous[module.name] = (busy, starved, stalled)
+    @property
+    def attach_cycle(self) -> int:
+        """The engine cycle the tracer attached at; sampling covers
+        activity from this cycle boundary on."""
+        return self._recorder.attach_cycle
+
+    @property
+    def cycles_traced(self) -> int:
+        """Distinct cycles recorded so far."""
+        return self._recorder.cycles_recorded
+
+    def sample(self) -> bool:
+        """Record the cycle the engine just finished (call after
+        ``engine.step()``).  Samples are keyed by cycle number: a repeat
+        call without an intervening step, or a call before the first
+        post-attach step, is ignored (returns False)."""
+        return self._recorder.sample()
 
     def run_traced(self, max_cycles: Optional[int] = None) -> None:
         """Drive the engine to quiescence while sampling every cycle."""
@@ -105,6 +99,19 @@ class Tracer:
             self.sample()
             idle_streak = idle_streak + 1 if self.engine.is_quiescent() else 0
 
+    @property
+    def traces(self) -> Dict[str, ModuleTrace]:
+        """Per-module sample lists, materialized from the recorder's
+        coalesced spans (one entry per module, present from attach even
+        before the first sample)."""
+        out: Dict[str, ModuleTrace] = {}
+        for name, timeline in self._recorder.timelines.items():
+            trace = ModuleTrace(name)
+            for span in timeline.spans:
+                trace.samples.extend([span.state] * span.cycles)
+            out[name] = trace
+        return out
+
     # -- rendering -----------------------------------------------------------------
 
     def render(self, start: int = 0, width: int = 72) -> str:
@@ -112,13 +119,14 @@ class Tracer:
 
         ``#`` busy, ``.`` starved, ``x`` stalled, space idle.
         """
-        label_width = max((len(name) for name in self.traces), default=0)
+        traces = self.traces
+        label_width = max((len(name) for name in traces), default=0)
         lines = [
             f"cycles {start}..{min(start + width, self.cycles_traced)} "
             f"(# busy, . starved, x stalled)"
         ]
-        for name in self.traces:
-            samples = self.traces[name].samples[start:start + width]
+        for name in traces:
+            samples = traces[name].samples[start:start + width]
             wave = "".join(SYMBOLS[state] for state in samples)
             lines.append(f"{name.rjust(label_width)} |{wave}|")
         return "\n".join(lines)
@@ -136,6 +144,7 @@ class Tracer:
 
     def bottleneck(self) -> Optional[str]:
         """The busiest module — where the pipeline's critical path sits."""
-        if not self.traces:
+        traces = self.traces
+        if not traces:
             return None
-        return max(self.traces.values(), key=ModuleTrace.utilization).name
+        return max(traces.values(), key=ModuleTrace.utilization).name

@@ -1,0 +1,57 @@
+"""Observability: metrics registry, run profiles, and exporters.
+
+See DESIGN.md §3.3 for how the pieces fit together.
+"""
+
+from .export import (
+    chrome_trace,
+    report_to_csv_rows,
+    report_to_dict,
+    write_chrome_trace,
+    write_report_csv,
+    write_report_json,
+)
+from .profile import (
+    ChannelProfile,
+    MemoryProfile,
+    ModuleProfile,
+    ProfileReport,
+    Profiler,
+    QueueProfile,
+    profile_engine_run,
+)
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_or_null,
+)
+from .timeline import STATES, ModuleTimeline, Span, TimelineRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "registry_or_null",
+    "STATES",
+    "Span",
+    "ModuleTimeline",
+    "TimelineRecorder",
+    "Profiler",
+    "ProfileReport",
+    "ModuleProfile",
+    "QueueProfile",
+    "ChannelProfile",
+    "MemoryProfile",
+    "profile_engine_run",
+    "chrome_trace",
+    "write_chrome_trace",
+    "report_to_dict",
+    "write_report_json",
+    "report_to_csv_rows",
+    "write_report_csv",
+]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from ..obs.registry import MetricsRegistry, registry_or_null
 from .device import DeviceConfig, GenesisDevice
 
 #: A kernel simulates one pipeline invocation: takes the configured input
@@ -57,11 +58,22 @@ class PipelineState:
 
 
 class GenesisRuntime:
-    """Host-side manager for Genesis pipelines on one device."""
+    """Host-side manager for Genesis pipelines on one device.
 
-    def __init__(self, config: DeviceConfig = None):
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` to have the
+    runtime publish its API-level traffic — PCIe bytes by direction,
+    launches and simulated kernel cycles per pipeline — alongside the
+    simulator metrics the same registry collects.
+    """
+
+    def __init__(
+        self,
+        config: DeviceConfig = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.device = GenesisDevice(config)
         self._pipelines: Dict[int, PipelineState] = {}
+        self.registry = registry_or_null(registry)
 
     # -- pipeline registry ---------------------------------------------------------
 
@@ -97,8 +109,12 @@ class GenesisRuntime:
         binding = ColumnBinding(data, elem_size, length, colname, is_output)
         state.columns[colname] = binding
         self.device.allocate(binding.nbytes)
+        self.registry.counter("runtime.allocated_bytes").inc(binding.nbytes)
         if not is_output:
             self.device.transfer(binding.nbytes, "h2d")
+            self.registry.counter(
+                "runtime.transfer_bytes", direction="h2d"
+            ).inc(binding.nbytes)
 
     def run_genesis(self, pipeline_id: int) -> None:
         """Non-blocking: start the pipeline.  The kernel simulation runs
@@ -114,6 +130,12 @@ class GenesisRuntime:
         state.results = results
         state.launched = True
         self.device.launch(pipeline_id, cycles)
+        self.registry.counter(
+            "runtime.launches", pipeline=pipeline_id
+        ).inc()
+        self.registry.counter(
+            "runtime.kernel_cycles", pipeline=pipeline_id
+        ).inc(cycles)
 
     def check_genesis(self, pipeline_id: int) -> bool:
         """Non-blocking completion poll."""
@@ -140,6 +162,9 @@ class GenesisRuntime:
         )
         if nbytes:
             self.device.transfer(nbytes, "d2h")
+            self.registry.counter(
+                "runtime.transfer_bytes", direction="d2h"
+            ).inc(nbytes)
         return state.results or {}
 
     # -- host-side modelling -------------------------------------------------------------

@@ -64,3 +64,36 @@ def test_reproduce_prints_speedups(capsys):
     assert main(["reproduce", "--reads", "40"]) == 0
     out = capsys.readouterr().out
     assert "markdup" in out and "metadata" in out and "bqsr_table" in out
+
+
+def test_profile_parser_defaults():
+    args = build_parser().parse_args(["profile"])
+    assert args.command == "profile"
+    assert args.stage == "markdup"
+    assert args.mode is None and args.trace is None
+
+
+def test_profile_emits_report_and_artifacts(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    report = tmp_path / "report.json"
+    rows = tmp_path / "report.csv"
+    assert main([
+        "profile", "--stage", "markdup", "--reads", "40",
+        "--trace", str(trace), "--out", str(report), "--csv", str(rows),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "busy" in out
+
+    # the chrome trace is valid JSON in the trace-event format
+    loaded = json.loads(trace.read_text())
+    assert loaded["traceEvents"]
+    assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+
+    # the flat report upholds the cycle-attribution invariant
+    flat = json.loads(report.read_text())
+    for name, entry in flat["modules"].items():
+        states = entry["busy"] + entry["starved"] + entry["stalled"] + entry["idle"]
+        assert states == flat["cycles"], name
+    assert rows.read_text().startswith("section,")

@@ -62,6 +62,40 @@ def test_max_cycles_caps_samples():
     assert tracer.cycles_traced == 10
 
 
+def test_attach_mid_run_starts_at_next_cycle_boundary():
+    """Regression: a tracer attached mid-run used to record a phantom
+    sample for the cycle that finished *before* the attach, double
+    counting the attach cycle and skewing every fraction.  Sampling must
+    start at the next cycle boundary."""
+    engine, _src, _mid, _sink = build_chain()
+    for _ in range(3):
+        engine.step()
+    tracer = Tracer(engine)
+    assert tracer.attach_cycle == 3
+    # sample() before any post-attach step: pre-attach activity, ignored.
+    assert tracer.sample() is False
+    assert tracer.cycles_traced == 0
+    engine.step()
+    assert tracer.sample() is True
+    assert tracer.cycles_traced == 1
+    for trace in tracer.traces.values():
+        assert len(trace.samples) == 1
+
+
+def test_sample_twice_without_step_counts_once():
+    """Regression: two sample() calls for the same cycle must record one
+    sample, not two."""
+    engine, _src, _mid, _sink = build_chain()
+    tracer = Tracer(engine)
+    engine.step()
+    assert tracer.sample() is True
+    assert tracer.sample() is False
+    assert tracer.cycles_traced == 1
+    engine.step()
+    assert tracer.sample() is True
+    assert tracer.cycles_traced == 2
+
+
 def test_backpressure_visible_in_trace():
     engine = Engine()
     source = engine.add_module(ListSource("src", item_flits(list(range(40)))))
