@@ -6,7 +6,7 @@ inside one engine over real partitions, verifying bit-identical results
 and measuring the wall-cycle reduction replication buys.
 """
 
-from repro.accel.parallel import run_metadata_parallel
+from repro.accel.scheduler import run_metadata_parallel
 
 
 def _sweep(workload):

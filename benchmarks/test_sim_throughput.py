@@ -20,7 +20,7 @@ commits.
 
 import time
 
-from repro.accel.parallel import run_metadata_parallel
+from repro.accel.scheduler import run_metadata_parallel
 from repro.eval.workloads import make_workload
 from repro.hw.memory import MemoryConfig
 

@@ -104,15 +104,16 @@ __all__ += [
     "run_fm_seeding",
 ]
 
-from .parallel import ParallelRunStats, run_metadata_parallel
 from .scheduler import (
     BqsrWaveDriver,
     MarkdupWaveDriver,
     MetadataWaveDriver,
+    ParallelRunStats,
     SpmImageCache,
     WaveDriver,
     WorkerStats,
     pack_waves,
+    run_metadata_parallel,
     run_partitioned,
 )
 

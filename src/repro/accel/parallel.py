@@ -1,30 +1,22 @@
-"""Multi-pipeline execution of the real accelerators (Figure 8 applied).
+"""Deprecated alias module — use :mod:`repro.accel.scheduler`.
 
-The paper replicates each accelerator's pipeline 16x (8x for BQSR) so
-independent partitions process concurrently behind the shared memory
-fabric.  :func:`run_metadata_parallel` keeps the original metadata-update
-entry point, now implemented on the generalized partition scheduler
-(:mod:`repro.accel.scheduler`): N replicas of the pipeline live in ONE
-engine with ONE memory system per wave, waves repeat until every
-partition is done, and — new — waves can fan out over host worker
-processes (``workers=``) while staying bit-identical to the serial
-schedule.  Empty partitions are included in the results with empty tag
-lists, matching the serial driver's per-partition result shapes.
+Everything that lived here (``run_metadata_parallel``,
+``ParallelRunStats``, ``SpmImageCache``, ``WorkerStats``) moved into the
+generalized partition scheduler.  Importing this module re-exports those
+names and emits a :class:`DeprecationWarning`; nothing in ``src/`` or
+``tests/`` imports it anymore (enforced by the ruff banned-api rule in
+``pyproject.toml``), and it will be removed outright in a later PR.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import warnings
 
-from ..hw.memory import MemoryConfig
-from ..tables.partition import PartitionId
-from .metadata import MetadataAccelResult
-from .scheduler import (
-    MetadataWaveDriver,
+from .scheduler import (  # noqa: F401  (re-exports for legacy callers)
     ParallelRunStats,
     SpmImageCache,
     WorkerStats,
-    run_partitioned,
+    run_metadata_parallel,
 )
 
 __all__ = [
@@ -34,33 +26,8 @@ __all__ = [
     "run_metadata_parallel",
 ]
 
-
-def run_metadata_parallel(
-    partitions,
-    reference,
-    n_pipelines: int,
-    memory_config: Optional[MemoryConfig] = None,
-    mode: Optional[str] = None,
-    workers: int = 1,
-    spm_cache: Optional[SpmImageCache] = None,
-) -> Tuple[Dict[PartitionId, MetadataAccelResult], ParallelRunStats]:
-    """Run metadata update over many partitions with N replicated
-    pipelines sharing one memory system per wave.
-
-    ``mode`` selects the engine schedule per wave (``"event"`` skips
-    idle replicas and fast-forwards shared-memory latency; ``"dense"``
-    is the differential-testing fallback); ``workers`` fans the waves
-    out over that many host processes.  Returns per-partition results
-    (same key set as the input, empty partitions included) plus the
-    aggregated wave statistics.
-    """
-    driver = MetadataWaveDriver(
-        reference=reference, memory_config=memory_config, mode=mode
-    )
-    return run_partitioned(
-        driver,
-        partitions,
-        n_pipelines,
-        workers=workers,
-        spm_cache=spm_cache,
-    )
+warnings.warn(
+    "repro.accel.parallel is deprecated; import from repro.accel.scheduler",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -47,6 +47,8 @@ from ..hw.engine import Engine, RunStats
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.modules import SpmUpdater
 from ..hw.spm import Scratchpad
+from ..obs.ledger import record_event
+from ..obs.log import get_logger, set_worker_id
 from ..obs.registry import MetricsRegistry, registry_or_null
 from ..tables.partition import PartitionId, PartitionedReference
 from ..tables.table import Table
@@ -68,6 +70,8 @@ from .metadata import (
 
 #: One (pid, partition) work item as accepted by the scheduler.
 WaveItem = Tuple[PartitionId, Table]
+
+_log = get_logger("scheduler")
 
 
 # -- SPM image cache -----------------------------------------------------------------
@@ -563,11 +567,17 @@ def _run_wave_task(driver, wave_index, wave, seed_images):
     parent already holds for this wave, and ships newly loaded images
     back so the parent cache (and later stages) can reuse them.
     """
+    set_worker_id(f"w{os.getpid()}")
     cache = SpmImageCache()
     cache.merge(seed_images)
     started = time.perf_counter()
     results, stats, load_cycles = driver.run_wave(wave, cache)
     elapsed = time.perf_counter() - started
+    _log.debug(
+        "wave %d done: %d replicas, %d cycles, %.3fs",
+        wave_index, len(wave), stats.cycles, elapsed,
+        extra={"stage": driver.stage, "wave": wave_index},
+    )
     new_images = {
         key: image
         for key, image in cache.images().items()
@@ -618,11 +628,23 @@ def run_partitioned(
     results: Dict[PartitionId, object] = {
         pid: driver.empty_result(pid) for pid in empty_pids
     }
+    _log.info(
+        "%s: %d wave(s) of up to %d pipeline(s) over %d worker(s) "
+        "(%d empty partition(s) skipped)",
+        driver.stage, len(waves), n_pipelines, workers, len(empty_pids),
+        extra={"stage": driver.stage},
+    )
 
     run_registry = MetricsRegistry()
 
     def account(worker, wave_index, wave_results, stats, load_cycles, elapsed):
         results.update(wave_results)
+        record_event(
+            "scheduler.wave",
+            stage=driver.stage, wave=wave_index, worker=worker,
+            replicas=len(waves[wave_index]), cycles=stats.cycles,
+            load_cycles=load_cycles, elapsed_seconds=elapsed,
+        )
         run_registry.gauge(
             "scheduler.wave.cycles", wave=wave_index
         ).set(stats.cycles)
@@ -663,9 +685,14 @@ def run_partitioned(
         for wave_index, wave in enumerate(waves):
             t0 = time.perf_counter()
             wave_results, stats, load_cycles = driver.run_wave(wave, cache)
+            elapsed = time.perf_counter() - t0
+            _log.debug(
+                "wave %d done: %d replicas, %d cycles, %.3fs",
+                wave_index, len(wave), stats.cycles, elapsed,
+                extra={"stage": driver.stage, "wave": wave_index},
+            )
             account(
-                "w0", wave_index, wave_results, stats, load_cycles,
-                time.perf_counter() - t0,
+                "w0", wave_index, wave_results, stats, load_cycles, elapsed,
             )
         account_cache(
             cache.hits - hits0,
@@ -711,4 +738,52 @@ def run_partitioned(
         elapsed_seconds=time.perf_counter() - started,
     )
     stats.publish(registry_or_null(registry), stage=driver.stage)
+    record_event(
+        "scheduler.run",
+        stage=driver.stage, waves=stats.waves, workers=stats.workers,
+        pipelines=n_pipelines, total_cycles=stats.total_cycles,
+        spm_load_cycles=stats.spm_load_cycles,
+        elapsed_seconds=stats.elapsed_seconds,
+        spm_cache_hits=stats.spm_cache_hits,
+        spm_cache_misses=stats.spm_cache_misses,
+    )
+    _log.info(
+        "%s done: %d cycles over %d wave(s), %.3fs host "
+        "(parallelism %.2f, spm cache %d/%d hit)",
+        driver.stage, stats.total_cycles, stats.waves,
+        stats.elapsed_seconds, stats.host_parallelism,
+        stats.spm_cache_hits, stats.spm_cache_hits + stats.spm_cache_misses,
+        extra={"stage": driver.stage},
+    )
     return results, stats
+
+
+def run_metadata_parallel(
+    partitions: Iterable[WaveItem],
+    reference: PartitionedReference,
+    n_pipelines: int,
+    memory_config: Optional[MemoryConfig] = None,
+    mode: Optional[str] = None,
+    workers: int = 1,
+    spm_cache: Optional[SpmImageCache] = None,
+) -> Tuple[Dict[PartitionId, MetadataAccelResult], ParallelRunStats]:
+    """Run metadata update over many partitions with N replicated
+    pipelines sharing one memory system per wave.
+
+    ``mode`` selects the engine schedule per wave (``"event"`` skips
+    idle replicas and fast-forwards shared-memory latency; ``"dense"``
+    is the differential-testing fallback); ``workers`` fans the waves
+    out over that many host processes.  Returns per-partition results
+    (same key set as the input, empty partitions included) plus the
+    aggregated wave statistics.
+    """
+    driver = MetadataWaveDriver(
+        reference=reference, memory_config=memory_config, mode=mode
+    )
+    return run_partitioned(
+        driver,
+        partitions,
+        n_pipelines,
+        workers=workers,
+        spm_cache=spm_cache,
+    )

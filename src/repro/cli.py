@@ -8,8 +8,18 @@ Commands:
 * ``call``        — call variants from a preprocessed SAM, writing VCF;
 * ``reproduce``   — print the paper-vs-measured headline numbers;
 * ``profile``     — run one accelerator stage on a synthetic workload with
-  the profiler attached, print the cycle-attribution report, and
-  optionally save a Chrome-trace timeline and JSON/CSV dumps.
+  the profiler attached, print the cycle-attribution report plus the
+  bottleneck-analysis summary, and optionally save a Chrome-trace
+  timeline and JSON/CSV dumps;
+* ``analyze``     — re-run the bottleneck analysis over a saved
+  ``profile --out`` JSON report;
+* ``bench``       — run the perf probe suite with warmup + repeats,
+  write a schema-versioned ``BENCH_<n>.json``, and optionally compare
+  against a baseline (nonzero exit on regression).
+
+Global flags: ``-v``/``--quiet``/``--log-json`` control the structured
+logger, ``--ledger``/``--no-ledger`` the run ledger every command
+records itself into (default ``.repro/ledger.jsonl``).
 
 Everything is laptop-scale and offline; see README.md.
 """
@@ -17,6 +27,7 @@ Everything is laptop-scale and offline; see README.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -24,6 +35,20 @@ from .genomics.fasta import read_fasta, write_fasta, write_fastq
 from .genomics.reference import ReferenceGenome
 from .genomics.sam import read_sam, write_sam
 from .genomics.simulator import ReadSimulator, SimulatorConfig
+from .obs.ledger import RunLedger, RunManifest, record_event, run_context
+from .obs.log import configure_logging, get_logger
+
+#: Stages ``profile`` knows how to drive (``bqsr`` aliases the covariate
+#: table construction).
+PROFILE_STAGES = ("markdup", "metadata", "bqsr", "bqsr_table")
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the parent directory of an output path (no-op for bare
+    filenames)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -142,24 +167,139 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .eval.experiments import profile_stage
     from .eval.workloads import make_workload
-    from .obs import write_chrome_trace, write_report_csv, write_report_json
+    from .obs import (
+        analyze_report,
+        write_chrome_trace,
+        write_report_csv,
+        write_report_json,
+    )
 
+    if args.stage not in PROFILE_STAGES:
+        print(
+            f"error: unknown stage {args.stage!r} "
+            f"(choose from {', '.join(PROFILE_STAGES)})",
+            file=sys.stderr,
+        )
+        return 2
+    log = get_logger("cli")
     workload = make_workload(
         n_reads=args.reads, read_length=80, chromosomes=(20,),
         genome_scale=4.5e-5, psize=4000, seed=args.seed,
     )
     report = profile_stage(args.stage, workload, mode=args.mode)
     print(report.render())
+    analysis = analyze_report(report)
+    print(analysis.render())
+    record_event(
+        "profile.report", stage=args.stage, cycles=report.cycles,
+        mode=report.mode, root_bottleneck=analysis.root_bottleneck,
+    )
+    log.info(
+        "profiled %s: %d cycles, root bottleneck %s",
+        args.stage, report.cycles, analysis.root_bottleneck,
+        extra={"stage": args.stage},
+    )
     if args.trace:
+        _ensure_parent(args.trace)
         write_chrome_trace(report, args.trace)
         print(f"wrote chrome trace -> {args.trace} "
               "(load in chrome://tracing or ui.perfetto.dev)")
     if args.out:
+        _ensure_parent(args.out)
         write_report_json(report, args.out)
         print(f"wrote report json -> {args.out}")
     if args.csv:
+        _ensure_parent(args.csv)
         write_report_csv(report, args.csv)
         print(f"wrote report csv -> {args.csv}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import analyze_report, report_from_dict
+
+    try:
+        with open(args.report) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read {args.report}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.report} is not JSON: {error}", file=sys.stderr)
+        return 2
+    report = report_from_dict(data)
+    analysis = analyze_report(report, min_stall_share=args.min_stall_share)
+    print(analysis.render())
+    record_event(
+        "analyze.report", source=args.report,
+        root_bottleneck=analysis.root_bottleneck,
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        BenchContext,
+        BenchResult,
+        compare_results,
+        run_bench,
+        write_bench_result,
+    )
+
+    log = get_logger("bench")
+    context = BenchContext(
+        reads=args.reads, read_length=args.read_length, psize=args.psize,
+        pipelines=args.pipelines, seed=args.seed,
+    )
+    probes = (
+        [name.strip() for name in args.probes.split(",") if name.strip()]
+        if args.probes else None
+    )
+    try:
+        result = run_bench(
+            context, repeats=args.repeats, warmup=args.warmup, probes=probes,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if not args.no_write:
+        path = write_bench_result(result, args.out_dir)
+        print(f"wrote {path}")
+        record_event("bench.result", path=path, probes=sorted(result.probes))
+        log.info("bench suite written to %s", path)
+    if args.compare:
+        try:
+            baseline = BenchResult.load(args.compare)
+        except OSError as error:
+            print(
+                f"error: cannot read baseline {args.compare}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: bad baseline {args.compare}: {error}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_results(
+            result, baseline, threshold=args.threshold
+        )
+        print(comparison.render())
+        record_event(
+            "bench.compare", baseline=args.compare,
+            regressions=[probe.name for probe in comparison.regressions],
+        )
+        if not comparison.ok:
+            log.warning(
+                "%d probe(s) regressed vs %s",
+                len(comparison.regressions), args.compare,
+            )
+            if not args.report_only:
+                return 1
     return 0
 
 
@@ -168,6 +308,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Genesis (ISCA 2020) reproduction command-line tools",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="debug-level logging",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="warnings and errors only",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit JSON-lines log records (run-id and worker-id stamped)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="run-ledger file (default .repro/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the ledger",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -220,8 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="profile one accelerator stage on a demo workload"
     )
     profile.add_argument(
-        "--stage", choices=("markdup", "metadata", "bqsr_table"),
-        default="markdup",
+        "--stage", default="markdup", metavar="STAGE",
+        help=f"accelerator stage ({', '.join(PROFILE_STAGES)})",
     )
     profile.add_argument("--reads", type=int, default=120)
     profile.add_argument("--seed", type=int, default=9)
@@ -242,13 +402,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report as CSV rows",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="bottleneck analysis over a saved profile --out JSON",
+    )
+    analyze.add_argument("report", metavar="REPORT_JSON")
+    analyze.add_argument(
+        "--min-stall-share", type=float, default=0.01,
+        help="drop stall chains below this fraction of the run",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the perf probe suite; write BENCH_<n>.json; "
+             "optionally compare against a baseline",
+    )
+    bench.add_argument(
+        "--out-dir", default=".",
+        help="directory the BENCH_<n>.json lands in",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true",
+        help="run and print without writing a BENCH file",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument("--reads", type=int, default=120)
+    bench.add_argument("--read-length", type=int, default=80)
+    bench.add_argument("--psize", type=int, default=4000)
+    bench.add_argument("--pipelines", type=int, default=4)
+    bench.add_argument("--seed", type=int, default=2024)
+    bench.add_argument(
+        "--probes", default=None, metavar="A,B,...",
+        help="comma-separated probe subset (default: the full suite)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="BENCH json to compare this run against",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="median regression fraction that fails (outside baseline IQR)",
+    )
+    bench.add_argument(
+        "--report-only", action="store_true",
+        help="print regressions but exit zero anyway",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
+def _manifest_for(args: argparse.Namespace) -> RunManifest:
+    """The ledger manifest of one CLI invocation."""
+    skipped = {
+        "func", "command", "verbose", "quiet", "log_json", "ledger",
+        "no_ledger",
+    }
+    config = {
+        key: value for key, value in vars(args).items() if key not in skipped
+    }
+    return RunManifest(
+        workload=args.command,
+        config=config,
+        seed=getattr(args, "seed", None),
+        pipelines=getattr(args, "pipelines", None),
+        workers=getattr(args, "workers", None),
+        mode=getattr(args, "mode", None),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point: configure logging, open the run ledger context,
+    dispatch the subcommand."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(
+        json_lines=args.log_json, verbosity=args.verbose, quiet=args.quiet,
+    )
+    if args.no_ledger:
+        return args.func(args)
+    with run_context(_manifest_for(args), RunLedger(args.ledger)):
+        code = args.func(args)
+        record_event("cli.exit", code=code)
+    return code
 
 
 if __name__ == "__main__":

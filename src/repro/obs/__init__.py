@@ -3,14 +3,42 @@
 See DESIGN.md §3.3 for how the pieces fit together.
 """
 
+from .analyze import (
+    BottleneckReport,
+    StallChain,
+    WhatIf,
+    analyze_report,
+)
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchContext,
+    BenchResult,
+    ComparisonResult,
+    Probe,
+    ProbeResult,
+    compare_results,
+    run_bench,
+    write_bench_result,
+)
 from .export import (
     chrome_trace,
+    report_from_dict,
     report_to_csv_rows,
     report_to_dict,
     write_chrome_trace,
     write_report_csv,
     write_report_json,
 )
+from .ledger import (
+    RunLedger,
+    RunManifest,
+    active_run,
+    active_run_id,
+    config_digest,
+    record_event,
+    run_context,
+)
+from .log import configure_logging, get_logger, set_worker_id
 from .profile import (
     ChannelProfile,
     MemoryProfile,
@@ -51,7 +79,31 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "report_to_dict",
+    "report_from_dict",
     "write_report_json",
     "report_to_csv_rows",
     "write_report_csv",
+    "analyze_report",
+    "BottleneckReport",
+    "StallChain",
+    "WhatIf",
+    "RunManifest",
+    "RunLedger",
+    "run_context",
+    "active_run",
+    "active_run_id",
+    "record_event",
+    "config_digest",
+    "configure_logging",
+    "get_logger",
+    "set_worker_id",
+    "BENCH_SCHEMA_VERSION",
+    "BenchContext",
+    "BenchResult",
+    "ComparisonResult",
+    "Probe",
+    "ProbeResult",
+    "run_bench",
+    "write_bench_result",
+    "compare_results",
 ]

@@ -1,0 +1,231 @@
+"""Critical-path bottleneck analysis over a :class:`ProfileReport`.
+
+A profile tells you *what* each module did; this module answers the
+question every acceleration PR starts from (Genesis Fig. 9/13, the
+co-design surveys' "find the data-preparation bottleneck first"):
+**which module is the bottleneck and what would fixing it buy?**
+
+Three steps, all pure functions of the report:
+
+1. **rank** modules by their busy/stalled share of the run;
+2. **attribute** stalls to their root cause: a module stalled on a full
+   output queue is a *victim* of back-pressure, not its source.  For
+   every stalled module the analyzer walks the queue topology
+   (:attr:`ProfileReport.edges`) downstream — stalled producer → fullest
+   stalling queue → its consumer — until it reaches a module that is not
+   itself blocked; that terminal module is the **root** the whole
+   chain's stall cycles are charged to;
+3. **bound** the payoff with Amdahl-style what-ifs: eliminating the
+   back-pressure rooted at ``M`` can save at most the largest stall
+   count in ``M``'s chains (upstream stalls of one chain overlap in
+   time, so they are bounded, not summed), and even a perfect version of
+   everything *except* the top bottleneck still needs that module's busy
+   cycles.
+
+Exposed as ``repro analyze <report.json>`` and embedded as the summary
+block at the end of ``repro profile`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .profile import ModuleProfile, ProfileReport
+
+
+@dataclass
+class StallChain:
+    """One walked back-pressure chain: a stalled module, the queue path
+    to the module its stalls are attributed to, and the stall mass."""
+
+    module: str
+    stalled: int
+    root: str
+    #: Alternating module / queue names from victim to root.
+    path: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """``victim -[queue]-> ... root (N stall cycles)``."""
+        if len(self.path) <= 1:
+            return f"{self.module} (self-limited, {self.stalled} stall cycles)"
+        parts = [self.path[0]]
+        for index in range(1, len(self.path) - 1, 2):
+            parts.append(f"-[{self.path[index]}]-> {self.path[index + 1]}")
+        return f"{' '.join(parts)} ({self.stalled} stall cycles)"
+
+
+@dataclass
+class WhatIf:
+    """One Amdahl-style bound: what fixing ``module`` could buy."""
+
+    module: str
+    speedup_bound: float
+    saved_cycles: int
+    description: str
+
+
+@dataclass
+class BottleneckReport:
+    """The analyzer's answer, queryable and renderable."""
+
+    name: str
+    cycles: int
+    #: Module names ranked by busy cycles, descending.
+    ranking: List[str]
+    chains: List[StallChain]
+    #: root module -> largest stall mass attributed to it.
+    attributed_stalls: Dict[str, int]
+    root_bottleneck: Optional[str]
+    what_ifs: List[WhatIf]
+    modules: Dict[str, ModuleProfile] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The human-readable summary block."""
+        lines = [f"bottleneck analysis: {self.name} ({self.cycles} cycles)"]
+        if not self.ranking:
+            lines.append("  (no modules profiled)")
+            return "\n".join(lines)
+        width = max(len(name) for name in self.ranking[:5])
+        lines.append(
+            f"  {'module'.ljust(width)}  {'busy':>7} {'stall':>7} {'share':>7}"
+        )
+        for name in self.ranking[:5]:
+            profile = self.modules[name]
+            lines.append(
+                f"  {name.ljust(width)}  {profile.busy:>7} "
+                f"{profile.stalled:>7} "
+                f"{profile.utilization(self.cycles):>7.1%}"
+            )
+        if self.chains:
+            lines.append("  back-pressure chains:")
+            for chain in sorted(self.chains, key=lambda c: -c.stalled)[:6]:
+                lines.append(f"    {chain.render()}")
+        if self.root_bottleneck is not None:
+            profile = self.modules[self.root_bottleneck]
+            attributed = self.attributed_stalls.get(self.root_bottleneck, 0)
+            lines.append(
+                f"  root bottleneck: {self.root_bottleneck} "
+                f"(busy {profile.utilization(self.cycles):.1%}, "
+                f"{attributed} upstream stall cycles attributed)"
+            )
+        for what_if in self.what_ifs:
+            lines.append(f"  what-if: {what_if.description}")
+        return "\n".join(lines)
+
+
+def _stalling_queues(
+    report: ProfileReport, module: str
+) -> List[str]:
+    """Queues ``module`` produces into that recorded full-stalls,
+    back-pressured first."""
+    queues = []
+    for queue in report.queues:
+        edge = report.edges.get(queue.name)
+        if edge is None or module not in edge.get("producers", ()):
+            continue
+        if queue.full_stalls > 0:
+            queues.append((queue.full_stalls, queue.name))
+    return [name for _stalls, name in sorted(queues, reverse=True)]
+
+
+def _walk_chain(report: ProfileReport, start: ModuleProfile) -> StallChain:
+    """Follow back-pressure downstream from one stalled module until the
+    blocking stops propagating; the terminal module is the root."""
+    current = start.name
+    path = [current]
+    visited = {current}
+    while True:
+        advanced = False
+        for queue_name in _stalling_queues(report, current):
+            consumers = report.edges[queue_name].get("consumers", [])
+            next_module = next(
+                (name for name in consumers if name not in visited), None
+            )
+            if next_module is None:
+                continue
+            path.extend([queue_name, next_module])
+            visited.add(next_module)
+            current = next_module
+            advanced = True
+            break
+        if not advanced:
+            break
+    return StallChain(
+        module=start.name, stalled=start.stalled, root=current, path=path
+    )
+
+
+def analyze_report(
+    report: ProfileReport, min_stall_share: float = 0.01
+) -> BottleneckReport:
+    """Run the three analysis steps over ``report``.
+
+    ``min_stall_share`` drops chains whose stall mass is below that
+    fraction of the run (noise, not bottlenecks).
+    """
+    cycles = max(report.cycles, 1)
+    modules = {profile.name: profile for profile in report.modules}
+    ranking = [
+        profile.name
+        for profile in sorted(report.modules, key=lambda m: -m.busy)
+    ]
+
+    chains: List[StallChain] = []
+    attributed: Dict[str, int] = {}
+    for profile in report.modules:
+        if profile.stalled / cycles < min_stall_share:
+            continue
+        chain = _walk_chain(report, profile)
+        chains.append(chain)
+        attributed[chain.root] = max(
+            attributed.get(chain.root, 0), chain.stalled
+        )
+
+    # The root bottleneck carries the most weight: its own busy cycles
+    # plus the largest stall mass charged to it from upstream.
+    root_bottleneck: Optional[str] = None
+    if modules:
+        root_bottleneck = max(
+            modules,
+            key=lambda name: modules[name].busy + attributed.get(name, 0),
+        )
+
+    what_ifs: List[WhatIf] = []
+    for root, stalls in sorted(attributed.items(), key=lambda kv: -kv[1]):
+        if stalls <= 0 or stalls >= cycles:
+            continue
+        bound = cycles / (cycles - stalls)
+        what_ifs.append(WhatIf(
+            module=root,
+            speedup_bound=bound,
+            saved_cycles=stalls,
+            description=(
+                f"eliminating {root} back-pressure bounds speedup at "
+                f"{bound:.2f}x (≤{stalls} cycles saved)"
+            ),
+        ))
+    if root_bottleneck is not None:
+        busy = modules[root_bottleneck].busy
+        if 0 < busy < cycles:
+            bound = cycles / busy
+            what_ifs.append(WhatIf(
+                module=root_bottleneck,
+                speedup_bound=bound,
+                saved_cycles=cycles - busy,
+                description=(
+                    f"{root_bottleneck} alone needs {busy} busy cycles — "
+                    f"everything-else-free speedup caps at {bound:.2f}x"
+                ),
+            ))
+
+    return BottleneckReport(
+        name=report.name,
+        cycles=report.cycles,
+        ranking=ranking,
+        chains=chains,
+        attributed_stalls=attributed,
+        root_bottleneck=root_bottleneck,
+        what_ifs=what_ifs,
+        modules=modules,
+    )

@@ -1,0 +1,475 @@
+"""The ``repro bench`` regression harness: a declared suite of perf
+probes whose results persist across PRs.
+
+Each :class:`Probe` measures one number on a shared
+:class:`BenchContext` (the workload is built once per suite run):
+simulator throughput under both engine schedules, host-scheduler
+parallelism, and the per-stage preprocess cycles-per-base that the
+paper-scale timing model extrapolates from.  ``run_bench`` executes
+every probe with warmup + N repeats and summarizes each as
+median / IQR — the median is robust to host noise, the IQR records how
+noisy the probe was so comparisons can tell signal from jitter.
+
+Results are written as schema-versioned ``BENCH_<n>.json`` files with
+the run's :class:`~repro.obs.ledger.RunManifest` embedded, so any two
+files say whether they are comparable (same config digest, same
+package version) before saying which is faster.
+
+``compare_results`` applies the noise-aware regression rule: a probe
+fails only when its median moved more than ``threshold`` in the bad
+direction **and** landed outside the baseline's IQR.  Deterministic
+probes (simulated cycles) have zero IQR, so any real regression trips
+them; noisy host-time probes get the IQR guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .ledger import RunManifest
+
+#: Bumped when the BENCH_*.json shape changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+_BENCH_NAME = re.compile(r"BENCH_(\d+)\.json$")
+
+
+# -- the probe suite -----------------------------------------------------------------
+
+
+@dataclass
+class BenchContext:
+    """Shared state the probes measure against."""
+
+    reads: int = 120
+    read_length: int = 80
+    psize: int = 4000
+    pipelines: int = 4
+    seed: int = 2024
+    workload: object = None
+
+    def build(self) -> "BenchContext":
+        """Materialize the workload (once per suite run)."""
+        from ..eval.workloads import make_workload
+
+        if self.workload is None:
+            self.workload = make_workload(
+                n_reads=self.reads,
+                read_length=self.read_length,
+                chromosomes=(20,),
+                genome_scale=4.5e-5,
+                psize=self.psize,
+                seed=self.seed,
+            )
+        return self
+
+    def config(self) -> Dict[str, object]:
+        """The manifest config describing this context."""
+        return {
+            "reads": self.reads,
+            "read_length": self.read_length,
+            "psize": self.psize,
+            "pipelines": self.pipelines,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One benchmark probe: a measurement function plus its metadata."""
+
+    name: str
+    fn: Callable[[BenchContext], float]
+    unit: str
+    higher_is_better: bool
+    description: str = ""
+
+
+def _metadata_run(context: BenchContext, mode: str):
+    from ..accel.scheduler import MetadataWaveDriver, run_partitioned
+
+    driver = MetadataWaveDriver(
+        reference=context.workload.reference, mode=mode
+    )
+    _results, stats = run_partitioned(
+        driver, context.workload.partitions, context.pipelines
+    )
+    return stats
+
+
+def _probe_sim_throughput_event(context: BenchContext) -> float:
+    return _metadata_run(context, "event").host_flits_per_second
+
+
+def _probe_sim_throughput_dense(context: BenchContext) -> float:
+    return _metadata_run(context, "dense").host_flits_per_second
+
+
+def _probe_scheduler_parallelism(context: BenchContext) -> float:
+    from ..accel.scheduler import MetadataWaveDriver, run_partitioned
+
+    driver = MetadataWaveDriver(reference=context.workload.reference)
+    _results, stats = run_partitioned(
+        driver, context.workload.partitions, context.pipelines, workers=2
+    )
+    return stats.host_parallelism
+
+
+def _cycles_per_base(context: BenchContext, stage: str) -> float:
+    from ..eval.experiments import measure_cycles_per_base
+
+    return measure_cycles_per_base(stage, context.workload).cycles_per_base
+
+
+DEFAULT_SUITE: Dict[str, Probe] = {
+    probe.name: probe
+    for probe in (
+        Probe(
+            "sim_throughput_event",
+            _probe_sim_throughput_event,
+            "flits/s", True,
+            "event-schedule simulator throughput on a metadata wave run",
+        ),
+        Probe(
+            "sim_throughput_dense",
+            _probe_sim_throughput_dense,
+            "flits/s", True,
+            "dense-schedule simulator throughput (the oracle loop)",
+        ),
+        Probe(
+            "scheduler_parallelism",
+            _probe_scheduler_parallelism,
+            "x", True,
+            "effective host concurrency of a workers=2 partitioned run",
+        ),
+        Probe(
+            "markdup_cycles_per_base",
+            lambda context: _cycles_per_base(context, "markdup"),
+            "cycles/base", False,
+            "sustained markdup accelerator cycles per base (deterministic)",
+        ),
+        Probe(
+            "metadata_cycles_per_base",
+            lambda context: _cycles_per_base(context, "metadata"),
+            "cycles/base", False,
+            "sustained metadata-update cycles per base (deterministic)",
+        ),
+        Probe(
+            "bqsr_table_cycles_per_base",
+            lambda context: _cycles_per_base(context, "bqsr_table"),
+            "cycles/base", False,
+            "sustained BQSR covariate cycles per base (deterministic)",
+        ),
+    )
+}
+
+
+# -- results -------------------------------------------------------------------------
+
+
+@dataclass
+class ProbeResult:
+    """One probe's samples and their robust summary."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    samples: List[float]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def q1(self) -> float:
+        return self._quantile(0.25)
+
+    @property
+    def q3(self) -> float:
+        return self._quantile(0.75)
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def _quantile(self, q: float) -> float:
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "samples": list(self.samples),
+            "median": self.median,
+            "q1": self.q1,
+            "q3": self.q3,
+            "iqr": self.iqr,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, object]) -> "ProbeResult":
+        return cls(
+            name=name,
+            unit=str(data.get("unit", "")),
+            higher_is_better=bool(data.get("higher_is_better", True)),
+            samples=[float(sample) for sample in data.get("samples", [])]
+            or [float(data.get("median", 0.0))],
+        )
+
+
+@dataclass
+class BenchResult:
+    """One suite run: manifest + per-probe summaries."""
+
+    manifest: RunManifest
+    probes: Dict[str, ProbeResult]
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "manifest": self.manifest.to_dict(),
+            "probes": {
+                name: result.to_dict()
+                for name, result in sorted(self.probes.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchResult":
+        version = int(data.get("schema_version", 0))
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"bench schema v{version} is not v{BENCH_SCHEMA_VERSION}; "
+                "regenerate the baseline with this package version"
+            )
+        return cls(
+            manifest=RunManifest.from_dict(data.get("manifest", {})),
+            probes={
+                name: ProbeResult.from_dict(name, probe)
+                for name, probe in data.get("probes", {}).items()
+            },
+            schema_version=version,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchResult":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def render(self) -> str:
+        """The human-readable results table."""
+        lines = [
+            f"bench {self.manifest.run_id} "
+            f"(config {self.manifest.digest}, "
+            f"v{self.manifest.package_version})"
+        ]
+        width = max((len(name) for name in self.probes), default=5)
+        for name in sorted(self.probes):
+            result = self.probes[name]
+            arrow = "↑" if result.higher_is_better else "↓"
+            lines.append(
+                f"  {name.ljust(width)}  median {result.median:>12.3f} "
+                f"{result.unit} {arrow}  IQR {result.iqr:.3f} "
+                f"({len(result.samples)} repeats)"
+            )
+        return "\n".join(lines)
+
+
+def run_bench(
+    context: BenchContext,
+    repeats: int = 3,
+    warmup: int = 1,
+    probes: Optional[Sequence[str]] = None,
+    suite: Optional[Dict[str, Probe]] = None,
+    manifest: Optional[RunManifest] = None,
+) -> BenchResult:
+    """Execute the probe suite: ``warmup`` throwaway runs then
+    ``repeats`` recorded samples per probe."""
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    suite = suite if suite is not None else DEFAULT_SUITE
+    selected = list(probes) if probes else list(suite)
+    unknown = [name for name in selected if name not in suite]
+    if unknown:
+        raise KeyError(
+            f"unknown probes {unknown}; suite has {sorted(suite)}"
+        )
+    context.build()
+    if manifest is None:
+        manifest = RunManifest(
+            workload="bench",
+            config=context.config(),
+            seed=context.seed,
+            pipelines=context.pipelines,
+            workers=1,
+            mode="event",
+        )
+    results: Dict[str, ProbeResult] = {}
+    for name in selected:
+        probe = suite[name]
+        for _ in range(warmup):
+            probe.fn(context)
+        samples = [float(probe.fn(context)) for _ in range(repeats)]
+        results[name] = ProbeResult(
+            name=name,
+            unit=probe.unit,
+            higher_is_better=probe.higher_is_better,
+            samples=samples,
+        )
+    return BenchResult(manifest=manifest, probes=results)
+
+
+def next_bench_path(out_dir: str) -> str:
+    """The next free ``BENCH_<n>.json`` under ``out_dir``."""
+    highest = 0
+    if os.path.isdir(out_dir):
+        for entry in os.listdir(out_dir):
+            match = _BENCH_NAME.match(entry)
+            if match:
+                highest = max(highest, int(match.group(1)))
+    return os.path.join(out_dir, f"BENCH_{highest + 1}.json")
+
+
+def write_bench_result(result: BenchResult, out_dir: str = ".") -> str:
+    """Write ``result`` to the next ``BENCH_<n>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = next_bench_path(out_dir)
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+# -- comparison ----------------------------------------------------------------------
+
+
+@dataclass
+class ProbeComparison:
+    """One probe's baseline-vs-current verdict."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    baseline_median: float
+    current_median: float
+    #: Relative movement in the *bad* direction (negative = improved).
+    delta: float
+    outside_iqr: bool
+    regression: bool
+
+    def render(self) -> str:
+        direction = "↑" if self.higher_is_better else "↓"
+        verdict = "REGRESSION" if self.regression else (
+            "ok (within noise)" if self.delta > 0 else "ok"
+        )
+        return (
+            f"{self.name}: {self.baseline_median:.3f} -> "
+            f"{self.current_median:.3f} {self.unit} {direction} "
+            f"({self.delta:+.1%} worse) {verdict}"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """The full comparison: per-probe verdicts plus the headline."""
+
+    threshold: float
+    probes: List[ProbeComparison]
+    missing: List[str] = field(default_factory=list)
+    comparable: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ProbeComparison]:
+        return [probe for probe in self.probes if probe.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"compare vs baseline (threshold {self.threshold:.0%} "
+            "median regression outside baseline IQR):"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for probe in self.probes:
+            lines.append(f"  {probe.render()}")
+        for name in self.missing:
+            lines.append(f"  {name}: not in baseline (skipped)")
+        lines.append(
+            f"  => {len(self.regressions)} regression(s) "
+            f"across {len(self.probes)} compared probe(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare_results(
+    current: BenchResult,
+    baseline: BenchResult,
+    threshold: float = 0.10,
+) -> ComparisonResult:
+    """Apply the noise-aware regression rule probe by probe.
+
+    A probe regresses when its median moved more than ``threshold``
+    (relative) in the bad direction **and** the current median sits
+    outside the baseline's IQR — a wide-IQR (noisy) baseline therefore
+    only fails on movements the baseline itself never produced.
+    """
+    notes: List[str] = []
+    if current.manifest.digest != baseline.manifest.digest:
+        notes.append(
+            f"config digests differ (current {current.manifest.digest}, "
+            f"baseline {baseline.manifest.digest}) — medians may not be "
+            "comparable"
+        )
+    comparisons: List[ProbeComparison] = []
+    missing: List[str] = []
+    for name in sorted(current.probes):
+        probe = current.probes[name]
+        base = baseline.probes.get(name)
+        if base is None:
+            missing.append(name)
+            continue
+        base_median = base.median
+        if base_median == 0:
+            delta = 0.0 if probe.median == 0 else 1.0
+        elif probe.higher_is_better:
+            delta = (base_median - probe.median) / abs(base_median)
+        else:
+            delta = (probe.median - base_median) / abs(base_median)
+        if probe.higher_is_better:
+            outside = probe.median < base.q1
+        else:
+            outside = probe.median > base.q3
+        comparisons.append(ProbeComparison(
+            name=name,
+            unit=probe.unit,
+            higher_is_better=probe.higher_is_better,
+            baseline_median=base_median,
+            current_median=probe.median,
+            delta=delta,
+            outside_iqr=outside,
+            regression=delta > threshold and outside,
+        ))
+    return ComparisonResult(
+        threshold=threshold,
+        probes=comparisons,
+        missing=missing,
+        comparable=not notes,
+        notes=notes,
+    )

@@ -132,7 +132,86 @@ def report_to_dict(report: ProfileReport) -> Dict[str, object]:
         },
         "spms": dict(report.spms),
         "extra": dict(report.extra),
+        "edges": {
+            queue: {
+                "producers": list(edge.get("producers", [])),
+                "consumers": list(edge.get("consumers", [])),
+            }
+            for queue, edge in report.edges.items()
+        },
     }
+
+
+def report_from_dict(data: Dict[str, object]) -> ProfileReport:
+    """Rebuild a :class:`ProfileReport` from its :func:`report_to_dict`
+    shape (timeline spans and queue points are not exported, so the
+    round-tripped report carries none) — this is how ``repro analyze``
+    consumes a saved ``--out`` JSON."""
+    from .profile import (
+        ChannelProfile,
+        MemoryProfile,
+        ModuleProfile,
+        QueueProfile,
+    )
+
+    memory = data.get("memory", {})
+    return ProfileReport(
+        name=str(data.get("name", "run")),
+        cycles=int(data.get("cycles", 0)),
+        mode=str(data.get("mode", "event")),
+        wall_seconds=float(data.get("wall_seconds", 0.0)),
+        ticks_executed=int(data.get("ticks_executed", 0)),
+        ticks_possible=int(data.get("ticks_possible", 0)),
+        fast_forward_cycles=int(data.get("fast_forward_cycles", 0)),
+        modules=[
+            ModuleProfile(
+                name=name,
+                kind=str(entry.get("kind", "")),
+                busy=int(entry.get("busy", 0)),
+                starved=int(entry.get("starved", 0)),
+                stalled=int(entry.get("stalled", 0)),
+                idle=int(entry.get("idle", 0)),
+                flits_out=int(entry.get("flits_out", 0)),
+            )
+            for name, entry in data.get("modules", {}).items()
+        ],
+        queues=[
+            QueueProfile(
+                name=name,
+                capacity=int(entry.get("capacity", 0)),
+                total_pushed=int(entry.get("total_pushed", 0)),
+                max_occupancy=int(entry.get("max_occupancy", 0)),
+                full_stalls=int(entry.get("full_stalls", 0)),
+                occupancy_counts=[
+                    int(count)
+                    for count in entry.get("occupancy_counts", [])
+                ],
+            )
+            for name, entry in data.get("queues", {}).items()
+        ],
+        memory=MemoryProfile(
+            requests=int(memory.get("requests", 0)),
+            bytes_transferred=int(memory.get("bytes_transferred", 0)),
+            responses=int(memory.get("responses", 0)),
+            channels=[
+                ChannelProfile(channel=int(channel), grants=int(
+                    entry.get("grants", 0)
+                ))
+                for channel, entry in memory.get("channels", {}).items()
+            ],
+        ),
+        spms={
+            name: dict(stats) for name, stats in data.get("spms", {}).items()
+        },
+        extra=dict(data.get("extra", {})),
+        edges={
+            queue: {
+                "producers": list(edge.get("producers", [])),
+                "consumers": list(edge.get("consumers", [])),
+            }
+            for queue, edge in data.get("edges", {}).items()
+        },
+    )
 
 
 def write_report_json(report: ProfileReport, path: str) -> None:
@@ -159,6 +238,10 @@ def report_to_csv_rows(report: ProfileReport) -> List[Tuple[str, str, str, objec
         rows.append(("queue", q.name, "max_occupancy", q.max_occupancy))
         rows.append(("queue", q.name, "full_stalls", q.full_stalls))
         rows.append(("queue", q.name, "mean_occupancy", q.mean_occupancy()))
+        # Histogram buckets round-trip through the CSV: one row per
+        # occupancy value, ``occupancy[n]`` -> cycles observed at n.
+        for occupancy, count in enumerate(q.occupancy_counts):
+            rows.append(("queue", q.name, f"occupancy[{occupancy}]", count))
     rows.append(("memory", "total", "requests", report.memory.requests))
     rows.append(("memory", "total", "bytes", report.memory.bytes_transferred))
     for c in report.memory.channels:

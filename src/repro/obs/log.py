@@ -1,0 +1,132 @@
+"""Structured logging for the whole package.
+
+Every component logs through stdlib :mod:`logging` under the ``repro``
+hierarchy (``get_logger("scheduler")`` → ``repro.scheduler``), so library
+consumers control output the usual way.  The CLI calls
+:func:`configure_logging` once per invocation to install a handler in one
+of two shapes:
+
+* **human** (default) — ``HH:MM:SS level logger: message`` on stderr,
+  ``INFO`` and up (``-v`` drops to ``DEBUG``, ``--quiet`` raises to
+  ``WARNING``);
+* **JSON lines** (``--log-json``) — one JSON object per record with
+  ``ts``/``level``/``logger``/``msg`` plus whatever ``extra`` fields the
+  call site attached, ready for ``jq`` or log shippers.
+
+Each record is stamped with the ambient **run id** (the
+:mod:`repro.obs.ledger` run context, when one is active) and a
+**worker id** (``w<pid>`` in scheduler worker processes, settable via
+:func:`set_worker_id`), so JSON logs from a multi-process run correlate
+with the run ledger and with each other.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+#: Record attributes that are logging internals, not call-site extras.
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None
+).__dict__) | {"message", "asctime", "run_id", "worker_id"}
+
+#: The ambient worker id (main process: None; workers set "w<pid>").
+_worker_id: Optional[str] = None
+
+
+def set_worker_id(worker_id: Optional[str]) -> None:
+    """Stamp subsequent log records with ``worker_id`` (worker processes
+    call this on entry; ``None`` clears the stamp)."""
+    global _worker_id
+    _worker_id = worker_id
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The package logger for component ``name`` (``repro.<name>``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+class ContextFilter(logging.Filter):
+    """Injects ``run_id`` and ``worker_id`` into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "run_id"):
+            from .ledger import active_run_id
+
+            record.run_id = active_run_id()
+        if not hasattr(record, "worker_id"):
+            record.worker_id = _worker_id
+        return True
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record, extras included as top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if getattr(record, "run_id", None):
+            payload["run_id"] = record.run_id
+        if getattr(record, "worker_id", None):
+            payload["worker_id"] = record.worker_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS level logger: message`` with a worker-id prefix when
+    one is set (the run id is ledger territory, not terminal noise)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime("%H:%M:%S", time.localtime(record.created))
+        worker = getattr(record, "worker_id", None)
+        prefix = f"[{worker}] " if worker else ""
+        name = record.name[len("repro."):] if record.name.startswith(
+            "repro."
+        ) else record.name
+        text = (f"{clock} {record.levelname.lower():<7} {prefix}"
+                f"{name}: {record.getMessage()}")
+        if record.exc_info:
+            text = f"{text}\n{self.formatException(record.exc_info)}"
+        return text
+
+
+def configure_logging(
+    json_lines: bool = False,
+    verbosity: int = 0,
+    quiet: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install the package log handler (idempotent; reconfigures).
+
+    ``verbosity`` counts ``-v`` flags (≥1 → DEBUG), ``quiet`` wins and
+    raises the floor to WARNING.  Returns the ``repro`` root logger.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else HumanFormatter())
+    handler.addFilter(ContextFilter())
+    root.addHandler(handler)
+    if quiet:
+        root.setLevel(logging.WARNING)
+    elif verbosity >= 1:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
+    root.propagate = False
+    return root

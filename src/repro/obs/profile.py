@@ -118,6 +118,11 @@ class ProfileReport:
     queue_points: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
     #: Free-form extras: SPM cache hit rates, per-wave scheduler timing...
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Queue topology: queue name -> {"producers": [...], "consumers":
+    #: [...]} module names, captured at report time so bottleneck
+    #: analysis (:mod:`repro.obs.analyze`) can walk back-pressure chains
+    #: offline from the exported JSON.
+    edges: Dict[str, Dict[str, List[str]]] = field(default_factory=dict)
 
     @property
     def skip_ratio(self) -> float:
@@ -409,6 +414,13 @@ class Profiler:
                 if points
             },
             extra=dict(extra or {}),
+            edges={
+                queue.name: {
+                    "producers": [m.name for m in queue.producers],
+                    "consumers": [m.name for m in queue.consumers],
+                }
+                for queue in engine.queues
+            },
         )
         return report
 

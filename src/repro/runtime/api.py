@@ -23,8 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from ..obs.log import get_logger
 from ..obs.registry import MetricsRegistry, registry_or_null
 from .device import DeviceConfig, GenesisDevice
+
+_log = get_logger("runtime")
 
 #: A kernel simulates one pipeline invocation: takes the configured input
 #: columns (name -> data), returns (results dict, simulated cycles).
@@ -115,6 +118,12 @@ class GenesisRuntime:
             self.registry.counter(
                 "runtime.transfer_bytes", direction="h2d"
             ).inc(binding.nbytes)
+        _log.debug(
+            "configure_mem %s: %d bytes -> pipeline %d%s",
+            colname, binding.nbytes, pipeline_id,
+            " (output)" if is_output else "",
+            extra={"pipeline": pipeline_id, "column": colname},
+        )
 
     def run_genesis(self, pipeline_id: int) -> None:
         """Non-blocking: start the pipeline.  The kernel simulation runs
@@ -136,6 +145,10 @@ class GenesisRuntime:
         self.registry.counter(
             "runtime.kernel_cycles", pipeline=pipeline_id
         ).inc(cycles)
+        _log.debug(
+            "run_genesis pipeline %d: %d simulated cycles",
+            pipeline_id, cycles, extra={"pipeline": pipeline_id},
+        )
 
     def check_genesis(self, pipeline_id: int) -> bool:
         """Non-blocking completion poll."""
@@ -165,6 +178,10 @@ class GenesisRuntime:
             self.registry.counter(
                 "runtime.transfer_bytes", direction="d2h"
             ).inc(nbytes)
+        _log.debug(
+            "genesis_flush pipeline %d: %d bytes back",
+            pipeline_id, nbytes, extra={"pipeline": pipeline_id},
+        )
         return state.results or {}
 
     # -- host-side modelling -------------------------------------------------------------

@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.eval.workloads import Workload, make_workload
 from repro.genomics import ReadSimulator, ReferenceGenome, SimulatorConfig
+
+# CI runs must be reproducible commit-over-commit: derandomize pins every
+# hypothesis example sequence to the test body, so a red CI bisects to a
+# code change rather than a lucky draw.  Local runs keep full randomness.
+settings.register_profile("ci", derandomize=True)
+if os.environ.get("CI"):
+    settings.load_profile("ci")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,234 @@
+"""Tests for the ``repro bench`` regression harness (repro.obs.bench)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchContext,
+    BenchResult,
+    Probe,
+    ProbeResult,
+    compare_results,
+    next_bench_path,
+    run_bench,
+    write_bench_result,
+)
+from repro.obs.ledger import RunManifest
+
+
+def _suite(values):
+    """A fake deterministic suite: name -> constant sample value."""
+    return {
+        name: Probe(name, lambda _ctx, v=value: v, "unit", False)
+        for name, value in values.items()
+    }
+
+
+def _context():
+    # A non-None workload skips the (slow) build step for unit tests.
+    return BenchContext(workload="stub")
+
+
+def _result(values, samples=1):
+    suite = _suite(values)
+    return run_bench(
+        _context(), repeats=samples, warmup=0, suite=suite,
+        manifest=RunManifest(
+            workload="bench", config={"fake": True}, seed=0,
+            pipelines=1, workers=1, mode="event",
+        ),
+    )
+
+
+class TestProbeResult:
+    def test_median_and_iqr(self):
+        result = ProbeResult("p", "u", False, [4.0, 1.0, 2.0, 3.0])
+        assert result.median == 2.5
+        assert result.q1 == 1.75
+        assert result.q3 == 3.25
+        assert result.iqr == pytest.approx(1.5)
+
+    def test_single_sample_has_zero_iqr(self):
+        result = ProbeResult("p", "u", False, [7.0])
+        assert result.median == 7.0
+        assert result.iqr == 0.0
+
+    def test_round_trip(self):
+        result = ProbeResult("p", "flits/s", True, [1.0, 2.0, 3.0])
+        rebuilt = ProbeResult.from_dict("p", result.to_dict())
+        assert rebuilt.samples == result.samples
+        assert rebuilt.higher_is_better
+        assert rebuilt.unit == "flits/s"
+
+
+class TestRunBench:
+    def test_collects_repeats_and_manifest(self):
+        result = _result({"a": 5.0, "b": 2.0}, samples=3)
+        assert set(result.probes) == {"a", "b"}
+        assert result.probes["a"].samples == [5.0, 5.0, 5.0]
+        assert result.manifest.workload == "bench"
+        assert result.schema_version == BENCH_SCHEMA_VERSION
+
+    def test_probe_selection(self):
+        suite = _suite({"a": 1.0, "b": 2.0})
+        result = run_bench(
+            _context(), repeats=1, warmup=0, probes=["b"], suite=suite
+        )
+        assert set(result.probes) == {"b"}
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(KeyError, match="unknown probes"):
+            run_bench(
+                _context(), repeats=1, warmup=0,
+                probes=["nope"], suite=_suite({"a": 1.0}),
+            )
+
+    def test_warmup_samples_discarded(self):
+        calls = []
+
+        def probe(_ctx):
+            calls.append(len(calls))
+            return float(len(calls))
+
+        suite = {"p": Probe("p", probe, "u", False)}
+        result = run_bench(_context(), repeats=2, warmup=2, suite=suite)
+        # Two warmup calls happen first, so recorded samples are 3rd/4th.
+        assert result.probes["p"].samples == [3.0, 4.0]
+
+    def test_render_mentions_probes(self):
+        text = _result({"a": 5.0}).render()
+        assert "a" in text and "median" in text
+
+
+class TestBenchFiles:
+    def test_write_numbers_sequentially(self, tmp_path):
+        result = _result({"a": 1.0})
+        first = write_bench_result(result, str(tmp_path))
+        second = write_bench_result(result, str(tmp_path))
+        assert first.endswith("BENCH_1.json")
+        assert second.endswith("BENCH_2.json")
+        assert next_bench_path(str(tmp_path)).endswith("BENCH_3.json")
+
+    def test_json_schema_shape(self, tmp_path):
+        path = write_bench_result(_result({"a": 1.5}, samples=2), str(tmp_path))
+        data = json.loads(open(path).read())
+        assert data["schema_version"] == BENCH_SCHEMA_VERSION
+        assert data["manifest"]["config_digest"]
+        probe = data["probes"]["a"]
+        assert probe["median"] == 1.5
+        assert "q1" in probe and "q3" in probe and "iqr" in probe
+
+    def test_load_round_trip(self, tmp_path):
+        result = _result({"a": 1.5})
+        path = write_bench_result(result, str(tmp_path))
+        loaded = BenchResult.load(path)
+        assert loaded.probes["a"].median == 1.5
+        assert loaded.manifest.digest == result.manifest.digest
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            BenchResult.from_dict({"schema_version": 99})
+
+
+class TestCompare:
+    def test_same_baseline_is_ok(self):
+        result = _result({"a": 5.0, "b": 2.0})
+        comparison = compare_results(result, result)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_injected_regression_flags(self):
+        baseline = _result({"cycles": 100.0})
+        # 25% more cycles on a lower-is-better, zero-IQR probe.
+        current = _result({"cycles": 125.0})
+        comparison = compare_results(current, baseline, threshold=0.10)
+        assert not comparison.ok
+        assert [probe.name for probe in comparison.regressions] == ["cycles"]
+        assert comparison.probes[0].delta == pytest.approx(0.25)
+
+    def test_improvement_never_flags(self):
+        baseline = _result({"cycles": 100.0})
+        comparison = compare_results(_result({"cycles": 60.0}), baseline)
+        assert comparison.ok
+        assert comparison.probes[0].delta == pytest.approx(-0.4)
+
+    def test_higher_is_better_direction(self):
+        suite_hi = {
+            "tput": Probe("tput", lambda _ctx: 0.0, "flits/s", True)
+        }
+
+        def make(value):
+            suite = {
+                "tput": Probe(
+                    "tput", lambda _ctx, v=value: v, "flits/s", True
+                )
+            }
+            return run_bench(_context(), repeats=1, warmup=0, suite=suite)
+
+        del suite_hi
+        comparison = compare_results(make(70.0), make(100.0), threshold=0.10)
+        assert not comparison.ok  # throughput dropped 30%
+        comparison = compare_results(make(130.0), make(100.0), threshold=0.10)
+        assert comparison.ok  # throughput rose: an improvement
+
+    def test_noise_guard_within_baseline_iqr(self):
+        # Baseline is noisy: median 100, IQR spanning up to 130.  A current
+        # median of 115 is >10% worse but inside what the baseline itself
+        # produced, so it must not flag.
+        baseline = BenchResult(
+            manifest=_result({"x": 1.0}).manifest,
+            probes={
+                "host_time": ProbeResult(
+                    "host_time", "s", False, [80.0, 100.0, 130.0]
+                )
+            },
+        )
+        current = BenchResult(
+            manifest=baseline.manifest,
+            probes={
+                "host_time": ProbeResult("host_time", "s", False, [115.0])
+            },
+        )
+        comparison = compare_results(current, baseline, threshold=0.10)
+        assert comparison.ok
+        assert comparison.probes[0].delta > 0.10  # worse, but within noise
+
+    def test_probe_missing_from_baseline_skipped(self):
+        baseline = _result({"a": 1.0})
+        current = _result({"a": 1.0, "new_probe": 2.0})
+        comparison = compare_results(current, baseline)
+        assert comparison.missing == ["new_probe"]
+        assert comparison.ok
+
+    def test_digest_mismatch_noted(self):
+        baseline = _result({"a": 1.0})
+        current = run_bench(
+            _context(), repeats=1, warmup=0, suite=_suite({"a": 1.0}),
+            manifest=RunManifest(
+                workload="bench", config={"fake": False}, seed=0,
+                pipelines=1, workers=1, mode="event",
+            ),
+        )
+        comparison = compare_results(current, baseline)
+        assert not comparison.comparable
+        assert any("digest" in note for note in comparison.notes)
+
+    def test_render_reports_counts(self):
+        result = _result({"a": 1.0})
+        text = compare_results(result, result).render()
+        assert "0 regression(s) across 1 compared probe(s)" in text
+
+
+class TestRealProbes:
+    def test_deterministic_cycle_probe_on_tiny_workload(self, workload):
+        context = BenchContext(workload=workload, pipelines=4)
+        result = run_bench(
+            context, repeats=2, warmup=0,
+            probes=["markdup_cycles_per_base"],
+        )
+        probe = result.probes["markdup_cycles_per_base"]
+        assert probe.median > 0
+        assert probe.iqr == 0.0  # simulated cycles are deterministic
+        assert not probe.higher_is_better

@@ -97,3 +97,145 @@ def test_profile_emits_report_and_artifacts(tmp_path, capsys):
         states = entry["busy"] + entry["starved"] + entry["stalled"] + entry["idle"]
         assert states == flat["cycles"], name
     assert rows.read_text().startswith("section,")
+
+
+def test_profile_unknown_stage_exits_cleanly(capsys):
+    code = main(["--no-ledger", "profile", "--stage", "nope"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown stage" in err and "markdup" in err
+    assert "Traceback" not in err
+
+
+def test_profile_creates_parent_directories(tmp_path, capsys):
+    trace = tmp_path / "deep" / "traces" / "t.json"
+    report = tmp_path / "deep" / "reports" / "r.json"
+    rows = tmp_path / "other" / "r.csv"
+    assert main([
+        "--no-ledger", "profile", "--stage", "markdup", "--reads", "40",
+        "--trace", str(trace), "--out", str(report), "--csv", str(rows),
+    ]) == 0
+    assert trace.exists() and report.exists() and rows.exists()
+
+
+def test_profile_prints_bottleneck_analysis(capsys):
+    assert main([
+        "--no-ledger", "profile", "--stage", "markdup", "--reads", "40",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "root bottleneck" in out
+
+
+def test_analyze_over_saved_report(tmp_path, capsys):
+    report = tmp_path / "r.json"
+    assert main([
+        "--no-ledger", "profile", "--stage", "markdup", "--reads", "40",
+        "--out", str(report),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["--no-ledger", "analyze", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "root bottleneck" in out
+
+
+def test_analyze_bad_inputs_exit_cleanly(tmp_path, capsys):
+    assert main(["--no-ledger", "analyze", str(tmp_path / "absent.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    assert main(["--no-ledger", "analyze", str(bad)]) == 2
+    assert "not JSON" in capsys.readouterr().err
+
+
+def _bench_argv(tmp_path, *extra):
+    return [
+        "--no-ledger", "bench", "--out-dir", str(tmp_path),
+        "--probes", "markdup_cycles_per_base",
+        "--reads", "40", "--psize", "2000",
+        "--repeats", "1", "--warmup", "0", *extra,
+    ]
+
+
+def test_bench_writes_and_compares(tmp_path, capsys):
+    import json
+
+    assert main(_bench_argv(tmp_path)) == 0
+    baseline = tmp_path / "BENCH_1.json"
+    assert baseline.exists()
+    data = json.loads(baseline.read_text())
+    assert data["schema_version"] == 1
+    assert "markdup_cycles_per_base" in data["probes"]
+    assert data["manifest"]["config_digest"]
+    capsys.readouterr()
+
+    # Same config, same deterministic cycles: compare passes.
+    assert main(_bench_argv(
+        tmp_path, "--compare", str(baseline), "--no-write"
+    )) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+
+def test_bench_compare_flags_injected_regression(tmp_path, capsys):
+    import json
+
+    assert main(_bench_argv(tmp_path)) == 0
+    baseline = tmp_path / "BENCH_1.json"
+    # Shrink the baseline 30%: the (unchanged) current run now reads as a
+    # >=20% regression on a zero-IQR lower-is-better probe.
+    data = json.loads(baseline.read_text())
+    probe = data["probes"]["markdup_cycles_per_base"]
+    for key in ("median", "q1", "q3"):
+        probe[key] *= 0.7
+    probe["samples"] = [s * 0.7 for s in probe["samples"]]
+    baseline.write_text(json.dumps(data))
+    capsys.readouterr()
+
+    assert main(_bench_argv(
+        tmp_path, "--compare", str(baseline), "--no-write"
+    )) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # Report-only mode prints the regression but exits zero (CI default).
+    assert main(_bench_argv(
+        tmp_path, "--compare", str(baseline), "--no-write", "--report-only"
+    )) == 0
+
+
+def test_bench_unknown_probe_exits_cleanly(tmp_path, capsys):
+    assert main([
+        "--no-ledger", "bench", "--out-dir", str(tmp_path),
+        "--probes", "no_such_probe", "--repeats", "1", "--warmup", "0",
+        "--reads", "40", "--psize", "2000",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "unknown probes" in err and "Traceback" not in err
+
+
+def test_bench_bad_baseline_exits_cleanly(tmp_path, capsys):
+    missing = tmp_path / "missing.json"
+    assert main(_bench_argv(
+        tmp_path, "--compare", str(missing), "--no-write"
+    )) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_cli_records_runs_in_ledger(tmp_path, capsys):
+    import json
+
+    ledger = tmp_path / "ledger.jsonl"
+    assert main([
+        "--ledger", str(ledger),
+        "profile", "--stage", "markdup", "--reads", "40",
+    ]) == 0
+    records = [
+        json.loads(line) for line in ledger.read_text().splitlines()
+    ]
+    events = [record["event"] for record in records]
+    assert events[0] == "run.start"
+    assert "profile.report" in events
+    assert "cli.exit" in events
+    assert events[-1] == "run.end"
+    start = records[0]
+    assert start["manifest"]["workload"] == "profile"
+    run_id = start["run_id"]
+    assert all(record["run_id"] == run_id for record in records)

@@ -1,0 +1,32 @@
+"""The repro.accel.parallel shim must warn and re-export the scheduler
+implementations (imported via importlib so the module-level ban on
+``repro.accel.parallel`` imports keeps applying to real code)."""
+
+import importlib
+import sys
+import warnings
+
+
+def test_parallel_shim_warns_and_reexports():
+    sys.modules.pop("repro.accel.parallel", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.accel.parallel")
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.accel.scheduler" in str(w.message)
+        for w in caught
+    )
+    scheduler = importlib.import_module("repro.accel.scheduler")
+    assert shim.run_metadata_parallel is scheduler.run_metadata_parallel
+    assert shim.ParallelRunStats is scheduler.ParallelRunStats
+    assert shim.SpmImageCache is scheduler.SpmImageCache
+    assert shim.WorkerStats is scheduler.WorkerStats
+
+
+def test_nothing_in_the_package_imports_the_shim():
+    # The package itself must be clean even before ruff's TID251 runs.
+    sys.modules.pop("repro.accel.parallel", None)
+    importlib.import_module("repro.accel")
+    importlib.import_module("repro.cli")
+    assert "repro.accel.parallel" not in sys.modules

@@ -238,7 +238,7 @@ def test_bqsr_identical_across_modes(workload, monkeypatch):
 
 
 def test_metadata_parallel_identical_across_modes(workload):
-    from repro.accel.parallel import run_metadata_parallel
+    from repro.accel.scheduler import run_metadata_parallel
 
     runs = {}
     for mode in ("dense", "event"):

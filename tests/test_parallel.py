@@ -3,7 +3,7 @@
 import pytest
 
 from repro.accel.metadata import run_metadata_update
-from repro.accel.parallel import ParallelRunStats, run_metadata_parallel
+from repro.accel.scheduler import ParallelRunStats, run_metadata_parallel
 from repro.tables.partition import PartitionId
 
 
