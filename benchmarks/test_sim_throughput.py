@@ -185,6 +185,70 @@ def test_metrics_disabled_zero_overhead(benchmark, report):
     ])
 
 
+def test_fault_hooks_no_fault_overhead(benchmark, report):
+    """The resilience layer must be free when nothing faults.  With a
+    fault injector attached whose plan never fires, ``run_partitioned``
+    pays one parent-side ``poll`` per wave and nothing else — so an
+    interleaved A/A comparison of hooked vs bare runs must agree within
+    the same 5% noise budget as the metrics gate, with bit-identical
+    simulated cycles."""
+    from repro.accel.scheduler import MarkdupWaveDriver, run_partitioned
+    from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+    workload = _workload()
+    # enough waves to amortize setup, few enough to keep the bench quick
+    partitions = list(workload.partitions)[:16]
+
+    #: A plan targeting a slot no schedule reaches: hooks armed, no hits.
+    plan = FaultPlan(seed=0, specs=(
+        FaultSpec("worker_crash", site="scheduler.wave", at=(10 ** 6,)),
+    ))
+
+    def time_once(hooked):
+        injector = FaultInjector(plan) if hooked else None
+        start = time.perf_counter()
+        _, stats = run_partitioned(
+            MarkdupWaveDriver(), partitions, 4, workers=1,
+            fault_injector=injector,
+        )
+        wall = time.perf_counter() - start
+        if injector is not None:
+            assert not injector.injected
+        return wall, stats.total_cycles
+
+    time_once(False)  # warm-up
+    time_once(True)
+    bare, hooked = [], []
+    for i in range(5):
+        first, second = (bare, hooked) if i % 2 == 0 else (hooked, bare)
+        first.append(time_once(first is hooked))
+        second.append(time_once(second is hooked))
+
+    def run_hooked():
+        hooked.append(time_once(True))
+
+    benchmark.pedantic(run_hooked, rounds=1, iterations=1)
+    bare_wall, bare_cycles = min(bare)
+    hooked_wall, hooked_cycles = min(hooked)
+    assert hooked_cycles == bare_cycles  # hooks never perturb simulation
+
+    ratio = hooked_wall / bare_wall
+    assert ratio <= 1.05, (
+        f"no-fault path costs {ratio:.3f}x with injection hooks armed"
+    )
+
+    benchmark.extra_info.update(
+        bare_seconds=round(bare_wall, 4),
+        hooked_seconds=round(hooked_wall, 4),
+        hook_overhead=round(ratio, 4),
+        simulated_cycles=bare_cycles,
+    )
+    report("Fault-hook overhead - armed injector, nothing firing", [
+        f"bare: {bare_wall:.3f}s, hooked: {hooked_wall:.3f}s "
+        f"(ratio {ratio:.3f}x, gate 1.05x, cycles identical)",
+    ])
+
+
 def test_sim_throughput_default_latency(report):
     """The same comparison at the default memory latency — a tougher
     regime for the event engine (fewer dead cycles to skip) recorded for

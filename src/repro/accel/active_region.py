@@ -211,7 +211,7 @@ def accelerated_active_regions(
     workload_partitions,
     reference,
     genome: ReferenceGenome,
-    config: ActiveRegionConfig = None,
+    config: Optional[ActiveRegionConfig] = None,
 ) -> Dict[int, List[ActiveRegion]]:
     """Full accelerated stage: per-partition pipelines, host-side buffer
     merge, shared thresholding.  Equivalent to

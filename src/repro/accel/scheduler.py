@@ -23,26 +23,47 @@ drives them three ways at once:
   reference-SPM load by ``(partition, memory config, snp flag)``.
   Repeated accelerator stages over the same partitions (and BQSR
   read-group slices of one segment) replay the cached image instead of
-  re-simulating the load.
+  re-simulating the load;
+* **fault tolerance** — pass a
+  :class:`~repro.faults.injector.FaultInjector` (and optionally a
+  :class:`~repro.faults.retry.RetryPolicy` / ``wave_timeout``) and the
+  scheduler survives injected and real failures alike: failed wave
+  attempts are retried with exponential backoff under a retry budget,
+  futures get a watchdog deadline, a broken pool is rebuilt, and when
+  the pool keeps dying (or a wave exhausts its budget) execution
+  degrades to serial in-process waves.  See DESIGN.md §3.5 for the
+  fault model and the recovery ladder.
 
 Results are bit-identical across ``workers`` settings: wave packing is
 deterministic, every wave simulates in its own engine, and a cache
 replay returns exactly the scratchpad contents and cycle statistics a
 fresh load simulation would produce.  Only the host-side throughput
 metrics (wall seconds, per-worker breakdowns, cache hit counts) vary.
+The same holds under fault injection: a wave is a pure function of its
+partitions, so a retried or serially re-run wave reproduces exactly the
+results and simulated cycles of an undisturbed run.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..faults.injector import (
+    FAULT_EXCEPTIONS,
+    FaultInjector,
+    InjectedFaultError,
+    RetryBudgetExceeded,
+)
+from ..faults.retry import RetryPolicy
 from ..hw.engine import Engine, RunStats
 from ..hw.memory import MemoryConfig, MemorySystem
 from ..hw.modules import SpmUpdater
@@ -70,6 +91,13 @@ from .metadata import (
 
 #: One (pid, partition) work item as accepted by the scheduler.
 WaveItem = Tuple[PartitionId, Table]
+
+#: The injection site wave attempts are polled at (slot = wave index).
+WAVE_FAULT_SITE = "scheduler.wave"
+
+#: Pool breakages tolerated (each rebuilds the pool) before the run
+#: degrades permanently to serial in-process execution.
+POOL_RESTART_BUDGET = 1
 
 _log = get_logger("scheduler")
 
@@ -418,6 +446,16 @@ class ParallelRunStats:
     spm_cache_misses: int = 0
     spm_cycles_saved: int = 0
     per_worker: Dict[str, WorkerStats] = field(default_factory=dict)
+    # resilience metrics: faults/retries/fallbacks are deterministic for
+    # a given (plan, seed, schedule); watchdog_timeouts and pool_restarts
+    # count host-side infrastructure events and may vary across hosts
+    faults_injected: int = 0
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    watchdog_timeouts: int = 0
+    serial_fallback_waves: int = 0
+    pool_restarts: int = 0
 
     @property
     def cycles_including_load(self) -> int:
@@ -473,6 +511,10 @@ class ParallelRunStats:
                 worker = dict(labels)["worker"]
                 tally = per_worker.setdefault(worker, WorkerStats())
                 setattr(tally, attr, counter.value)
+        faults_by_kind = {
+            dict(labels)["kind"]: counter.value
+            for labels, counter in registry.values("scheduler.faults").items()
+        }
         return cls(
             waves=waves,
             total_cycles=sum(per_wave_cycles),
@@ -489,6 +531,15 @@ class ParallelRunStats:
             spm_cache_misses=registry.value("scheduler.spm_cache.misses"),
             spm_cycles_saved=registry.value("scheduler.spm_cache.cycles_saved"),
             per_worker=per_worker,
+            faults_injected=sum(faults_by_kind.values()),
+            faults_by_kind=faults_by_kind,
+            retries=registry.value("scheduler.retries"),
+            backoff_seconds=registry.value("scheduler.backoff_seconds"),
+            watchdog_timeouts=registry.value("scheduler.watchdog_timeouts"),
+            serial_fallback_waves=registry.value(
+                "scheduler.serial_fallback_waves"
+            ),
+            pool_restarts=registry.value("scheduler.pool_restarts"),
         )
 
     def publish(self, registry: MetricsRegistry, stage: str = "run") -> None:
@@ -526,6 +577,23 @@ class ParallelRunStats:
         ).inc(self.fast_forward_cycles)
         registry.counter("sim.flits", stage=stage).inc(self.total_flits)
         registry.gauge("scheduler.workers", stage=stage).set(self.workers)
+        for kind, count in self.faults_by_kind.items():
+            registry.counter(
+                "scheduler.faults", stage=stage, kind=kind
+            ).inc(count)
+        registry.counter("scheduler.retries", stage=stage).inc(self.retries)
+        registry.counter(
+            "scheduler.backoff_seconds", stage=stage
+        ).inc(self.backoff_seconds)
+        registry.counter(
+            "scheduler.watchdog_timeouts", stage=stage
+        ).inc(self.watchdog_timeouts)
+        registry.counter(
+            "scheduler.serial_fallback_waves", stage=stage
+        ).inc(self.serial_fallback_waves)
+        registry.counter(
+            "scheduler.pool_restarts", stage=stage
+        ).inc(self.pool_restarts)
 
 
 # -- wave packing and dispatch -------------------------------------------------------
@@ -560,14 +628,32 @@ def pack_waves(
     return empty, waves
 
 
-def _run_wave_task(driver, wave_index, wave, seed_images):
+def _run_wave_task(
+    driver, wave_index, wave, seed_images, fault_kind=None,
+    hang_seconds=0.0, attempt=0,
+):
     """Worker-side wave execution (module-level so it pickles).
 
     The worker runs against a private cache seeded with the images the
     parent already holds for this wave, and ships newly loaded images
     back so the parent cache (and later stages) can reuse them.
+
+    ``fault_kind`` is the parent's injection decision for this attempt
+    (decided deterministically before submission): the worker *enacts*
+    it — an injected hang sleeps ``hang_seconds`` so the parent's
+    watchdog genuinely fires, a ``worker_crash`` dies for real
+    (``os._exit``, surfacing as ``BrokenProcessPool`` in the parent),
+    and every other kind raises its
+    :class:`~repro.faults.injector.InjectedFaultError` subclass, which
+    travels back through the future like a real worker failure would.
     """
     set_worker_id(f"w{os.getpid()}")
+    if fault_kind is not None:
+        if fault_kind == "wave_timeout" and hang_seconds > 0:
+            time.sleep(hang_seconds)
+        if fault_kind == "worker_crash":
+            os._exit(1)  # a genuine process death, not an exception
+        raise FAULT_EXCEPTIONS[fault_kind](WAVE_FAULT_SITE, wave_index, attempt)
     cache = SpmImageCache()
     cache.merge(seed_images)
     started = time.perf_counter()
@@ -604,6 +690,9 @@ def run_partitioned(
     workers: int = 1,
     spm_cache: Optional[SpmImageCache] = None,
     registry: Optional[MetricsRegistry] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    wave_timeout: Optional[float] = None,
 ) -> Tuple[Dict[PartitionId, object], ParallelRunStats]:
     """Run an accelerator over many partitions: N replicated pipelines
     per wave, waves fanned out over ``workers`` host processes.
@@ -619,9 +708,28 @@ def run_partitioned(
     returned :class:`ParallelRunStats` is a view over it); pass
     ``registry`` to additionally receive the aggregates — labelled by
     the driver's stage — in a registry shared across runs.
+
+    Resilience: ``fault_injector`` injects the deterministic faults of
+    its :class:`~repro.faults.plan.FaultPlan` at the ``scheduler.wave``
+    site (slot = wave index, decided in the parent before dispatch, so
+    injections are identical across ``workers`` settings).  Failed wave
+    attempts — injected or real — are retried under ``retry_policy``
+    (default :class:`~repro.faults.retry.RetryPolicy`) with exponential
+    backoff; ``wave_timeout`` arms a watchdog deadline (seconds) around
+    every pool future.  The degradation ladder is retry → requeue →
+    serial in-process fallback (the serial rung retries with a fresh
+    budget counted from its entry attempt); a wave that keeps faulting
+    past the serial budget raises
+    :class:`~repro.faults.injector.RetryBudgetExceeded`.  Non-injected
+    exceptions from driver code propagate immediately — they are
+    deterministic bugs, not infrastructure failures.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
+    if wave_timeout is not None and wave_timeout <= 0:
+        raise ValueError("wave_timeout must be positive seconds")
+    injector = fault_injector
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
     cache = spm_cache if spm_cache is not None else SpmImageCache()
     started = time.perf_counter()
     empty_pids, waves = pack_waves(partitions, n_pipelines)
@@ -679,21 +787,100 @@ def run_partitioned(
             "scheduler.spm_cache.cycles_saved"
         ).inc(cycles_saved)
 
+    # -- resilience accounting (guarded so a re-poll after a pool rebuild
+    #    never double-counts the same (wave, attempt) decision) ------------------
+
+    accounted_faults: Set[Tuple[str, int, int]] = set()
+    accounted_retries: Set[Tuple[int, int]] = set()
+
+    def account_fault(kind, wave_index, attempt):
+        key = (kind, wave_index, attempt)
+        if key in accounted_faults:
+            return
+        accounted_faults.add(key)
+        run_registry.counter("scheduler.faults", kind=kind).inc()
+
+    def account_retry(wave_index, attempt, kind):
+        key = (wave_index, attempt)
+        if key in accounted_retries:
+            return 0.0
+        accounted_retries.add(key)
+        backoff = policy.backoff_seconds(wave_index, attempt)
+        run_registry.counter("scheduler.retries").inc()
+        run_registry.counter("scheduler.backoff_seconds").inc(backoff)
+        record_event(
+            "fault.retry",
+            stage=driver.stage, wave=wave_index, attempt=attempt,
+            kind=kind, backoff_seconds=backoff,
+        )
+        _log.info(
+            "wave %d attempt %d failed (%s); retrying after %.3fs",
+            wave_index, attempt, kind, backoff,
+            extra={"stage": driver.stage, "wave": wave_index},
+        )
+        return backoff
+
+    def account_serial_fallback(wave_index, attempt, reason):
+        run_registry.counter("scheduler.serial_fallback_waves").inc()
+        record_event(
+            "fault.serial_fallback",
+            stage=driver.stage, wave=wave_index, attempt=attempt,
+            reason=reason,
+        )
+        _log.warning(
+            "wave %d degrades to serial in-process execution (%s)",
+            wave_index, reason,
+            extra={"stage": driver.stage, "wave": wave_index},
+        )
+
+    def poll_wave_fault(wave_index, attempt, worker):
+        """The parent-side injection decision for one wave attempt."""
+        if injector is None:
+            return None
+        return injector.poll(
+            WAVE_FAULT_SITE, wave_index, attempt,
+            stage=driver.stage, worker=worker,
+        )
+
+    def run_wave_serial(wave_index, start_attempt=0, worker="w0"):
+        """One wave with the serial retry ladder: poll → enact → backoff
+        → retry, until the attempt runs clean or the budget is gone."""
+        attempt = start_attempt
+        while True:
+            fault = poll_wave_fault(wave_index, attempt, worker)
+            if fault is None:
+                t0 = time.perf_counter()
+                wave_results, stats, load_cycles = driver.run_wave(
+                    waves[wave_index], cache
+                )
+                elapsed = time.perf_counter() - t0
+                _log.debug(
+                    "wave %d done: %d replicas, %d cycles, %.3fs",
+                    wave_index, len(waves[wave_index]), stats.cycles, elapsed,
+                    extra={"stage": driver.stage, "wave": wave_index},
+                )
+                account(
+                    worker, wave_index, wave_results, stats, load_cycles,
+                    elapsed,
+                )
+                return
+            account_fault(fault.kind, wave_index, attempt)
+            if attempt - start_attempt >= policy.max_retries:
+                raise RetryBudgetExceeded(
+                    f"wave {wave_index} failed {attempt - start_attempt + 1} "
+                    f"attempt(s); retry budget ({policy.max_retries}) "
+                    "exhausted"
+                ) from fault.to_exception()
+            backoff = account_retry(wave_index, attempt, fault.kind)
+            if backoff > 0:
+                time.sleep(backoff)
+            attempt += 1
+
     if workers == 1 or len(waves) <= 1:
         workers_used = 1
         hits0, misses0, saved0 = cache.hits, cache.misses, cache.cycles_saved
-        for wave_index, wave in enumerate(waves):
-            t0 = time.perf_counter()
-            wave_results, stats, load_cycles = driver.run_wave(wave, cache)
-            elapsed = time.perf_counter() - t0
-            _log.debug(
-                "wave %d done: %d replicas, %d cycles, %.3fs",
-                wave_index, len(wave), stats.cycles, elapsed,
-                extra={"stage": driver.stage, "wave": wave_index},
-            )
-            account(
-                "w0", wave_index, wave_results, stats, load_cycles, elapsed,
-            )
+        for wave_index in range(len(waves)):
+            run_wave_serial(wave_index)
         account_cache(
             cache.hits - hits0,
             cache.misses - misses0,
@@ -702,34 +889,172 @@ def run_partitioned(
     else:
         workers_used = min(workers, len(waves))
         worker_pids: Dict[int, str] = {}
-        with ProcessPoolExecutor(max_workers=workers_used) as pool:
-            futures = [
-                pool.submit(
-                    _run_wave_task,
-                    driver,
-                    wave_index,
-                    wave,
-                    cache.images_for(driver.wave_keys(wave)),
+
+        def harvest(payload):
+            (
+                wave_index, wave_results, stats, load_cycles, new_images,
+                wave_hits, wave_misses, wave_saved, worker_pid, elapsed,
+            ) = payload
+            cache.merge(new_images)
+            cache.hits += wave_hits
+            cache.misses += wave_misses
+            cache.cycles_saved += wave_saved
+            account_cache(wave_hits, wave_misses, wave_saved)
+            label = worker_pids.setdefault(worker_pid, f"w{len(worker_pids)}")
+            account(
+                label, wave_index, wave_results, stats, load_cycles, elapsed,
+            )
+
+        # ready holds (wave_index, attempt) pairs awaiting (re)submission;
+        # serial_waves collects budget-exhausted or degraded waves for the
+        # in-process fallback pass after the pool drains.
+        ready = deque((index, 0) for index in range(len(waves)))
+        pending: Dict[object, Tuple[int, int, Optional[float]]] = {}
+        serial_waves: List[Tuple[int, int]] = []
+        abandoned: List[object] = []
+        pool_restarts = 0
+        pool = ProcessPoolExecutor(max_workers=workers_used)
+
+        def submit(wave_index, attempt):
+            fault = poll_wave_fault(wave_index, attempt, worker="pool")
+            fault_kind = None
+            hang = 0.0
+            if fault is not None:
+                fault_kind = fault.kind
+                account_fault(fault_kind, wave_index, attempt)
+                if fault_kind == "wave_timeout" and wave_timeout is not None:
+                    # hang long enough that the parent watchdog fires
+                    # first, short enough that pool shutdown stays quick
+                    hang = min(wave_timeout * 2, wave_timeout + 1.0)
+            wave = waves[wave_index]
+            future = pool.submit(
+                _run_wave_task, driver, wave_index, wave,
+                cache.images_for(driver.wave_keys(wave)),
+                fault_kind, hang, attempt,
+            )
+            deadline = (
+                time.monotonic() + wave_timeout
+                if wave_timeout is not None else None
+            )
+            pending[future] = (wave_index, attempt, deadline)
+
+        def requeue(wave_index, attempt, kind):
+            """The ladder after a failed attempt: retry on the pool while
+            the budget lasts, then hand the wave to the serial pass."""
+            if attempt >= policy.max_retries:
+                account_serial_fallback(
+                    wave_index, attempt, reason="retry budget exhausted"
                 )
-                for wave_index, wave in enumerate(waves)
-            ]
-            for future in futures:
-                (
-                    wave_index, wave_results, stats, load_cycles, new_images,
-                    wave_hits, wave_misses, wave_saved, worker_pid, elapsed,
-                ) = future.result()
-                cache.merge(new_images)
-                cache.hits += wave_hits
-                cache.misses += wave_misses
-                cache.cycles_saved += wave_saved
-                account_cache(wave_hits, wave_misses, wave_saved)
-                label = worker_pids.setdefault(
-                    worker_pid, f"w{len(worker_pids)}"
-                )
-                account(
-                    label, wave_index, wave_results, stats, load_cycles,
-                    elapsed,
-                )
+                serial_waves.append((wave_index, attempt + 1))
+            else:
+                backoff = account_retry(wave_index, attempt, kind)
+                if backoff > 0:
+                    time.sleep(backoff)
+                ready.append((wave_index, attempt + 1))
+
+        try:
+            while ready or pending:
+                broken = False
+                try:
+                    while ready:
+                        index, attempt = ready.popleft()
+                        submit(index, attempt)
+                except BrokenProcessPool:
+                    ready.appendleft((index, attempt))
+                    broken = True
+                if not broken:
+                    timeout = None
+                    if wave_timeout is not None and pending:
+                        nearest = min(
+                            deadline for (_, _, deadline) in pending.values()
+                        )
+                        timeout = max(0.0, nearest - time.monotonic())
+                    done, _ = futures_wait(
+                        set(pending), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        index, attempt, _deadline = pending[future]
+                        try:
+                            payload = future.result()
+                        except InjectedFaultError as error:
+                            del pending[future]
+                            requeue(index, attempt, error.kind)
+                        except BrokenProcessPool:
+                            # leave it in pending: the broken-pool
+                            # handler below attributes the crash
+                            broken = True
+                        else:
+                            del pending[future]
+                            harvest(payload)
+                if broken:
+                    pool_restarts += 1
+                    run_registry.counter("scheduler.pool_restarts").inc()
+                    record_event(
+                        "fault.pool_restart",
+                        stage=driver.stage, restarts=pool_restarts,
+                    )
+                    # attribute the break: a pending wave whose attempt
+                    # has a worker_crash due killed the pool — advance
+                    # it through the retry ladder; innocent bystanders
+                    # resubmit at the same attempt (no retry charged).
+                    for index, attempt, _deadline in pending.values():
+                        due = (
+                            injector.due(WAVE_FAULT_SITE, index, attempt)
+                            if injector is not None else None
+                        )
+                        if due is not None and due.kind == "worker_crash":
+                            requeue(index, attempt, due.kind)
+                        else:
+                            ready.append((index, attempt))
+                    pending.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if pool_restarts > POOL_RESTART_BUDGET:
+                        _log.warning(
+                            "%s: pool died %d times; degrading %d wave(s) "
+                            "to serial execution",
+                            driver.stage, pool_restarts, len(ready),
+                            extra={"stage": driver.stage},
+                        )
+                        while ready:
+                            index, attempt = ready.popleft()
+                            account_serial_fallback(
+                                index, attempt, reason="pool kept dying"
+                            )
+                            serial_waves.append((index, attempt))
+                        break
+                    pool = ProcessPoolExecutor(max_workers=workers_used)
+                    continue
+                if wave_timeout is not None:
+                    now = time.monotonic()
+                    for future in list(pending):
+                        index, attempt, deadline = pending[future]
+                        if deadline is not None and now >= deadline:
+                            del pending[future]
+                            abandoned.append(future)
+                            run_registry.counter(
+                                "scheduler.watchdog_timeouts"
+                            ).inc()
+                            record_event(
+                                "fault.watchdog_timeout",
+                                stage=driver.stage, wave=index,
+                                attempt=attempt,
+                                timeout_seconds=wave_timeout,
+                            )
+                            requeue(index, attempt, "wave_timeout")
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        if serial_waves:
+            hits0, misses0 = cache.hits, cache.misses
+            saved0 = cache.cycles_saved
+            for index, attempt in sorted(serial_waves):
+                run_wave_serial(index, start_attempt=attempt, worker="serial")
+            account_cache(
+                cache.hits - hits0,
+                cache.misses - misses0,
+                cache.cycles_saved - saved0,
+            )
 
     stats = ParallelRunStats.from_registry(
         run_registry,
@@ -746,7 +1071,26 @@ def run_partitioned(
         elapsed_seconds=stats.elapsed_seconds,
         spm_cache_hits=stats.spm_cache_hits,
         spm_cache_misses=stats.spm_cache_misses,
+        faults_injected=stats.faults_injected,
+        retries=stats.retries,
+        watchdog_timeouts=stats.watchdog_timeouts,
+        serial_fallback_waves=stats.serial_fallback_waves,
+        pool_restarts=stats.pool_restarts,
     )
+    if stats.faults_injected or stats.retries or stats.watchdog_timeouts:
+        _log.info(
+            "%s survived %d injected fault(s) (%s): %d retried, "
+            "%d watchdog timeout(s), %d serial-fallback wave(s), "
+            "%d pool restart(s)",
+            driver.stage, stats.faults_injected,
+            ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(stats.faults_by_kind.items())
+            ) or "none",
+            stats.retries, stats.watchdog_timeouts,
+            stats.serial_fallback_waves, stats.pool_restarts,
+            extra={"stage": driver.stage},
+        )
     _log.info(
         "%s done: %d cycles over %d wave(s), %.3fs host "
         "(parallelism %.2f, spm cache %d/%d hit)",

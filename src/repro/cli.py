@@ -80,6 +80,7 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         SpmImageCache,
         run_partitioned,
     )
+    from .faults import RetryPolicy
     from .tables.genomic_tables import reads_to_table
     from .tables.partition import partition_reads, partition_reference
 
@@ -94,12 +95,23 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     reference = partition_reference(genome, args.psize, args.overlap)
     partitions = partition_reads(table, args.psize)
     spm_cache = SpmImageCache()
+    injector = None
+    if args.inject_faults:
+        from .faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.from_spec(args.inject_faults, seed=args.fault_seed)
+        injector = FaultInjector(plan)
+        for line in plan.describe():
+            print(f"fault plan: {line}")
     results, stats = run_partitioned(
         MetadataWaveDriver(reference=reference),
         partitions,
         args.pipelines,
         workers=args.workers,
         spm_cache=spm_cache,
+        fault_injector=injector,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+        wave_timeout=args.wave_timeout,
     )
     tagged = 0
     for pid, part in partitions:
@@ -123,6 +135,18 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
                 f"  {worker}: {tally.waves} waves, {tally.cycles} cycles, "
                 f"{tally.elapsed_seconds:.3f}s host"
             )
+    if injector is not None:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(stats.faults_by_kind.items())
+        ) or "none"
+        print(
+            f"resilience: survived {stats.faults_injected} injected "
+            f"fault(s) ({kinds}); {stats.retries} retried, "
+            f"{stats.watchdog_timeouts} watchdog timeout(s), "
+            f"{stats.serial_fallback_waves} serial-fallback wave(s), "
+            f"{stats.pool_restarts} pool restart(s)"
+        )
     with open(args.out, "w") as handle:
         write_sam(handle, markdup.sorted_reads, genome)
     print(f"wrote {args.out}")
@@ -360,6 +384,24 @@ def build_parser() -> argparse.ArgumentParser:
     preprocess.add_argument(
         "--workers", type=int, default=1,
         help="host worker processes the waves fan out over",
+    )
+    preprocess.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="fault plan to inject, e.g. 'worker_crash:2,transfer_error' "
+             "(KIND[:COUNT][@SITE][+ATTEMPTS][~SPREAD], comma-separated)",
+    )
+    preprocess.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed deriving the injected fault sites (same seed + spec "
+             "=> same faults)",
+    )
+    preprocess.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per wave item before degradation",
+    )
+    preprocess.add_argument(
+        "--wave-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog deadline around each parallel wave",
     )
     preprocess.set_defaults(func=_cmd_preprocess)
 

@@ -1,0 +1,190 @@
+"""The fault injector: enacts a :class:`~repro.faults.plan.FaultPlan`.
+
+One :class:`FaultInjector` is built per run and consulted at every
+instrumented site.  The call pattern is always the same::
+
+    slot = injector.next_slot("runtime.transfer")   # once per operation
+    ...
+    fault = injector.poll("runtime.transfer", slot, attempt)
+    if fault is not None:
+        ...charge the cost, retry...
+
+``next_slot`` allocates slot indices in deterministic arrival order;
+``poll`` answers "does the plan fault this (site, slot, attempt)?" and,
+when it does, records the injection — an :class:`InjectedFault` in
+``injector.injected``, a ``faults.injected`` counter in the registry,
+and a ``fault.injected`` ledger event against the ambient run.
+
+Decisions are pure functions of the plan: polling the same
+``(site, slot, attempt)`` twice gives the same answer (only the first
+poll records), so the parent process of a multi-worker scheduler can
+decide faults before shipping work to the pool and the injected faults
+stay identical across ``workers`` settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..obs.ledger import record_event
+from ..obs.log import get_logger
+from ..obs.registry import MetricsRegistry, registry_or_null
+from .plan import FaultPlan, FaultSpec
+
+_log = get_logger("faults")
+
+
+class InjectedFaultError(RuntimeError):
+    """Base of every injected failure; carries the injection coordinates
+    so handlers can account it without parsing messages."""
+
+    kind = "fault"
+
+    def __init__(self, site: str, slot: int, attempt: int):
+        super().__init__(
+            f"injected {self.kind} at {site} slot {slot} attempt {attempt}"
+        )
+        self.site = site
+        self.slot = slot
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # exceptions cross process boundaries (ProcessPoolExecutor
+        # futures); the default reduce would replay the formatted
+        # message into our three-argument __init__ and break the pool
+        return (self.__class__, (self.site, self.slot, self.attempt))
+
+
+class InjectedWorkerCrash(InjectedFaultError):
+    """A worker process dying mid-wave."""
+
+    kind = "worker_crash"
+
+
+class InjectedWaveTimeout(InjectedFaultError):
+    """A wave item hanging past its watchdog deadline."""
+
+    kind = "wave_timeout"
+
+
+class InjectedTransferError(InjectedFaultError):
+    """A PCIe DMA transfer failing."""
+
+    kind = "transfer_error"
+
+
+class InjectedLaunchError(InjectedFaultError):
+    """A device pipeline launch failing."""
+
+    kind = "launch_error"
+
+
+#: kind -> the exception class the injector raises / the worker enacts.
+FAULT_EXCEPTIONS = {
+    cls.kind: cls
+    for cls in (
+        InjectedWorkerCrash,
+        InjectedWaveTimeout,
+        InjectedTransferError,
+        InjectedLaunchError,
+    )
+}
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """An operation kept failing past its retry budget."""
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """The record of one injection (what ``injector.injected`` holds and
+    the ``fault.injected`` ledger event carries)."""
+
+    kind: str
+    site: str
+    slot: int
+    attempt: int
+
+    def to_exception(self) -> InjectedFaultError:
+        """The exception enacting this fault."""
+        return FAULT_EXCEPTIONS[self.kind](self.site, self.slot, self.attempt)
+
+
+class FaultInjector:
+    """Per-run mutable state over an immutable :class:`FaultPlan`.
+
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` to have every
+    injection counted under ``faults.injected{site=,kind=}``; ledger
+    events flow through the ambient run context automatically.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.plan = plan
+        self.registry = registry_or_null(registry)
+        self.injected: List[InjectedFault] = []
+        self._slots: Dict[str, int] = {}
+        #: (site, kind) -> (target slot set, attempts that fail).
+        self._targets: List[Tuple[FaultSpec, Set[int]]] = [
+            (spec, set(plan.targets(spec))) for spec in plan.specs
+        ]
+        self._recorded: Set[Tuple[str, str, int, int]] = set()
+
+    def next_slot(self, site: str) -> int:
+        """Allocate the next arrival-order slot index at ``site``."""
+        slot = self._slots.get(site, 0)
+        self._slots[site] = slot + 1
+        return slot
+
+    def due(self, site: str, slot: int, attempt: int) -> Optional[FaultSpec]:
+        """The first spec faulting ``(site, slot, attempt)``, if any —
+        side-effect free (no recording)."""
+        for spec, targets in self._targets:
+            if spec.site == site and slot in targets and attempt < spec.attempts:
+                return spec
+        return None
+
+    def poll(
+        self, site: str, slot: int, attempt: int, **context: object
+    ) -> Optional[InjectedFault]:
+        """Decide-and-record: returns the injected fault for this
+        ``(site, slot, attempt)`` or ``None``.  Extra ``context`` fields
+        (worker label, wave index...) land in the ledger event."""
+        spec = self.due(site, slot, attempt)
+        if spec is None:
+            return None
+        fault = InjectedFault(spec.kind, site, slot, attempt)
+        key = (spec.kind, site, slot, attempt)
+        if key not in self._recorded:
+            self._recorded.add(key)
+            self.injected.append(fault)
+            self.registry.counter(
+                "faults.injected", site=site, kind=spec.kind
+            ).inc()
+            record_event(
+                "fault.injected", site=site, kind=spec.kind,
+                slot=slot, attempt=attempt, **context,
+            )
+            _log.debug(
+                "injected %s at %s slot %d attempt %d",
+                spec.kind, site, slot, attempt,
+                extra={"site": site, "kind": spec.kind, "slot": slot},
+            )
+        return fault
+
+    def fire(self, site: str, slot: int, attempt: int, **context: object) -> None:
+        """Poll and raise the fault's exception when one is due."""
+        fault = self.poll(site, slot, attempt, **context)
+        if fault is not None:
+            raise fault.to_exception()
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Injections recorded so far, tallied by kind."""
+        counts: Dict[str, int] = {}
+        for fault in self.injected:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        return counts

@@ -1,0 +1,191 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` declares *which* faults a run will suffer — worker
+crashes, wave-item timeouts, PCIe transfer errors, device launch
+failures — and *where*: every injection point in the codebase is a named
+**site** (``scheduler.wave``, ``runtime.transfer``, ``runtime.launch``),
+and every logical operation arriving at a site is assigned a **slot**
+index in deterministic arrival order (wave index for the scheduler,
+transfer/launch ordinal for the runtime).
+
+The determinism contract: **same seed + same plan ⇒ same injected
+faults**.  Each spec's target slots are derived once, from a
+``random.Random`` seeded by ``(plan seed, site, kind)`` — never from
+wall-clock time, process ids, or host scheduling — so a faulted run is
+exactly reproducible, including under ``workers=N`` fan-out (injection
+decisions are made in the parent process, keyed by slot and attempt, not
+by completion order).
+
+Spec grammar (the CLI's ``--inject-faults`` argument)::
+
+    SPEC  := item ("," item)*
+    item  := KIND [":" COUNT] ["@" SITE] ["+" ATTEMPTS] ["~" SPREAD]
+
+* ``KIND`` — one of ``worker_crash``, ``wave_timeout``,
+  ``transfer_error``, ``launch_error``;
+* ``COUNT`` — how many slots the spec faults (default 1);
+* ``SITE`` — the injection site (defaults to the kind's natural site,
+  see :data:`DEFAULT_SITES`);
+* ``ATTEMPTS`` — how many consecutive attempts at a faulted slot fail
+  before it succeeds (default 1: the first retry goes through);
+* ``SPREAD`` — target slots are spaced by seeded gaps drawn from
+  ``[0, SPREAD]`` (default 0: the first ``COUNT`` slots fault).
+
+``worker_crash:2@scheduler.wave+2~3`` means: two waves, chosen by the
+seed among the early slots, each crash twice before succeeding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Every fault kind the injector knows how to enact.
+FAULT_KINDS = (
+    "worker_crash",
+    "wave_timeout",
+    "transfer_error",
+    "launch_error",
+)
+
+#: The site each kind naturally injects at when the spec names none.
+DEFAULT_SITES: Dict[str, str] = {
+    "worker_crash": "scheduler.wave",
+    "wave_timeout": "scheduler.wave",
+    "transfer_error": "runtime.transfer",
+    "launch_error": "runtime.launch",
+}
+
+#: Sites instrumented by the codebase (documented; the plan accepts any
+#: name so tests can invent private sites).
+KNOWN_SITES = ("scheduler.wave", "runtime.transfer", "runtime.launch")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault: ``count`` slots at ``site`` fail with
+    ``kind``, each for ``attempts`` consecutive attempts."""
+
+    kind: str
+    site: str = ""
+    count: int = 1
+    attempts: int = 1
+    spread: int = 0
+    #: Explicit target slots (overrides the seeded derivation).
+    at: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(choose from {', '.join(FAULT_KINDS)})"
+            )
+        if not self.site:
+            object.__setattr__(self, "site", DEFAULT_SITES[self.kind])
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+        if self.attempts < 1:
+            raise ValueError("fault attempts must be >= 1")
+        if self.spread < 0:
+            raise ValueError("fault spread must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one spec item (see the module grammar)."""
+        item = text.strip()
+        if not item:
+            raise ValueError("empty fault spec item")
+        spread = 0
+        attempts = 1
+        site = ""
+        count = 1
+        if "~" in item:
+            item, raw = item.rsplit("~", 1)
+            spread = int(raw)
+        if "+" in item:
+            item, raw = item.rsplit("+", 1)
+            attempts = int(raw)
+        if "@" in item:
+            item, site = item.split("@", 1)
+        if ":" in item:
+            item, raw = item.split(":", 1)
+            count = int(raw)
+        return cls(
+            kind=item.strip(), site=site.strip(), count=count,
+            attempts=attempts, spread=spread,
+        )
+
+    def render(self) -> str:
+        """The spec back in grammar form (normalized)."""
+        text = self.kind
+        if self.count != 1:
+            text += f":{self.count}"
+        text += f"@{self.site}"
+        if self.attempts != 1:
+            text += f"+{self.attempts}"
+        if self.spread:
+            text += f"~{self.spread}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault specs; the unit the CLI, the scheduler, and
+    the runtime all share.
+
+    The plan itself is immutable and picklable; all mutable bookkeeping
+    (slot counters, injected-fault records) lives in the
+    :class:`~repro.faults.injector.FaultInjector` built over it.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_spec(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from the CLI spec string (see module grammar)."""
+        specs = tuple(
+            FaultSpec.parse(item)
+            for item in text.split(",")
+            if item.strip()
+        )
+        if not specs:
+            raise ValueError(f"fault spec {text!r} declares no faults")
+        return cls(seed=seed, specs=specs)
+
+    def targets(self, spec: FaultSpec) -> Tuple[int, ...]:
+        """The slot indices ``spec`` faults — pure function of
+        ``(self.seed, spec)``, which is the determinism contract."""
+        if spec.at is not None:
+            return tuple(sorted(set(spec.at)))
+        rng = random.Random(f"{self.seed}|{spec.site}|{spec.kind}")
+        slots = []
+        slot = rng.randrange(spec.spread + 1) if spec.spread else 0
+        for _ in range(spec.count):
+            slots.append(slot)
+            slot += 1 + (rng.randrange(spec.spread + 1) if spec.spread else 0)
+        return tuple(slots)
+
+    def for_site(self, site: str) -> Tuple[FaultSpec, ...]:
+        """The specs injecting at ``site``, in declaration order."""
+        return tuple(spec for spec in self.specs if spec.site == site)
+
+    def sites(self) -> Tuple[str, ...]:
+        """Every site the plan touches."""
+        seen: Dict[str, None] = {}
+        for spec in self.specs:
+            seen.setdefault(spec.site, None)
+        return tuple(seen)
+
+    def render(self) -> str:
+        """The whole plan in spec-grammar form."""
+        return ",".join(spec.render() for spec in self.specs)
+
+    def describe(self) -> Iterable[str]:
+        """Human lines: one per spec with its resolved target slots."""
+        for spec in self.specs:
+            yield (
+                f"{spec.render()} -> slots {list(self.targets(spec))}"
+                f" (seed {self.seed})"
+            )

@@ -1,0 +1,70 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+The backoff for retrying ``(slot, attempt)`` is a pure function of the
+policy — ``base * multiplier**attempt``, scaled by a jitter factor drawn
+from a ``random.Random`` seeded by ``(policy seed, slot, attempt)`` and
+capped at ``max_backoff`` — so two runs of the same faulted schedule
+sleep the same amounts and the virtual-timeline accounting of the
+runtime's transfer retries is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed operations are retried.
+
+    ``max_retries`` is the *retry* budget: an operation may run
+    ``max_retries + 1`` times before :class:`~repro.faults.injector.\
+RetryBudgetExceeded` propagates.  Jitter decorrelates retries without
+    breaking determinism (see the module docstring).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.005
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.25
+    max_backoff: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_seconds(self, slot: int, attempt: int) -> float:
+        """The deterministic backoff before retry ``attempt`` (0-based:
+        the sleep after the first failure is ``attempt=0``)."""
+        base = self.backoff_base * self.backoff_multiplier ** attempt
+        if self.jitter:
+            rng = random.Random(f"{self.seed}|{slot}|{attempt}")
+            base *= 1.0 + rng.uniform(0.0, self.jitter)
+        return min(base, self.max_backoff)
+
+    def sleep(
+        self,
+        slot: int,
+        attempt: int,
+        clock: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Sleep the backoff (``clock`` injectable for tests and for
+        charging virtual timelines); returns the seconds slept."""
+        seconds = self.backoff_seconds(slot, attempt)
+        if seconds > 0:
+            clock(seconds)
+        return seconds
+
+
+#: The no-retry policy (fail fast, zero backoff).
+NO_RETRY = RetryPolicy(max_retries=0, backoff_base=0.0, jitter=0.0)

@@ -14,7 +14,7 @@ buffers in hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -114,7 +114,7 @@ class ActiveRegionConfig:
 
 def extract_regions(
     profile: ActivityProfile,
-    config: ActiveRegionConfig = None,
+    config: Optional[ActiveRegionConfig] = None,
 ) -> List[ActiveRegion]:
     """Threshold an activity profile into merged, padded regions.
 
@@ -159,7 +159,7 @@ def extract_regions(
 def determine_active_regions(
     reads: Iterable[AlignedRead],
     genome: ReferenceGenome,
-    config: ActiveRegionConfig = None,
+    config: Optional[ActiveRegionConfig] = None,
 ) -> Dict[int, List[ActiveRegion]]:
     """Whole-genome driver: per-chromosome activity + extraction."""
     reads = list(reads)

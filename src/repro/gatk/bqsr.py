@@ -193,7 +193,7 @@ def empirical_quality(errors: int, observations: int) -> float:
     return -10.0 * math.log10(rate)
 
 
-def _expected_errors(total_by_q: Dict[int, int], errors: float = None) -> float:
+def _expected_errors(total_by_q: Dict[int, int]) -> float:
     return sum(n * 10 ** (-q / 10.0) for q, n in total_by_q.items())
 
 

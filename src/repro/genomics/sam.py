@@ -8,7 +8,7 @@ so the metadata-update stage's NM/MD/UQ tags appear in the familiar
 
 from __future__ import annotations
 
-from typing import Iterable, List, TextIO
+from typing import Iterable, List, Optional, TextIO
 
 from .cigar import Cigar
 from .read import AlignedRead
@@ -78,7 +78,7 @@ def parse_read(line: str) -> AlignedRead:
 
 
 def write_sam(handle: TextIO, reads: Iterable[AlignedRead],
-              genome: ReferenceGenome = None) -> int:
+              genome: Optional[ReferenceGenome] = None) -> int:
     """Write reads (and an @SQ header if a genome is given); returns the
     number of read lines written."""
     if genome is not None:

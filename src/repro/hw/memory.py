@@ -49,7 +49,7 @@ class MemoryConfig:
 class MemorySystem:
     """Request-level memory model with per-channel round-robin arbitration."""
 
-    def __init__(self, config: MemoryConfig = None):
+    def __init__(self, config: Optional[MemoryConfig] = None):
         self.config = config or MemoryConfig()
         self._ports: List[Tuple[int, Callable[[int], None]]] = []
         self._pending: List[Deque[int]] = []
@@ -75,7 +75,7 @@ class MemorySystem:
 
     # -- port registration ------------------------------------------------------
 
-    def register_port(self, on_response: Callable[[int], None] = None) -> int:
+    def register_port(self, on_response: Optional[Callable[[int], None]] = None) -> int:
         """Register a requester.  ``on_response(count)`` is called when its
         read requests complete (writers pass None).  Returns the port id."""
         port = len(self._ports)

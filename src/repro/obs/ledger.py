@@ -180,6 +180,32 @@ class RunLedger:
             grouped.setdefault(str(record.get("run_id")), []).append(record)
         return grouped
 
+    def events(
+        self,
+        event: Optional[str] = None,
+        run_id: Optional[str] = None,
+        **fields: object,
+    ) -> List[Dict[str, object]]:
+        """Records filtered by event name (exact, or a ``"fault."``-style
+        prefix when it ends with a dot), ``run_id``, and any extra
+        payload field equalities — the query the resilience tests and
+        doctors run against fault/retry events."""
+        out: List[Dict[str, object]] = []
+        for record in self.read():
+            name = str(record.get("event", ""))
+            if event is not None:
+                if event.endswith("."):
+                    if not name.startswith(event):
+                        continue
+                elif name != event:
+                    continue
+            if run_id is not None and record.get("run_id") != run_id:
+                continue
+            if any(record.get(key) != value for key, value in fields.items()):
+                continue
+            out.append(record)
+        return out
+
 
 # -- the ambient run context ---------------------------------------------------------
 

@@ -200,6 +200,14 @@ class MetricsRegistry:
             if key[0] == name
         }
 
+    def total(self, name: str, default=0):
+        """The sum of a counter/gauge's values across every label set
+        (``default`` when nothing is registered under ``name``)."""
+        instruments = self.values(name)
+        if not instruments:
+            return default
+        return sum(inst.value for inst in instruments.values())
+
     def as_dict(self) -> Dict[str, object]:
         """A flat JSON-friendly snapshot: ``name{k=v,...}`` -> value
         (histograms dump their count vectors)."""

@@ -28,7 +28,7 @@ projections.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from .cpu_model import CpuModel
 
@@ -129,10 +129,10 @@ def model_stage(
     stage: str,
     n_reads: float,
     read_length: int,
-    cycles_per_base: float = None,
+    cycles_per_base: Optional[float] = None,
     pcie_bandwidth: float = PCIE3_BANDWIDTH,
-    cpu: CpuModel = None,
-    calibration: StageCalibration = None,
+    cpu: Optional[CpuModel] = None,
+    calibration: Optional[StageCalibration] = None,
 ) -> StageTiming:
     """Model one accelerated stage over a workload of ``n_reads`` reads.
 
@@ -158,7 +158,7 @@ def model_stage(
 
 
 def model_stage_pcie4(stage: str, n_reads: float, read_length: int,
-                      cycles_per_base: float = None) -> StageTiming:
+                      cycles_per_base: Optional[float] = None) -> StageTiming:
     """The PCIe 4.0 what-if of Section V-B."""
     return model_stage(
         stage, n_reads, read_length, cycles_per_base,

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from ..faults.injector import FaultInjector
+from ..faults.retry import RetryPolicy
 from ..obs.log import get_logger
 from ..obs.registry import MetricsRegistry, registry_or_null
 from .device import DeviceConfig, GenesisDevice
@@ -67,16 +69,30 @@ class GenesisRuntime:
     runtime publish its API-level traffic — PCIe bytes by direction,
     launches and simulated kernel cycles per pipeline — alongside the
     simulator metrics the same registry collects.
+
+    Pass a :class:`~repro.faults.injector.FaultInjector` (and optionally
+    a :class:`~repro.faults.retry.RetryPolicy`) to subject PCIe
+    transfers and pipeline launches to the injector's fault plan; the
+    device retries them, charging retried transfer time and backoff to
+    the virtual timeline (see :class:`~repro.runtime.device.\
+GenesisDevice`).
     """
 
     def __init__(
         self,
-        config: DeviceConfig = None,
+        config: Optional[DeviceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
-        self.device = GenesisDevice(config)
-        self._pipelines: Dict[int, PipelineState] = {}
         self.registry = registry_or_null(registry)
+        self.device = GenesisDevice(
+            config,
+            fault_injector=fault_injector,
+            retry_policy=retry_policy,
+            registry=self.registry,
+        )
+        self._pipelines: Dict[int, PipelineState] = {}
 
     # -- pipeline registry ---------------------------------------------------------
 

@@ -13,7 +13,16 @@ the accelerator finished *yet*".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
+
+from ..faults.injector import FaultInjector, RetryBudgetExceeded
+from ..faults.retry import RetryPolicy
+from ..obs.ledger import record_event
+from ..obs.registry import MetricsRegistry, registry_or_null
+
+#: Fault-injection sites instrumented by the device model.
+TRANSFER_FAULT_SITE = "runtime.transfer"
+LAUNCH_FAULT_SITE = "runtime.launch"
 
 #: Measured host->FPGA DMA bandwidth on the F1 (Section V-B): ~7 GB/s.
 PCIE3_BANDWIDTH = 7e9
@@ -38,11 +47,13 @@ class DeviceConfig:
 
 @dataclass
 class TransferRecord:
-    """One host<->device DMA transfer."""
+    """One host<->device DMA transfer attempt (failed attempts are kept
+    with ``ok=False``; their time was spent on the link all the same)."""
 
     direction: str  # "h2d" or "d2h"
     nbytes: int
     seconds: float
+    ok: bool = True
 
 
 class VirtualTimeline:
@@ -75,14 +86,81 @@ class VirtualTimeline:
 
 
 class GenesisDevice:
-    """The modelled FPGA card: tracks memory, transfers, and pipelines."""
+    """The modelled FPGA card: tracks memory, transfers, and pipelines.
 
-    def __init__(self, config: DeviceConfig = None):
+    Resilience: with a ``fault_injector``, DMA transfers and pipeline
+    launches poll the ``runtime.transfer`` / ``runtime.launch`` sites
+    (slot = arrival ordinal).  A failed transfer attempt still occupied
+    the PCIe link, so its seconds are charged to the virtual timeline
+    before the retry; retry backoff is charged as host time (never a
+    real sleep — the timeline is simulated, so faulted runs stay
+    deterministic).  Retries past ``retry_policy.max_retries`` raise
+    :class:`~repro.faults.injector.RetryBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DeviceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.config = config or DeviceConfig()
         self.timeline = VirtualTimeline()
         self.transfers: list = []
+        self.fault_injector = fault_injector
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.registry = registry_or_null(registry)
         self._allocated = 0
         self._completion_at: Dict[int, float] = {}
+
+    def _retry_loop(self, site: str, **context: object) -> int:
+        """Poll ``site`` until the attempt runs clean; returns how many
+        failed attempts preceded it.  Backoff charges host time."""
+        injector = self.fault_injector
+        if injector is None:
+            return 0
+        policy = self.retry_policy
+        slot = injector.next_slot(site)
+        attempt = 0
+        while True:
+            fault = injector.poll(site, slot, attempt, **context)
+            if fault is None:
+                return attempt
+            self.registry.counter("runtime.faults", site=site).inc()
+            if attempt >= policy.max_retries:
+                raise RetryBudgetExceeded(
+                    f"{site} slot {slot} failed {attempt + 1} attempt(s); "
+                    f"retry budget ({policy.max_retries}) exhausted"
+                ) from fault.to_exception()
+            backoff = policy.backoff_seconds(slot, attempt)
+            self.timeline.advance_host(backoff)
+            self.registry.counter("runtime.retries", site=site).inc()
+            self.registry.counter(
+                "runtime.retry_backoff_seconds", site=site
+            ).inc(backoff)
+            record_event(
+                "fault.retry",
+                site=site, slot=slot, attempt=attempt, kind=fault.kind,
+                backoff_seconds=backoff, **context,
+            )
+            if site == TRANSFER_FAULT_SITE:
+                # the failed DMA occupied the link for its full time
+                seconds = context.get("seconds", 0.0)
+                self.transfers.append(
+                    TransferRecord(
+                        str(context.get("direction", "")),
+                        int(context.get("nbytes", 0)),
+                        float(seconds), ok=False,
+                    )
+                )
+                self.timeline.advance_transfer(float(seconds))
+                self.registry.counter(
+                    "runtime.retry_transfer_seconds"
+                ).inc(float(seconds))
+            attempt += 1
 
     # -- memory & transfers --------------------------------------------------------
 
@@ -105,12 +183,17 @@ class GenesisDevice:
         return self._allocated
 
     def transfer(self, nbytes: int, direction: str) -> float:
-        """Perform a blocking DMA; returns the modelled seconds."""
+        """Perform a blocking DMA; returns the modelled seconds of the
+        successful attempt (failed attempts charge the timeline too)."""
         if direction not in ("h2d", "d2h"):
             raise ValueError(f"bad transfer direction {direction!r}")
         seconds = (
             nbytes / self.config.pcie_bandwidth
             + self.config.transfer_setup_seconds
+        )
+        self._retry_loop(
+            TRANSFER_FAULT_SITE,
+            direction=direction, nbytes=nbytes, seconds=seconds,
         )
         self.transfers.append(TransferRecord(direction, nbytes, seconds))
         self.timeline.advance_transfer(seconds)
@@ -121,6 +204,7 @@ class GenesisDevice:
     def launch(self, pipeline_id: int, cycles: int) -> float:
         """Schedule pipeline completion ``cycles`` after *now*; returns the
         completion timestamp."""
+        self._retry_loop(LAUNCH_FAULT_SITE, pipeline=pipeline_id)
         seconds = cycles / self.config.clock_hz
         completion = self.timeline.now + seconds
         self._completion_at[pipeline_id] = completion

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Docs/CLI consistency check, run by the CI lint job.
+
+Two directions:
+
+1. every ``--flag`` token the docs mention must exist on the ``repro``
+   argument parser (or be a known external tool's flag) — stale docs
+   fail the build;
+2. flags listed in ``REQUIRED_DOCUMENTED`` must be mentioned in the
+   docs — a user-facing knob nobody documents fails the build too.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "DESIGN.md")
+
+#: Flags the docs mention that belong to other tools (pytest-benchmark),
+#: not to the repro CLI.
+ALLOWED_EXTERNAL = {"--benchmark-only"}
+
+#: User-facing knobs that must stay documented somewhere in DOCS.
+REQUIRED_DOCUMENTED = {
+    "--inject-faults",
+    "--fault-seed",
+    "--max-retries",
+    "--wave-timeout",
+    "--workers",
+    "--pipelines",
+    "--ledger",
+}
+
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def cli_flags() -> set:
+    """Every option string reachable from the repro parser, including
+    all subcommands."""
+    from repro.cli import build_parser
+
+    flags = set()
+    stack = [build_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            flags.update(
+                s for s in action.option_strings if s.startswith("--")
+            )
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+def doc_flags() -> dict:
+    """``--flag`` -> sorted list of "file:line" mentions."""
+    mentions = {}
+    for name in DOCS:
+        for lineno, line in enumerate(
+            (REPO / name).read_text().splitlines(), start=1
+        ):
+            for flag in FLAG_RE.findall(line):
+                mentions.setdefault(flag, []).append(f"{name}:{lineno}")
+    return mentions
+
+
+def main() -> int:
+    known = cli_flags()
+    mentioned = doc_flags()
+    failures = []
+
+    for flag, where in sorted(mentioned.items()):
+        if flag not in known and flag not in ALLOWED_EXTERNAL:
+            failures.append(
+                f"docs mention {flag} ({', '.join(where)}) but the repro "
+                "CLI has no such flag"
+            )
+    for flag in sorted(REQUIRED_DOCUMENTED):
+        if flag not in known:
+            failures.append(
+                f"REQUIRED_DOCUMENTED lists {flag} but the repro CLI has "
+                "no such flag"
+            )
+        elif flag not in mentioned:
+            failures.append(
+                f"{flag} exists on the repro CLI but none of "
+                f"{', '.join(DOCS)} document it"
+            )
+
+    for failure in failures:
+        print(f"check_docs: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check_docs: {len(mentioned)} documented flags consistent "
+            f"with the CLI ({len(known)} parser flags, "
+            f"{len(REQUIRED_DOCUMENTED)} required docs present)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
