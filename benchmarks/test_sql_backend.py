@@ -1,0 +1,114 @@
+"""The vectorized SQL backend's speedup gate.
+
+The multi-backend engine only earns its keep if the ``fast`` backend
+beats the row-at-a-time reference by an order of magnitude on the
+figure-scale stage scripts.  This gate measures **backend execution
+time only** (the ``sql_operator_seconds`` counters, via
+:func:`repro.obs.bench.sql_stage_backend_seconds`) so host-side prep
+common to both backends does not dilute the ratio, takes the median of
+three runs per backend, and requires ≥10x on every stage.
+
+The second test runs the ``sql_backend_speedup`` probe through the
+``repro bench`` harness itself — ledger event included — pinning that
+the speedup is recorded the same way CI's bench-smoke job records it.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.eval.workloads import make_workload
+from repro.obs import (
+    BenchContext,
+    RunLedger,
+    record_event,
+    run_bench,
+    run_context,
+    write_bench_result,
+)
+from repro.obs.bench import sql_stage_backend_seconds
+from repro.obs.ledger import RunManifest
+
+#: The gate: vectorized backend execution must be at least this much
+#: faster than the reference interpreter, per stage.
+MIN_SPEEDUP = 10.0
+
+STAGES = ("markdup", "metadata", "bqsr")
+
+
+@pytest.fixture(scope="module")
+def gate_workload():
+    """Figure-scale inputs: enough reads and partition width that the
+    vectorized kernels run in their intended regime."""
+    return make_workload(
+        n_reads=400,
+        read_length=100,
+        chromosomes=(20,),
+        genome_scale=4.5e-5,
+        psize=8000,
+        seed=5,
+    )
+
+
+def _median_stage_seconds(workload, backend: str, repeats: int = 3):
+    samples = [
+        sql_stage_backend_seconds(workload, backend) for _ in range(repeats)
+    ]
+    return {
+        stage: statistics.median(sample[stage] for sample in samples)
+        for stage in STAGES
+    }
+
+
+def test_fast_backend_10x_gate(gate_workload, report):
+    """Median backend-execution speedup ≥10x on every stage script."""
+    reference = _median_stage_seconds(gate_workload, "reference")
+    fast = _median_stage_seconds(gate_workload, "fast")
+    speedups = {
+        stage: reference[stage] / max(fast[stage], 1e-9) for stage in STAGES
+    }
+    report(
+        "SQL backend speedup (fast vs reference, backend execution only)",
+        [
+            f"{stage:<10} {reference[stage]:>8.4f}s -> {fast[stage]:>8.4f}s"
+            f"  ({speedups[stage]:.1f}x)"
+            for stage in STAGES
+        ],
+    )
+    for stage, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{stage}: fast backend only {speedup:.1f}x vs reference "
+            f"(gate {MIN_SPEEDUP}x); reference {reference[stage]:.4f}s, "
+            f"fast {fast[stage]:.4f}s"
+        )
+
+
+def test_speedup_recorded_through_bench_ledger(tmp_path):
+    """The probe lands in a BENCH file with the backend in the manifest
+    config, and the ledger carries the ``bench.sql_backend`` event —
+    the same record CI's bench-smoke job produces."""
+    context = BenchContext(
+        reads=60, read_length=60, psize=2000, seed=77, sql_backend="fast"
+    )
+    ledger_path = tmp_path / "ledger.jsonl"
+    manifest = RunManifest(workload="bench", config=context.config())
+    with run_context(manifest, RunLedger(str(ledger_path))):
+        result = run_bench(
+            context, repeats=1, warmup=0, probes=["sql_backend_speedup"]
+        )
+        probe = result.probes["sql_backend_speedup"]
+        record_event(
+            "bench.sql_backend", backend=context.sql_backend,
+            speedup=probe.median,
+        )
+        path = write_bench_result(result, str(tmp_path))
+
+    assert probe.median > 1.0
+    saved = result.load(path)
+    assert saved.manifest.config["sql_backend"] == "fast"
+    assert "sql_backend_speedup" in saved.probes
+    ledger_text = ledger_path.read_text()
+    assert "bench.sql_backend" in ledger_text
+    assert '"backend": "fast"' in ledger_text

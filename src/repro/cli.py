@@ -273,11 +273,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         write_bench_result,
     )
+    from .sql import available_backends
 
     log = get_logger("bench")
+    if args.sql_backend not in available_backends():
+        print(
+            f"error: unknown SQL backend {args.sql_backend!r} "
+            f"(available: {', '.join(available_backends())})",
+            file=sys.stderr,
+        )
+        return 2
     context = BenchContext(
         reads=args.reads, read_length=args.read_length, psize=args.psize,
         pipelines=args.pipelines, seed=args.seed,
+        sql_backend=args.sql_backend,
     )
     probes = (
         [name.strip() for name in args.probes.split(",") if name.strip()]
@@ -291,6 +300,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     print(result.render())
+    speedup = result.probes.get("sql_backend_speedup")
+    if speedup is not None:
+        record_event(
+            "bench.sql_backend", backend=args.sql_backend,
+            speedup=speedup.median,
+        )
     if not args.no_write:
         path = write_bench_result(result, args.out_dir)
         print(f"wrote {path}")
@@ -476,6 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--psize", type=int, default=4000)
     bench.add_argument("--pipelines", type=int, default=4)
     bench.add_argument("--seed", type=int, default=2024)
+    bench.add_argument(
+        "--sql-backend", default="fast", metavar="NAME",
+        help="SQL execution backend the sql probes measure against the "
+             "row-at-a-time reference (default: fast)",
+    )
     bench.add_argument(
         "--probes", default=None, metavar="A,B,...",
         help="comma-separated probe subset (default: the full suite)",

@@ -1,0 +1,345 @@
+"""SQL-driven preprocessing stage drivers (Section IV via Section III-B).
+
+The GATK4-style baselines in this package (:mod:`.markdup`,
+:mod:`.metadata`, :mod:`.bqsr`) walk reads one Python object at a time.
+This module re-expresses the data-parallel core of each stage as an
+extended-SQL script over the READS/REF tables — the relational
+formulation the Genesis accelerator executes — and runs it through
+:class:`~repro.sql.executor.Executor`, so the same stage script executes
+on the row-at-a-time ``"reference"`` backend or the numpy-vectorized
+``"fast"`` backend bit-identically (``tests/test_sql_driver.py`` pins
+both against the software oracles).
+
+Division of labour mirrors the paper:
+
+* **mark duplicates** (Figure 10): the host builds pair-aware fragments
+  with dictionary-encoded keys; SQL does the coordinate sort, the
+  per-key survivor selection (GROUP BY + MAX), and the duplicate join.
+* **metadata update** (Figure 11): SQL explodes the reference partition,
+  LEFT-joins exploded read bases against it, and reduces NM/UQ per read;
+  the MD string is emitted by the ``MDGen`` custom module
+  (Section III-F), exactly the paper's host/accelerator split.
+* **BQSR covariate tables** (Figure 12): SQL joins M-bases with the
+  reference, filters known SNPs, and GROUP-BYs the two covariate bins;
+  the host scatter-adds the per-bin counts into the SPM-shaped arrays.
+
+The reference-base join shifts the base domain (``SEQ + 1 AS REFP``) so
+the LEFT-join NULL sentinel ``0`` cannot collide with base code 0 — the
+backends' documented NULL contract (:mod:`repro.sql.backends`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+from ..sql.executor import Executor
+from ..tables.partition import (
+    PartitionedReads,
+    PartitionedReference,
+    reference_row_table,
+)
+from ..tables.table import Table
+from ..tables.schema import Schema
+from ..genomics.read import AlignedRead
+from .bqsr import CovariateTables, n_cycle_values
+from .markdup import MarkDuplicatesResult, _mate_map, duplicate_key
+from .metadata import MdBuilder, ReadMetadata
+
+#: Fragment scores pack (quality, earliest-member tiebreak) into one
+#: int64 so ``MAX(SCORE)`` reproduces the oracle's survivor choice:
+#: highest summed quality, ties broken toward the earliest fragment.
+_SCORE_BASE = 1 << 32
+
+_READ_INDEX_SCHEMA = Schema.of(IDX="int64", CHR="uint8", POS="uint32")
+
+_FRAGMENTS_SCHEMA = Schema.of(FRAGID="int64", KEYID="int64", SCORE="int64")
+
+#: Coordinate sort (Section IV-B) as a query: stable ORDER BY (CHR, POS).
+MARKDUP_SORT_QUERY = "SELECT IDX, CHR, POS FROM ReadIndex ORDER BY CHR, POS"
+
+#: Survivor selection + duplicate identification over host-built
+#: fragments (Figure 10's reduction, relationally).
+MARKDUP_SCRIPT = """
+CREATE TABLE Winners AS
+SELECT KEYID, MAX(SCORE) AS BEST, COUNT(*) AS N
+FROM Fragments GROUP BY KEYID;
+
+CREATE TABLE Duplicates AS
+SELECT Fragments.FRAGID AS FRAGID
+FROM Fragments INNER JOIN Winners ON Fragments.KEYID = Winners.KEYID
+WHERE Fragments.SCORE != Winners.BEST;
+
+CREATE TABLE DupStats AS
+SELECT COUNT(N > 1) AS SETS FROM Winners;
+"""
+
+#: Metadata update (Figure 11): explode the reference, LEFT-join read
+#: bases on position, reduce NM/UQ per read, then hand the joined base
+#: stream to the MDGen custom module for the MD string.
+METADATA_SCRIPT = """
+CREATE TABLE RefBases AS
+PosExplode (ReferenceRow.SEQ, ReferenceRow.REFPOS)
+FROM ReferenceRow;
+
+CREATE TABLE RefShift AS
+SELECT POS, SEQ + 1 AS REFP FROM RefBases;
+
+CREATE TABLE Joined AS
+SELECT Bases.READID AS READID, Bases.OP AS OP, Bases.SEQ AS SEQ,
+       Bases.QUAL AS QUAL, RefShift.REFP AS REFP
+FROM Bases LEFT JOIN RefShift ON Bases.POS = RefShift.POS;
+
+CREATE TABLE Tags AS
+SELECT READID,
+       SUM((OP != 0) OR (SEQ + 1 != REFP)) AS NM,
+       SUM(QUAL * ((OP == 0) AND (SEQ + 1 != REFP))) AS UQ
+FROM Joined GROUP BY READID;
+
+EXEC MDGen;
+"""
+
+#: BQSR covariate construction (Figure 12): M-bases joined with the
+#: reference, known-SNP sites filtered, two GROUP BYs over the bin ids.
+BQSR_SCRIPT = """
+CREATE TABLE RefSeq AS
+PosExplode (ReferenceRow.SEQ, ReferenceRow.REFPOS)
+FROM ReferenceRow;
+
+CREATE TABLE RefSnp AS
+PosExplode (ReferenceRow.IS_SNP, ReferenceRow.REFPOS)
+FROM ReferenceRow;
+
+CREATE TABLE Ref AS
+SELECT RefSeq.POS AS POS, RefSeq.SEQ AS REFSEQ, RefSnp.IS_SNP AS ISSNP
+FROM RefSeq INNER JOIN RefSnp ON RefSeq.POS = RefSnp.POS;
+
+CREATE TABLE MBases AS
+SELECT POS, SEQ, QUAL, CYC, CTX FROM Bases WHERE OP == 0;
+
+CREATE TABLE Obs AS
+SELECT MBases.SEQ AS SEQ, MBases.QUAL AS QUAL, MBases.CYC AS CYC,
+       MBases.CTX AS CTX, Ref.REFSEQ AS REFSEQ
+FROM MBases INNER JOIN Ref ON MBases.POS = Ref.POS
+WHERE Ref.ISSNP == 0;
+
+CREATE TABLE CycleObs AS
+SELECT QUAL * @NCYC + CYC AS B1, (SEQ != REFSEQ) AS ERR FROM Obs;
+
+CREATE TABLE CycleBins AS
+SELECT B1, COUNT(*) AS N, SUM(ERR) AS E FROM CycleObs GROUP BY B1;
+
+CREATE TABLE ContextObs AS
+SELECT QUAL * 16 + CTX AS B2, (SEQ != REFSEQ) AS ERR FROM Obs
+WHERE CTX >= 0;
+
+CREATE TABLE ContextBins AS
+SELECT B2, COUNT(*) AS N, SUM(ERR) AS E FROM ContextObs GROUP BY B2;
+"""
+
+
+# -- mark duplicates ----------------------------------------------------------------
+
+
+def _build_fragments(
+    sorted_reads: List[AlignedRead], sums: List[int]
+) -> Tuple[List[dict], List[Tuple[int, ...]]]:
+    """Pair-aware fragments over coordinate-sorted reads: one row per
+    fragment with a dictionary-encoded key and the packed score."""
+    mates = _mate_map(sorted_reads)
+    key_ids: Dict[tuple, int] = {}
+    rows: List[dict] = []
+    members_of: List[Tuple[int, ...]] = []
+    visited: set = set()
+    for index, read in enumerate(sorted_reads):
+        if index in visited:
+            continue
+        mate = mates.get(index)
+        if mate is not None:
+            visited.add(mate)
+            key = duplicate_key(read, sorted_reads[mate])
+            members: Tuple[int, ...] = (index, mate)
+            quality = sums[index] + sums[mate]
+        else:
+            key = duplicate_key(read)
+            members = (index,)
+            quality = sums[index]
+        visited.add(index)
+        key_id = key_ids.setdefault(key, len(key_ids))
+        rows.append({
+            "FRAGID": len(members_of),
+            "KEYID": key_id,
+            "SCORE": quality * _SCORE_BASE + (_SCORE_BASE - 1 - members[0]),
+        })
+        members_of.append(members)
+    return rows, members_of
+
+
+def sql_mark_duplicates(
+    reads: List[AlignedRead],
+    backend: str = "reference",
+    metrics: Optional[MetricsRegistry] = None,
+) -> MarkDuplicatesResult:
+    """Mark-duplicates with the sort/group/join expressed in SQL.
+
+    Bit-identical to :func:`repro.gatk.markdup.mark_duplicates` on any
+    read set, on either execution backend.
+    """
+    if not reads:
+        return MarkDuplicatesResult([], [], 0)
+    executor = Executor(backend=backend, metrics=metrics)
+    executor.register_table(
+        "ReadIndex",
+        Table.from_rows(_READ_INDEX_SCHEMA, [
+            {"IDX": i, "CHR": read.chrom, "POS": read.pos}
+            for i, read in enumerate(reads)
+        ]),
+    )
+    order = executor.query(MARKDUP_SORT_QUERY)
+    sorted_reads = [reads[int(i)] for i in order.column("IDX")]
+    for read in sorted_reads:
+        read.set_duplicate(False)
+    sums = [read.quality_sum() for read in sorted_reads]
+
+    rows, members_of = _build_fragments(sorted_reads, sums)
+    executor.register_table(
+        "Fragments", Table.from_rows(_FRAGMENTS_SCHEMA, rows)
+    )
+    executor.execute(MARKDUP_SCRIPT)
+
+    duplicate_indices: List[int] = []
+    for frag_id in executor.tables["Duplicates"].column("FRAGID"):
+        for index in members_of[int(frag_id)]:
+            sorted_reads[index].set_duplicate(True)
+            duplicate_indices.append(index)
+    duplicate_indices.sort()
+    duplicate_sets = int(executor.tables["DupStats"].column("SETS")[0])
+    return MarkDuplicatesResult(sorted_reads, duplicate_indices, duplicate_sets)
+
+
+# -- metadata update ----------------------------------------------------------------
+
+
+def _mdgen(executor: Executor, out: Dict[int, str]) -> None:
+    """The MDGen custom module (Section III-F): consume the joined base
+    stream in read order and emit one MD string per read."""
+    joined = executor.tables["Joined"]
+    read_ids = joined.column("READID")
+    ops = joined.column("OP")
+    seqs = joined.column("SEQ")
+    refps = joined.column("REFP")
+    builders: Dict[int, MdBuilder] = {}
+    for i in range(joined.num_rows):
+        builder = builders.setdefault(int(read_ids[i]), MdBuilder())
+        op = int(ops[i])
+        if op == 0:
+            if int(seqs[i]) + 1 == int(refps[i]):
+                builder.match()
+            else:
+                builder.mismatch(int(refps[i]) - 1)
+        elif op == 2:
+            builder.deletion(int(refps[i]) - 1)
+    for read_id, builder in builders.items():
+        out[read_id] = builder.finish()
+
+
+def sql_update_metadata(
+    partitions: PartitionedReads,
+    reference: PartitionedReference,
+    read_length: int,
+    backend: str = "reference",
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[int, ReadMetadata]:
+    """NM/MD/UQ per read (keyed by ROWID) via the Figure 11 query plan.
+
+    Bit-identical to :func:`repro.gatk.metadata.compute_read_metadata`
+    on every read, on either backend.
+    """
+    out: Dict[int, ReadMetadata] = {}
+    for pid, part in partitions:
+        executor = Executor(backend=backend, metrics=metrics)
+        bases = executor._timed(
+            "explode_reads",
+            lambda: executor.backend.explode_reads(part, read_length),
+        )
+        executor.register_table("Bases", bases)
+        executor.register_table(
+            "ReferenceRow", reference_row_table(reference.lookup(pid))
+        )
+        md_out: Dict[int, str] = {}
+        executor.register_custom_module(
+            "MDGen", lambda ex, **_bindings: _mdgen(ex, md_out)
+        )
+        executor.execute(METADATA_SCRIPT)
+        for rowid in part.column("ROWID"):
+            out[int(rowid)] = ReadMetadata(nm=0, md="0", uq=0)
+        tags = executor.tables["Tags"]
+        for rid, nm, uq in zip(
+            tags.column("READID"), tags.column("NM"), tags.column("UQ")
+        ):
+            out[int(rid)] = ReadMetadata(
+                nm=int(nm), md=md_out.get(int(rid), "0"), uq=int(uq)
+            )
+    return out
+
+
+# -- BQSR covariate tables ----------------------------------------------------------
+
+
+def sql_build_covariate_tables(
+    group_partitions: PartitionedReads,
+    reference: PartitionedReference,
+    read_length: int,
+    backend: str = "reference",
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[int, CovariateTables]:
+    """Covariate tables per read group via the Figure 12 query plan.
+
+    ``group_partitions`` must be partitioned by read group
+    (:func:`repro.tables.partition.partition_reads_by_group`) so each
+    partition's bins land in one group's SPM arrays.  Bit-identical to
+    :func:`repro.gatk.bqsr.build_covariate_tables`, on either backend.
+    """
+    tables: Dict[int, CovariateTables] = {}
+    for pid, part in group_partitions:
+        groups = np.unique(np.asarray(part.column("RG")))
+        if pid.read_group >= 0:
+            read_group = pid.read_group
+        elif len(groups) == 1:
+            read_group = int(groups[0])
+        else:
+            raise ValueError(
+                f"partition {pid} mixes read groups {groups.tolist()}; "
+                "use partition_reads_by_group"
+            )
+        table = tables.setdefault(read_group, CovariateTables(read_length))
+
+        executor = Executor(backend=backend, metrics=metrics)
+        bases = executor._timed(
+            "explode_reads",
+            lambda: executor.backend.explode_reads(part, read_length),
+        )
+        executor.register_table("Bases", bases)
+        executor.register_table(
+            "ReferenceRow", reference_row_table(reference.lookup(pid))
+        )
+        executor.set_variable("NCYC", n_cycle_values(read_length))
+        executor.execute(BQSR_SCRIPT)
+
+        cycle_bins = executor.tables["CycleBins"]
+        np.add.at(table.total_cycle,
+                  np.asarray(cycle_bins.column("B1")),
+                  np.asarray(cycle_bins.column("N")))
+        np.add.at(table.error_cycle,
+                  np.asarray(cycle_bins.column("B1")),
+                  np.asarray(cycle_bins.column("E")))
+        context_bins = executor.tables["ContextBins"]
+        np.add.at(table.total_context,
+                  np.asarray(context_bins.column("B2")),
+                  np.asarray(context_bins.column("N")))
+        np.add.at(table.error_context,
+                  np.asarray(context_bins.column("B2")),
+                  np.asarray(context_bins.column("E")))
+    return tables

@@ -8,6 +8,8 @@ from .analyze import (
     StallChain,
     WhatIf,
     analyze_report,
+    render_sql_attribution,
+    sql_operator_attribution,
 )
 from .bench import (
     BENCH_SCHEMA_VERSION,
@@ -84,6 +86,8 @@ __all__ = [
     "report_to_csv_rows",
     "write_report_csv",
     "analyze_report",
+    "sql_operator_attribution",
+    "render_sql_attribution",
     "BottleneckReport",
     "StallChain",
     "WhatIf",

@@ -51,6 +51,8 @@ class BenchContext:
     psize: int = 4000
     pipelines: int = 4
     seed: int = 2024
+    #: SQL execution backend the sql probes measure (vs "reference").
+    sql_backend: str = "fast"
     workload: object = None
 
     def build(self) -> "BenchContext":
@@ -76,6 +78,7 @@ class BenchContext:
             "psize": self.psize,
             "pipelines": self.pipelines,
             "seed": self.seed,
+            "sql_backend": self.sql_backend,
         }
 
 
@@ -126,6 +129,55 @@ def _cycles_per_base(context: BenchContext, stage: str) -> float:
     return measure_cycles_per_base(stage, context.workload).cycles_per_base
 
 
+def sql_stage_backend_seconds(workload, backend: str) -> Dict[str, float]:
+    """Backend execution seconds of the three SQL stage drivers.
+
+    Runs the markdup/metadata/BQSR stage scripts of
+    :mod:`repro.gatk.sql_driver` on ``backend`` and charges only the
+    plan-execution time — the ``sql_operator_seconds`` counters the
+    executor publishes — so host-side prep common to every backend does
+    not dilute the comparison.  Returns ``{stage: seconds}``.
+    """
+    import copy
+
+    from ..gatk.sql_driver import (
+        sql_build_covariate_tables,
+        sql_mark_duplicates,
+        sql_update_metadata,
+    )
+    from .registry import MetricsRegistry
+
+    out: Dict[str, float] = {}
+    metrics = MetricsRegistry()
+    sql_mark_duplicates(
+        copy.deepcopy(workload.reads), backend=backend, metrics=metrics
+    )
+    out["markdup"] = float(metrics.total("sql_operator_seconds"))
+    metrics = MetricsRegistry()
+    sql_update_metadata(
+        workload.partitions, workload.reference, workload.read_length,
+        backend=backend, metrics=metrics,
+    )
+    out["metadata"] = float(metrics.total("sql_operator_seconds"))
+    metrics = MetricsRegistry()
+    sql_build_covariate_tables(
+        workload.group_partitions, workload.reference, workload.read_length,
+        backend=backend, metrics=metrics,
+    )
+    out["bqsr"] = float(metrics.total("sql_operator_seconds"))
+    return out
+
+
+def _probe_sql_backend_speedup(context: BenchContext) -> float:
+    reference = sum(
+        sql_stage_backend_seconds(context.workload, "reference").values()
+    )
+    selected = sum(
+        sql_stage_backend_seconds(context.workload, context.sql_backend).values()
+    )
+    return reference / max(selected, 1e-9)
+
+
 DEFAULT_SUITE: Dict[str, Probe] = {
     probe.name: probe
     for probe in (
@@ -164,6 +216,13 @@ DEFAULT_SUITE: Dict[str, Probe] = {
             lambda context: _cycles_per_base(context, "bqsr_table"),
             "cycles/base", False,
             "sustained BQSR covariate cycles per base (deterministic)",
+        ),
+        Probe(
+            "sql_backend_speedup",
+            _probe_sql_backend_speedup,
+            "x", True,
+            "SQL stage-driver backend execution speedup vs the reference "
+            "backend (markdup + metadata + BQSR scripts)",
         ),
     )
 }

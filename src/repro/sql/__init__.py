@@ -7,8 +7,16 @@ and the paper's Figure 4 script ready to run.
 """
 
 from .ast_nodes import Script
+from .backends import (
+    Backend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .executor import Executor, SqlError, table_from_row_dicts
 from .explode import DEL_CODE, INS_POS, pos_explode, read_explode
+from .fast_backend import VectorizedBackend
 from .lexer import LexError, Token, tokenize
 from .parser import ParseError, parse, parse_query
 from .plan import (
@@ -31,6 +39,7 @@ from .queries import FIGURE4_QUERY, run_figure4_query
 
 __all__ = [
     "AggregateNode",
+    "Backend",
     "DEL_CODE",
     "Executor",
     "FIGURE4_QUERY",
@@ -45,17 +54,22 @@ __all__ = [
     "PosExplodeNode",
     "ProjectNode",
     "ReadExplodeNode",
+    "ReferenceBackend",
     "ScanNode",
     "SortNode",
     "Script",
     "SqlError",
     "Token",
+    "VectorizedBackend",
+    "available_backends",
     "build_plan",
     "describe",
+    "get_backend",
     "parse",
     "parse_query",
     "pos_explode",
     "read_explode",
+    "register_backend",
     "run_figure4_query",
     "table_from_row_dicts",
     "tokenize",

@@ -1,9 +1,14 @@
 """Software executor for the extended-SQL dialect.
 
-Interprets parsed scripts against a catalog of columnar tables.  This is
-the *reference semantics* of Genesis queries: the hardware pipelines built
-from the same logical plans must produce identical results, and the test
-suite checks exactly that for the Figure 4 example query.
+Interprets parsed scripts against a catalog of columnar tables.  The
+executor owns the front half — parsing, the catalog, ``@variables``,
+FOR-loop row bindings, custom modules, and scalar expression
+evaluation — and delegates each plan node's execution to a pluggable
+:class:`~repro.sql.backends.Backend` (ROADMAP item 2: one front end,
+pluggable executors).  The default ``"reference"`` backend is the
+row-at-a-time interpreter that defines Genesis query semantics; the
+``"fast"`` backend (:mod:`repro.sql.fast_backend`) executes the same
+plans with vectorized numpy kernels, bit-identically.
 
 Supported surface (everything Figure 4 uses, Section III-B):
 CREATE TABLE [#temp] AS <query>, INSERT INTO, DECLARE/SET @variables,
@@ -12,16 +17,18 @@ WHERE, GROUP BY, ORDER BY ... [ASC|DESC] (keys must appear in the select
 list), LIMIT offset, count, SUM/COUNT/MIN/MAX aggregates, PosExplode,
 ReadExplode, and EXEC <CustomModule> bindings registered by the host
 (Section III-F).
+
+Each node execution is charged to the optional metrics registry as
+``sql_operator_seconds{op=...,backend=...}`` /
+``sql_operator_rows{...}`` counters so ``repro analyze`` can attribute
+where backend time goes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional, Union
 
-import numpy as np
-
-from ..tables.schema import ColumnSpec, Schema
-from ..tables.table import Table
+from ..obs.registry import MetricsRegistry, registry_or_null
 from .ast_nodes import (
     BinOp,
     ColumnRef,
@@ -35,11 +42,19 @@ from .ast_nodes import (
     Script,
     SelectItem,
     SetVar,
-    Star,
     UnaryOp,
     VarRef,
 )
-from .explode import pos_explode, read_explode
+from .backends import (
+    Backend,
+    SqlError,
+    apply_binop,
+    get_backend,
+    null_like,
+    table_from_row_dicts,
+    timed_operator,
+)
+from .backends import _infer_spec  # noqa: F401  (back-compat re-export)
 from .parser import parse, parse_query
 from .plan import (
     AggregateNode,
@@ -55,48 +70,37 @@ from .plan import (
     SortNode,
     build_plan,
 )
+from ..tables.table import Table
 
+__all__ = ["Executor", "SqlError", "table_from_row_dicts"]
 
-class SqlError(ValueError):
-    """Raised on semantic errors during execution."""
-
-
-def _infer_spec(name: str, value) -> ColumnSpec:
-    if isinstance(value, np.ndarray):
-        kind = {
-            np.dtype(np.uint8): "uint8[]",
-            np.dtype(np.uint16): "uint16[]",
-            np.dtype(np.uint32): "uint32[]",
-            np.dtype(np.bool_): "bool[]",
-        }.get(value.dtype)
-        if kind is None:
-            kind = "uint32[]"
-        return ColumnSpec(name, kind)
-    if isinstance(value, (bool, np.bool_)):
-        return ColumnSpec(name, "bool")
-    if isinstance(value, (list, tuple)):
-        return ColumnSpec(name, "uint32[]")
-    return ColumnSpec(name, "int64")
-
-
-def table_from_row_dicts(rows: List[dict]) -> Table:
-    """Build a table from per-row dicts, inferring the schema from the
-    first row's values."""
-    if not rows:
-        return Table.empty(Schema.of(EMPTY="int64"))
-    specs = tuple(_infer_spec(name, value) for name, value in rows[0].items())
-    return Table.from_rows(Schema(specs), rows)
+# Back-compat aliases: these helpers historically lived here; the shared
+# backend contract in repro.sql.backends is now their home.
+_apply_binop = apply_binop
+_null_like = null_like
 
 
 class Executor:
-    """Evaluates scripts against a mutable catalog."""
+    """Evaluates scripts against a mutable catalog.
 
-    def __init__(self) -> None:
+    ``backend`` selects the execution strategy by registry name
+    (``"reference"`` or ``"fast"``) or accepts a :class:`Backend`
+    instance directly.  ``metrics`` (optional) receives per-operator
+    timing counters.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, Backend] = "reference",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.tables: Dict[str, Table] = {}
         self.partition_providers: Dict[str, Callable[[object], Table]] = {}
         self.variables: Dict[str, object] = {}
         self.custom_modules: Dict[str, Callable] = {}
         self._row_bindings: Dict[str, dict] = {}
+        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        self.metrics = registry_or_null(metrics)
 
     # -- host-facing registration -------------------------------------------------
 
@@ -173,46 +177,52 @@ class Executor:
     # -- plan evaluation ---------------------------------------------------------------
 
     def _eval_plan(self, plan: PlanNode) -> Table:
+        backend = self.backend
         if isinstance(plan, ScanNode):
-            return self._scan(plan)
+            return self._timed("scan", lambda: self._scan(plan))
         if isinstance(plan, ProjectNode):
-            return self._project(self._eval_plan(plan.child), plan.items)
+            child = self._eval_plan(plan.child)
+            return self._timed("project", lambda: backend.project(self, plan, child))
         if isinstance(plan, FilterNode):
             child = self._eval_plan(plan.child)
-            return child.where(lambda row: bool(self._eval_scalar(plan.predicate, row)))
+            return self._timed("filter", lambda: backend.filter(self, plan, child))
         if isinstance(plan, JoinNode):
-            return self._join(plan)
+            left = self._eval_plan(plan.left)
+            right = self._eval_plan(plan.right)
+            return self._timed("join", lambda: backend.join(self, plan, left, right))
         if isinstance(plan, GroupByNode):
-            return self._group_by(plan)
+            child = self._eval_plan(plan.child)
+            return self._timed("group_by", lambda: backend.group_by(self, plan, child))
         if isinstance(plan, AggregateNode):
-            return self._aggregate(self._eval_plan(plan.child), plan.items)
+            child = self._eval_plan(plan.child)
+            return self._timed(
+                "aggregate", lambda: backend.aggregate(self, plan, child)
+            )
         if isinstance(plan, SortNode):
             child = self._eval_plan(plan.child)
-            rows = list(child.rows())
-            indices = list(range(len(rows)))
-            # Stable multi-key sort: apply keys right-to-left.
-            for item in reversed(plan.keys):
-                indices.sort(
-                    key=lambda i: self._row_value(
-                        rows[i], item.column.column, item.column.table
-                    ),
-                    reverse=item.descending,
-                )
-            return child.take(indices)
+            return self._timed("sort", lambda: backend.sort(self, plan, child))
         if isinstance(plan, LimitNode):
             child = self._eval_plan(plan.child)
-            offset = int(self._eval_scalar(plan.offset, None))
-            count = int(self._eval_scalar(plan.count, None))
-            return child.limit(count, offset)
+            return self._timed("limit", lambda: backend.limit(self, plan, child))
         if isinstance(plan, PosExplodeNode):
             child = self._eval_plan(plan.child)
-            init_column = plan.init_pos
-            if not isinstance(init_column, ColumnRef):
-                raise SqlError("PosExplode init position must be a column")
-            return pos_explode(child, plan.array.column, init_column.column)
+            return self._timed(
+                "pos_explode", lambda: backend.pos_explode(self, plan, child)
+            )
         if isinstance(plan, ReadExplodeNode):
-            return self._read_explode(plan)
+            child = self._eval_plan(plan.child)
+            return self._timed(
+                "read_explode", lambda: backend.read_explode(self, plan, child)
+            )
         raise SqlError(f"cannot evaluate plan node {plan!r}")
+
+    def _timed(self, op: str, thunk: Callable[[], Table]) -> Table:
+        if not self.metrics.enabled:
+            return thunk()
+        with timed_operator(self.metrics, op, self.backend.name) as timer:
+            result = thunk()
+            timer.rows(result.num_rows)
+        return result
 
     def _scan(self, plan: ScanNode) -> Table:
         if plan.table in self._row_bindings:
@@ -228,24 +238,6 @@ class Executor:
             raise SqlError(f"unknown table {plan.table}")
         return table
 
-    def _project(self, table: Table, items) -> Table:
-        if len(items) == 1 and isinstance(items[0].expr, Star):
-            return table
-        rows = []
-        for row in table.rows():
-            out = {}
-            for index, item in enumerate(items):
-                name = self._item_name(item, index)
-                out[name] = self._eval_scalar(item.expr, row)
-            rows.append(out)
-        if not rows:
-            specs = tuple(
-                ColumnSpec(self._item_name(item, i), "int64")
-                for i, item in enumerate(items)
-            )
-            return Table.empty(Schema(specs))
-        return table_from_row_dicts(rows)
-
     @staticmethod
     def _item_name(item: SelectItem, index: int) -> str:
         if item.alias:
@@ -256,50 +248,6 @@ class Executor:
             return item.expr.column
         return f"EXPR{index}"
 
-    def _join(self, plan: JoinNode) -> Table:
-        left = self._eval_plan(plan.left)
-        right = self._eval_plan(plan.right)
-        left_name = self._plan_qualifier(plan.left)
-        right_name = self._plan_qualifier(plan.right)
-        left_rows = list(left.rows())
-        right_rows = list(right.rows())
-        right_key = plan.right_key.column
-        left_key = plan.left_key.column
-        index: Dict[object, List[int]] = {}
-        for i, row in enumerate(right_rows):
-            index.setdefault(self._row_value(row, right_key), []).append(i)
-
-        def qualify(row: dict, qualifier: Optional[str]) -> dict:
-            if qualifier is None:
-                return dict(row)
-            return {f"{qualifier}__{name}": value for name, value in row.items()}
-
-        out_rows: List[dict] = []
-        matched_right: set = set()
-        null_right = {name: _null_like(value) for name, value in
-                      (right_rows[0].items() if right_rows else [])}
-        for row in left_rows:
-            matches = index.get(self._row_value(row, left_key), [])
-            if matches:
-                for j in matches:
-                    matched_right.add(j)
-                    combined = qualify(row, left_name)
-                    combined.update(qualify(right_rows[j], right_name))
-                    out_rows.append(combined)
-            elif plan.kind in ("left", "outer"):
-                combined = qualify(row, left_name)
-                combined.update(qualify(null_right, right_name))
-                out_rows.append(combined)
-        if plan.kind == "outer":
-            null_left = {name: _null_like(value) for name, value in
-                         (left_rows[0].items() if left_rows else [])}
-            for j, row in enumerate(right_rows):
-                if j not in matched_right:
-                    combined = qualify(null_left, left_name)
-                    combined.update(qualify(row, right_name))
-                    out_rows.append(combined)
-        return table_from_row_dicts(out_rows)
-
     def _plan_qualifier(self, plan: PlanNode) -> Optional[str]:
         if isinstance(plan, ScanNode):
             return plan.qualifier
@@ -308,68 +256,6 @@ class Executor:
             if qualifier is not None:
                 return qualifier
         return None
-
-    def _group_by(self, plan: GroupByNode) -> Table:
-        child = self._eval_plan(plan.child)
-        groups: Dict[tuple, List[dict]] = {}
-        for row in child.rows():
-            key = tuple(self._row_value(row, k.column) for k in plan.keys)
-            groups.setdefault(key, []).append(row)
-        out_rows = []
-        for key, rows in groups.items():
-            out = {k.column: value for k, value in zip(plan.keys, key)}
-            for index, item in enumerate(plan.items):
-                if isinstance(item.expr, ColumnRef):
-                    continue  # key columns already present
-                name = self._item_name(item, index)
-                out[name] = self._eval_aggregate(item.expr, rows)
-            out_rows.append(out)
-        return table_from_row_dicts(out_rows)
-
-    def _aggregate(self, table: Table, items) -> Table:
-        rows = list(table.rows())
-        out = {}
-        for index, item in enumerate(items):
-            name = self._item_name(item, index)
-            out[name] = self._eval_aggregate(item.expr, rows)
-        return table_from_row_dicts([out])
-
-    def _eval_aggregate(self, expr: FuncCall, rows: List[dict]):
-        if not isinstance(expr, FuncCall):
-            raise SqlError(f"expected aggregate, got {expr!r}")
-        name = expr.name.upper()
-        if name == "COUNT" and (not expr.args or isinstance(expr.args[0], Star)):
-            return len(rows)
-        values = [self._eval_scalar(expr.args[0], row) for row in rows]
-        if name == "SUM":
-            return int(sum(int(v) for v in values))
-        if name == "COUNT":
-            return sum(1 for v in values if v)
-        if name == "MIN":
-            return min(values) if values else 0
-        if name == "MAX":
-            return max(values) if values else 0
-        raise SqlError(f"unsupported aggregate {name}")
-
-    def _read_explode(self, plan: ReadExplodeNode) -> Table:
-        child = self._eval_plan(plan.child)
-        pieces = []
-        for row in child.rows():
-            values = [self._eval_scalar(arg, row) for arg in plan.args]
-            if len(values) == 3:
-                pos, cigar, seq = values
-                pieces.append(read_explode(int(pos), cigar, seq))
-            elif len(values) == 4:
-                pos, cigar, seq, qual = values
-                pieces.append(read_explode(int(pos), cigar, seq, qual))
-            else:
-                raise SqlError("ReadExplode takes POS, CIGAR, SEQ [, QUAL]")
-        if not pieces:
-            return read_explode(0, [], [])
-        result = pieces[0]
-        for piece in pieces[1:]:
-            result = result.concat(piece)
-        return result
 
     # -- scalar expressions ---------------------------------------------------------------
 
@@ -414,41 +300,9 @@ class Executor:
             if expr.op == "OR":
                 return bool(left) or bool(self._eval_scalar(expr.right, row))
             right = self._eval_scalar(expr.right, row)
-            return _apply_binop(expr.op, left, right)
+            return apply_binop(expr.op, left, right)
         if isinstance(expr, FuncCall):
             raise SqlError(
                 f"aggregate {expr.name} used outside SELECT/GROUP BY context"
             )
         raise SqlError(f"cannot evaluate expression {expr!r}")
-
-
-def _apply_binop(op: str, left, right):
-    if op == "==":
-        return left == right
-    if op == "!=":
-        return left != right
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
-    if op == "+":
-        return left + right
-    if op == "-":
-        return left - right
-    if op == "*":
-        return left * right
-    if op == "/":
-        return left // right if isinstance(left, (int, np.integer)) else left / right
-    raise SqlError(f"unsupported operator {op}")
-
-
-def _null_like(value):
-    if isinstance(value, np.ndarray):
-        return np.array([], dtype=value.dtype)
-    if isinstance(value, (bool, np.bool_)):
-        return False
-    return 0

@@ -71,10 +71,16 @@ def run_figure4_query(
     reads: PartitionedReads,
     reference: PartitionedReference,
     pid: PartitionId,
+    backend: str = "reference",
+    metrics=None,
 ) -> List[int]:
     """Execute the Figure 4 script on one partition and return the
-    per-read match counts (the Output table's single column)."""
-    executor = Executor()
+    per-read match counts (the Output table's single column).
+
+    ``backend`` selects the SQL execution backend (``"reference"`` or
+    ``"fast"``); ``metrics`` optionally collects per-operator timings.
+    """
+    executor = Executor(backend=backend, metrics=metrics)
     executor.register_partitioned("READS", lambda p: reads[p])
 
     def ref_provider(p: PartitionId) -> Table:

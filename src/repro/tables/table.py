@@ -18,12 +18,28 @@ from .schema import ColumnSpec, Schema
 
 
 class Table:
-    """An immutable-by-convention columnar table."""
+    """An immutable-by-convention columnar table.
 
-    def __init__(self, schema: Schema, columns: Dict[str, object], num_rows: int):
+    Columns may carry an optional per-row *validity mask* (a boolean numpy
+    array, ``False`` marking rows whose value is a NULL sentinel rather
+    than real data).  LEFT/OUTER joins produce such masks for the
+    null-filled side; every row-selection verb propagates them.  Values
+    stay fully materialized as sentinels (0 / False / empty array), so
+    expression evaluation never branches on validity — see the NULL
+    contract in :mod:`repro.sql.backends`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Dict[str, object],
+        num_rows: int,
+        validity: Optional[Dict[str, np.ndarray]] = None,
+    ):
         self.schema = schema
         self._columns = columns
         self.num_rows = num_rows
+        self._validity: Dict[str, np.ndarray] = dict(validity or {})
         for spec in schema.columns:
             if spec.name not in columns:
                 raise ValueError(f"missing data for column {spec.name}")
@@ -32,6 +48,11 @@ class Table:
                 raise ValueError(
                     f"column {spec.name} has {len(data)} rows, expected {num_rows}"
                 )
+        for name, mask in self._validity.items():
+            if name not in self.schema:
+                raise ValueError(f"validity mask for unknown column {name}")
+            if len(mask) != num_rows:
+                raise ValueError(f"validity mask for {name} has wrong length")
 
     # -- construction ------------------------------------------------------------
 
@@ -73,6 +94,17 @@ class Table:
         """The raw column: numpy array (scalar) or list of arrays (array)."""
         return self._columns[name]
 
+    def validity(self, name: str) -> Optional[np.ndarray]:
+        """Validity mask for ``name`` — ``None`` when every row is valid,
+        else a boolean array with ``False`` marking NULL-sentinel rows."""
+        if name not in self.schema:
+            raise KeyError(name)
+        return self._validity.get(name)
+
+    def validity_masks(self) -> Dict[str, np.ndarray]:
+        """All column validity masks (columns without NULLs are absent)."""
+        return dict(self._validity)
+
     def __getitem__(self, name: str):
         return self._columns[name]
 
@@ -103,7 +135,8 @@ class Table:
         """Projection: keep only ``names`` (SQL SELECT col, ...)."""
         schema = self.schema.subset(names)
         columns = {name: self._columns[name] for name in names}
-        return Table(schema, columns, self.num_rows)
+        validity = {n: m for n, m in self._validity.items() if n in schema}
+        return Table(schema, columns, self.num_rows, validity=validity)
 
     def take(self, indices) -> "Table":
         """Row selection by integer indices (stable order)."""
@@ -115,7 +148,8 @@ class Table:
                 columns[spec.name] = [data[int(i)] for i in indices]
             else:
                 columns[spec.name] = data[indices]
-        return Table(self.schema, columns, len(indices))
+        validity = {name: mask[indices] for name, mask in self._validity.items()}
+        return Table(self.schema, columns, len(indices), validity=validity)
 
     def where(self, predicate: Callable[[dict], bool]) -> "Table":
         """Row filter with a per-row predicate (SQL WHERE)."""
@@ -150,7 +184,18 @@ class Table:
         for spec in self.schema.columns:
             a, b = self._columns[spec.name], other._columns[spec.name]
             columns[spec.name] = list(a) + list(b) if spec.is_array else np.concatenate([a, b])
-        return Table(self.schema, columns, self.num_rows + other.num_rows)
+        validity: Dict[str, np.ndarray] = {}
+        for name in set(self._validity) | set(other._validity):
+            va = self._validity.get(name)
+            vb = other._validity.get(name)
+            if va is None:
+                va = np.ones(self.num_rows, dtype=bool)
+            if vb is None:
+                vb = np.ones(other.num_rows, dtype=bool)
+            validity[name] = np.concatenate([va, vb])
+        return Table(
+            self.schema, columns, self.num_rows + other.num_rows, validity=validity
+        )
 
     def with_column(self, spec: ColumnSpec, values) -> "Table":
         """A new table with one extra column appended."""
@@ -159,7 +204,7 @@ class Table:
         schema = Schema(self.schema.columns + (spec,))
         columns = dict(self._columns)
         columns[spec.name] = self._pack_column(spec, values)
-        return Table(schema, columns, self.num_rows)
+        return Table(schema, columns, self.num_rows, validity=self._validity)
 
     def rename(self, mapping: Dict[str, str]) -> "Table":
         """A new table with columns renamed per ``mapping``."""
@@ -170,7 +215,10 @@ class Table:
         columns = {
             mapping.get(name, name): data for name, data in self._columns.items()
         }
-        return Table(Schema(specs), columns, self.num_rows)
+        validity = {
+            mapping.get(name, name): mask for name, mask in self._validity.items()
+        }
+        return Table(Schema(specs), columns, self.num_rows, validity=validity)
 
     # -- joins & aggregation -----------------------------------------------------------
 

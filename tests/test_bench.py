@@ -232,3 +232,22 @@ class TestRealProbes:
         assert probe.median > 0
         assert probe.iqr == 0.0  # simulated cycles are deterministic
         assert not probe.higher_is_better
+
+
+class TestSqlBackendProbe:
+    def test_stage_backend_seconds_shape(self, workload):
+        from repro.obs.bench import sql_stage_backend_seconds
+
+        seconds = sql_stage_backend_seconds(workload, "fast")
+        assert sorted(seconds) == ["bqsr", "markdup", "metadata"]
+        assert all(value >= 0.0 for value in seconds.values())
+
+    def test_speedup_probe_and_manifest_config(self, workload):
+        context = BenchContext(workload=workload, sql_backend="fast")
+        result = run_bench(
+            context, repeats=1, warmup=0, probes=["sql_backend_speedup"]
+        )
+        probe = result.probes["sql_backend_speedup"]
+        assert probe.median > 1.0  # vectorized beats row-at-a-time
+        assert probe.higher_is_better
+        assert result.manifest.config["sql_backend"] == "fast"
