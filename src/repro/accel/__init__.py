@@ -130,6 +130,30 @@ __all__ += [
     "run_partitioned",
 ]
 
+from .sharding import (
+    SHARD_POLICIES,
+    ShardedRunStats,
+    ShardPlan,
+    ShardWave,
+    StealRecord,
+    plan_shards,
+    reduce_bqsr_results,
+    run_sharded,
+    stable_shard_hash,
+)
+
+__all__ += [
+    "SHARD_POLICIES",
+    "ShardPlan",
+    "ShardWave",
+    "ShardedRunStats",
+    "StealRecord",
+    "plan_shards",
+    "reduce_bqsr_results",
+    "run_sharded",
+    "stable_shard_hash",
+]
+
 from .sort import HwSortResult, coordinate_sort_reads, run_hw_sort
 
 __all__ += ["HwSortResult", "coordinate_sort_reads", "run_hw_sort"]

@@ -204,6 +204,18 @@ class SpmImageCache:
             if key not in self._images:
                 self._store(key, image)
 
+    def absorb(self, other: "SpmImageCache") -> None:
+        """Merge another pool into this one: images adopt idempotently
+        (first writer wins, exactly like :meth:`merge`) and the
+        hit/miss/cycles-saved counters accumulate, so a cache merged from
+        per-device pools keeps the full replay history.  Absorbing the
+        same pool twice double-counts nothing image-wise; counters are
+        the caller's to absorb exactly once per pool."""
+        self.merge(other.images())
+        self.hits += other.hits
+        self.misses += other.misses
+        self.cycles_saved += other.cycles_saved
+
     def __len__(self) -> int:
         return len(self._images)
 
@@ -456,6 +468,12 @@ class ParallelRunStats:
     watchdog_timeouts: int = 0
     serial_fallback_waves: int = 0
     pool_restarts: int = 0
+    # sharding: which device queue this run drove (None when the run is
+    # not part of a DevicePool shard) and how many waves the plan-time
+    # steal loop moved into/out of that queue
+    device: Optional[int] = None
+    steals_in: int = 0
+    steals_out: int = 0
 
     @property
     def cycles_including_load(self) -> int:
@@ -544,56 +562,67 @@ class ParallelRunStats:
 
     def publish(self, registry: MetricsRegistry, stage: str = "run") -> None:
         """Mirror the aggregates into an external registry (labelled by
-        accelerator stage) so cross-stage consumers — the runtime API,
-        ``eval/experiments.py`` — see scheduler totals next to their own
-        metrics."""
-        registry.counter("scheduler.runs", stage=stage).inc()
-        registry.counter("scheduler.waves", stage=stage).inc(self.waves)
-        registry.counter("scheduler.cycles", stage=stage).inc(self.total_cycles)
+        accelerator stage, plus the device queue when the run was one
+        shard of a DevicePool) so cross-stage consumers — the runtime
+        API, ``eval/experiments.py`` — see scheduler totals next to
+        their own metrics."""
+        labels = {"stage": stage}
+        if self.device is not None:
+            labels["device"] = str(self.device)
+        registry.counter("scheduler.runs", **labels).inc()
+        registry.counter("scheduler.waves", **labels).inc(self.waves)
+        registry.counter("scheduler.cycles", **labels).inc(self.total_cycles)
         registry.counter(
-            "scheduler.spm_load_cycles", stage=stage
+            "scheduler.spm_load_cycles", **labels
         ).inc(self.spm_load_cycles)
         registry.counter(
-            "scheduler.elapsed_seconds", stage=stage
+            "scheduler.elapsed_seconds", **labels
         ).inc(self.elapsed_seconds)
         registry.counter(
-            "scheduler.spm_cache.hits", stage=stage
+            "scheduler.spm_cache.hits", **labels
         ).inc(self.spm_cache_hits)
         registry.counter(
-            "scheduler.spm_cache.misses", stage=stage
+            "scheduler.spm_cache.misses", **labels
         ).inc(self.spm_cache_misses)
         registry.counter(
-            "scheduler.spm_cache.cycles_saved", stage=stage
+            "scheduler.spm_cache.cycles_saved", **labels
         ).inc(self.spm_cycles_saved)
-        registry.counter("sim.wall_seconds", stage=stage).inc(self.wall_seconds)
+        registry.counter("sim.wall_seconds", **labels).inc(self.wall_seconds)
         registry.counter(
-            "sim.ticks_executed", stage=stage
+            "sim.ticks_executed", **labels
         ).inc(self.ticks_executed)
         registry.counter(
-            "sim.ticks_possible", stage=stage
+            "sim.ticks_possible", **labels
         ).inc(self.ticks_possible)
         registry.counter(
-            "sim.fast_forward_cycles", stage=stage
+            "sim.fast_forward_cycles", **labels
         ).inc(self.fast_forward_cycles)
-        registry.counter("sim.flits", stage=stage).inc(self.total_flits)
-        registry.gauge("scheduler.workers", stage=stage).set(self.workers)
+        registry.counter("sim.flits", **labels).inc(self.total_flits)
+        registry.gauge("scheduler.workers", **labels).set(self.workers)
         for kind, count in self.faults_by_kind.items():
             registry.counter(
-                "scheduler.faults", stage=stage, kind=kind
+                "scheduler.faults", kind=kind, **labels
             ).inc(count)
-        registry.counter("scheduler.retries", stage=stage).inc(self.retries)
+        registry.counter("scheduler.retries", **labels).inc(self.retries)
         registry.counter(
-            "scheduler.backoff_seconds", stage=stage
+            "scheduler.backoff_seconds", **labels
         ).inc(self.backoff_seconds)
         registry.counter(
-            "scheduler.watchdog_timeouts", stage=stage
+            "scheduler.watchdog_timeouts", **labels
         ).inc(self.watchdog_timeouts)
         registry.counter(
-            "scheduler.serial_fallback_waves", stage=stage
+            "scheduler.serial_fallback_waves", **labels
         ).inc(self.serial_fallback_waves)
         registry.counter(
-            "scheduler.pool_restarts", stage=stage
+            "scheduler.pool_restarts", **labels
         ).inc(self.pool_restarts)
+        if self.device is not None:
+            registry.counter(
+                "scheduler.steals_in", **labels
+            ).inc(self.steals_in)
+            registry.counter(
+                "scheduler.steals_out", **labels
+            ).inc(self.steals_out)
 
 
 # -- wave packing and dispatch -------------------------------------------------------
@@ -693,6 +722,9 @@ def run_partitioned(
     fault_injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
     wave_timeout: Optional[float] = None,
+    prepacked_waves: Optional[List[List[WaveItem]]] = None,
+    device: Optional[int] = None,
+    force_pool: bool = False,
 ) -> Tuple[Dict[PartitionId, object], ParallelRunStats]:
     """Run an accelerator over many partitions: N replicated pipelines
     per wave, waves fanned out over ``workers`` host processes.
@@ -723,6 +755,16 @@ def run_partitioned(
     :class:`~repro.faults.injector.RetryBudgetExceeded`.  Non-injected
     exceptions from driver code propagate immediately — they are
     deterministic bugs, not infrastructure failures.
+
+    Sharding hooks (used by :func:`repro.accel.sharding.run_sharded`):
+    ``prepacked_waves`` executes an exact wave list instead of packing
+    ``partitions`` — a device queue must run the globally packed waves
+    it was assigned verbatim, because wave composition determines the
+    shared-memory contention and thus the simulated cycles; ``device``
+    labels the run's events and published metrics with the device queue
+    it drove; ``force_pool`` dispatches through a process pool even at
+    ``workers=1`` so concurrent device queues are not serialised by the
+    interpreter lock.  None of the three affects results or cycles.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -731,8 +773,12 @@ def run_partitioned(
     injector = fault_injector
     policy = retry_policy if retry_policy is not None else RetryPolicy()
     cache = spm_cache if spm_cache is not None else SpmImageCache()
+    device_labels = {} if device is None else {"device": device}
     started = time.perf_counter()
-    empty_pids, waves = pack_waves(partitions, n_pipelines)
+    if prepacked_waves is not None:
+        empty_pids, waves = [], [list(wave) for wave in prepacked_waves]
+    else:
+        empty_pids, waves = pack_waves(partitions, n_pipelines)
     results: Dict[PartitionId, object] = {
         pid: driver.empty_result(pid) for pid in empty_pids
     }
@@ -752,6 +798,7 @@ def run_partitioned(
             stage=driver.stage, wave=wave_index, worker=worker,
             replicas=len(waves[wave_index]), cycles=stats.cycles,
             load_cycles=load_cycles, elapsed_seconds=elapsed,
+            **device_labels,
         )
         run_registry.gauge(
             "scheduler.wave.cycles", wave=wave_index
@@ -876,7 +923,7 @@ def run_partitioned(
                 time.sleep(backoff)
             attempt += 1
 
-    if workers == 1 or len(waves) <= 1:
+    if not waves or (not force_pool and (workers == 1 or len(waves) <= 1)):
         workers_used = 1
         hits0, misses0, saved0 = cache.hits, cache.misses, cache.cycles_saved
         for wave_index in range(len(waves)):
@@ -1062,9 +1109,11 @@ def run_partitioned(
         workers=workers_used,
         elapsed_seconds=time.perf_counter() - started,
     )
+    stats.device = device
     stats.publish(registry_or_null(registry), stage=driver.stage)
     record_event(
         "scheduler.run",
+        **device_labels,
         stage=driver.stage, waves=stats.waves, workers=stats.workers,
         pipelines=n_pipelines, total_cycles=stats.total_cycles,
         spm_load_cycles=stats.spm_load_cycles,

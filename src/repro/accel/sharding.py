@@ -1,0 +1,581 @@
+"""Multi-device sharding: N modelled cards, one bit-identical answer.
+
+The partition-parallel scheduler (:mod:`repro.accel.scheduler`) drives
+*one* simulated device, so total throughput is capped by one PCIe link
+and one accelerator's pipelines — the ceiling the paper's scaling
+analysis (Fig. 8/9) identifies.  This module adds the scale-out tier:
+a :class:`~repro.runtime.device.DevicePool` of N cards, a shard planner
+that assigns wave queues to devices, a plan-time work-stealing pass
+that rebalances straggler queues, and a deterministic merge stage that
+reassembles one answer from the per-device shards.
+
+The determinism argument, in execution order:
+
+1. **Waves are packed globally, then sharded whole.**  A wave's
+   simulated cycles depend on its composition (the replicas share one
+   memory system), so re-packing per device would change cycles the
+   moment ``devices > 1``.  :func:`plan_shards` therefore runs the
+   exact same :func:`~repro.accel.scheduler.pack_waves` a serial run
+   uses and assigns *whole waves* to device queues — wave composition,
+   and hence every simulated cycle count, is topology-invariant.
+2. **Stealing happens at plan time, from deterministic costs.**  The
+   steal loop moves trailing waves from the most-loaded queue to the
+   least-loaded one while that strictly reduces the estimated makespan,
+   using partition row counts as the cost model — a pure function of
+   the inputs, never of host timing.  Stealing relocates *host work
+   only*; the stolen wave simulates the same cycles wherever it runs.
+3. **Faults stay keyed by (device, wave).**  A global fault plan is
+   split by :func:`repro.faults.plan.shard_fault_plan` into per-device
+   plans targeting each global wave at its actual local queue slot, and
+   each device thread polls its own injector — no shared mutable state,
+   no dependence on thread scheduling.
+4. **The merge is canonical.**  Results are re-keyed in input partition
+   order, per-device SPM caches are absorbed into the shared cache in
+   device order, and BQSR covariate tables reduce per read group in
+   canonical key order — the same answer regardless of which device
+   finished first.
+
+Net: for every ``(devices, workers)`` combination, with or without
+injected faults, with or without steals, a sharded run is bit-identical
+to the serial one in both results and simulated cycles; only host-side
+wall-clock metrics differ.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan, shard_fault_plan
+from ..faults.retry import RetryPolicy
+from ..gatk.bqsr import CovariateTables
+from ..obs.ledger import record_event
+from ..obs.log import get_logger
+from ..obs.registry import MetricsRegistry, registry_or_null
+from ..runtime.device import DeviceConfig, DevicePool
+from ..tables.partition import PartitionId
+from .bqsr import merge_partition_results
+from .scheduler import (
+    ParallelRunStats,
+    SpmImageCache,
+    WaveDriver,
+    WaveItem,
+    WorkerStats,
+    pack_waves,
+    run_partitioned,
+)
+
+_log = get_logger("sharding")
+
+#: Modelled host->device payload per read for the PCIe transfer model
+#: (sequence + qualities + alignment metadata, order-of-magnitude).
+MODEL_ROW_BYTES = 128
+
+#: Shard assignment policies understood by :func:`plan_shards`.
+SHARD_POLICIES = ("hash", "range")
+
+
+def stable_shard_hash(pid: PartitionId) -> int:
+    """A process-stable hash of a partition id (CRC32 of its rendered
+    form).  Python's builtin ``hash`` is salted per process, which would
+    make shard assignment — and thus fault placement and steal records —
+    differ between runs."""
+    return zlib.crc32(str(pid).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class StealRecord:
+    """One plan-time steal: ``wave`` (global index) migrated from the
+    ``source`` device queue to ``target``, carrying ``cost`` estimated
+    rows of host work."""
+
+    wave: int
+    source: int
+    target: int
+    cost: int
+
+
+@dataclass
+class ShardWave:
+    """One globally packed wave and its device placement."""
+
+    global_index: int
+    items: List[WaveItem]
+    #: Deterministic cost estimate: summed partition rows (the wave's
+    #: host work scales with its widest replica, but total rows is the
+    #: better queue-load proxy and is what LPT packed by).
+    cost: int
+    #: The queue the assignment policy put the wave on.
+    home_device: int
+    #: The queue that actually runs it (differs after a steal).
+    device: int
+
+
+@dataclass
+class ShardPlan:
+    """The deterministic shard layout of one run: every wave's placement
+    plus the steal log that produced it."""
+
+    devices: int
+    policy: str
+    empty_pids: List[PartitionId]
+    #: All waves in global (LPT) order.
+    waves: List[ShardWave]
+    steals: List[StealRecord]
+
+    def device_waves(self, device: int) -> List[ShardWave]:
+        """Device ``device``'s queue, largest-first (global order)."""
+        return [wave for wave in self.waves if wave.device == device]
+
+    def device_queues(self) -> List[List[int]]:
+        """Global wave indices per device in execution order — the
+        layout :func:`repro.faults.plan.shard_fault_plan` consumes."""
+        return [
+            [wave.global_index for wave in self.device_waves(device)]
+            for device in range(self.devices)
+        ]
+
+    def loads(self) -> List[int]:
+        """Post-steal estimated cost per device queue."""
+        return [
+            sum(wave.cost for wave in self.device_waves(device))
+            for device in range(self.devices)
+        ]
+
+    def describe(self) -> Iterable[str]:
+        """Human lines: one per device queue, then one per steal."""
+        for device in range(self.devices):
+            queue = self.device_waves(device)
+            yield (
+                f"device {device}: {len(queue)} wave(s), "
+                f"~{sum(w.cost for w in queue)} rows "
+                f"{[w.global_index for w in queue]}"
+            )
+        for steal in self.steals:
+            yield (
+                f"steal: wave {steal.wave} ({steal.cost} rows) "
+                f"device {steal.source} -> {steal.target}"
+            )
+
+
+def plan_shards(
+    partitions: Iterable[WaveItem],
+    n_pipelines: int,
+    devices: int,
+    policy: str = "hash",
+    steal: bool = True,
+) -> ShardPlan:
+    """Lay out a run across ``devices`` queues.
+
+    Waves are packed globally (identical to a serial run — see the
+    module determinism argument), assigned a home queue by ``policy``
+    (``"hash"``: stable hash of the wave's lead partition id;
+    ``"range"``: contiguous blocks of the LPT order), then rebalanced by
+    the straggler-aware steal loop: while moving the most-loaded queue's
+    trailing wave to the least-loaded queue strictly reduces the
+    estimated makespan, move it and log a :class:`StealRecord`.  Ties
+    break on the lowest device index, so the plan is a pure function of
+    ``(partitions, n_pipelines, devices, policy, steal)``.
+    """
+    if devices < 1:
+        raise ValueError("need at least one device")
+    if policy not in SHARD_POLICIES:
+        raise ValueError(
+            f"unknown shard policy {policy!r} "
+            f"(choose from {', '.join(SHARD_POLICIES)})"
+        )
+    empty_pids, packed = pack_waves(partitions, n_pipelines)
+    waves: List[ShardWave] = []
+    for index, wave in enumerate(packed):
+        if policy == "hash":
+            home = stable_shard_hash(wave[0][0]) % devices
+        else:
+            home = index * devices // len(packed)
+        waves.append(
+            ShardWave(
+                global_index=index,
+                items=list(wave),
+                cost=sum(part.num_rows for _pid, part in wave),
+                home_device=home,
+                device=home,
+            )
+        )
+
+    steals: List[StealRecord] = []
+    if steal and devices > 1 and waves:
+        queues = [
+            [wave for wave in waves if wave.device == device]
+            for device in range(devices)
+        ]
+        while True:
+            loads = [sum(wave.cost for wave in queue) for queue in queues]
+            source = max(range(devices), key=lambda d: (loads[d], -d))
+            target = min(range(devices), key=lambda d: (loads[d], d))
+            if source == target or len(queues[source]) <= 1:
+                break
+            victim = queues[source][-1]
+            after_source = loads[source] - victim.cost
+            after_target = loads[target] + victim.cost
+            if max(after_source, after_target) >= loads[source]:
+                break  # no strict makespan improvement left
+            queues[source].pop()
+            victim.device = target
+            queues[target].append(victim)
+            queues[target].sort(key=lambda wave: wave.global_index)
+            steals.append(
+                StealRecord(
+                    wave=victim.global_index, source=source,
+                    target=target, cost=victim.cost,
+                )
+            )
+
+    return ShardPlan(
+        devices=devices, policy=policy, empty_pids=empty_pids,
+        waves=waves, steals=steals,
+    )
+
+
+@dataclass
+class ShardedRunStats:
+    """Aggregate statistics of a sharded run: per-device scheduler stats
+    plus the shard plan's steal log and the pool's virtual occupancy.
+
+    The simulated-cycle aggregates (:attr:`total_cycles`,
+    :attr:`per_wave_cycles`, …) are reassembled in global wave order and
+    equal the serial run's bit-for-bit; only the host-side fields
+    (elapsed seconds, parallelism) reflect the actual fan-out.
+    """
+
+    devices: int
+    workers: int
+    per_device: List[ParallelRunStats]
+    steals: List[StealRecord]
+    #: Post-steal estimated cost per device queue (plan-time view).
+    plan_loads: List[int]
+    #: Simulated cycles per wave in global (serial) order.
+    per_wave_cycles: List[int]
+    #: Virtual accelerator occupancy per card, from the DevicePool.
+    device_busy_seconds: List[float] = field(default_factory=list)
+    #: Virtual PCIe occupancy per card, from the DevicePool.
+    device_transfer_seconds: List[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    # -- simulated aggregates (topology-invariant) ---------------------------------
+
+    @property
+    def waves(self) -> int:
+        return sum(stats.waves for stats in self.per_device)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.per_wave_cycles)
+
+    @property
+    def spm_load_cycles(self) -> int:
+        return sum(stats.spm_load_cycles for stats in self.per_device)
+
+    @property
+    def cycles_including_load(self) -> int:
+        return self.total_cycles + self.spm_load_cycles
+
+    @property
+    def total_flits(self) -> int:
+        return sum(stats.total_flits for stats in self.per_device)
+
+    # -- host-side aggregates ------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(stats.wall_seconds for stats in self.per_device)
+
+    @property
+    def host_parallelism(self) -> float:
+        """Effective concurrency across all device queues: summed
+        per-wave engine seconds over end-to-end seconds."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.wall_seconds / self.elapsed_seconds
+
+    @property
+    def spm_cache_hits(self) -> int:
+        return sum(stats.spm_cache_hits for stats in self.per_device)
+
+    @property
+    def spm_cache_misses(self) -> int:
+        return sum(stats.spm_cache_misses for stats in self.per_device)
+
+    @property
+    def spm_cycles_saved(self) -> int:
+        return sum(stats.spm_cycles_saved for stats in self.per_device)
+
+    @property
+    def per_worker(self) -> Dict[str, WorkerStats]:
+        """Per-worker tallies across devices, keyed ``d<device>/<worker>``."""
+        merged: Dict[str, WorkerStats] = {}
+        for stats in self.per_device:
+            prefix = f"d{stats.device}" if stats.device is not None else "d0"
+            for worker, tally in stats.per_worker.items():
+                merged[f"{prefix}/{worker}"] = tally
+        return merged
+
+    # -- resilience aggregates -----------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(stats.faults_injected for stats in self.per_device)
+
+    @property
+    def faults_by_kind(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for stats in self.per_device:
+            for kind, count in stats.faults_by_kind.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    @property
+    def retries(self) -> int:
+        return sum(stats.retries for stats in self.per_device)
+
+    @property
+    def watchdog_timeouts(self) -> int:
+        return sum(stats.watchdog_timeouts for stats in self.per_device)
+
+    @property
+    def serial_fallback_waves(self) -> int:
+        return sum(stats.serial_fallback_waves for stats in self.per_device)
+
+    @property
+    def pool_restarts(self) -> int:
+        return sum(stats.pool_restarts for stats in self.per_device)
+
+    # -- sharding-specific views ---------------------------------------------------
+
+    @property
+    def steal_count(self) -> int:
+        return len(self.steals)
+
+    def device_utilization(self) -> List[float]:
+        """Each queue's simulated-cycle share of the critical-path
+        queue (1.0 for the busiest device)."""
+        cycles = [stats.total_cycles for stats in self.per_device]
+        peak = max(cycles) if cycles else 0
+        if peak <= 0:
+            return [0.0 for _ in cycles]
+        return [c / peak for c in cycles]
+
+
+def _wave_nbytes(wave: ShardWave) -> int:
+    """Modelled H2D payload of one wave (coarse: rows x row footprint)."""
+    return wave.cost * MODEL_ROW_BYTES
+
+
+def reduce_bqsr_results(
+    results: Dict[PartitionId, object], read_length: int
+) -> Dict[int, CovariateTables]:
+    """Deterministic cross-device BQSR reduction: group the (already
+    canonically ordered) per-partition results by read group and
+    accumulate one :class:`~repro.gatk.bqsr.CovariateTables` per group.
+    Covariate accumulation is integer addition, so any grouping of the
+    same partitions reduces to the same tables — this helper fixes the
+    order anyway so the reduction is reproducible byte-for-byte."""
+    by_group: Dict[int, List[object]] = {}
+    for pid in sorted(results, key=lambda p: (p.read_group, p.chrom, p.segment)):
+        by_group.setdefault(pid.read_group, []).append(results[pid])
+    return merge_partition_results(by_group, read_length)
+
+
+def _record_shard_run(
+    driver: WaveDriver, stats: ShardedRunStats, policy: str
+) -> None:
+    """Ledger the sharded run: one ``shard.device`` event per queue plus
+    the ``shard.run`` summary ``repro analyze --sharding`` reads."""
+    utilization = stats.device_utilization()
+    for device, device_stats in enumerate(stats.per_device):
+        record_event(
+            "shard.device",
+            stage=driver.stage, device=device,
+            waves=device_stats.waves, cycles=device_stats.total_cycles,
+            steals_in=device_stats.steals_in,
+            steals_out=device_stats.steals_out,
+            busy_seconds=(
+                stats.device_busy_seconds[device]
+                if device < len(stats.device_busy_seconds) else 0.0
+            ),
+            transfer_seconds=(
+                stats.device_transfer_seconds[device]
+                if device < len(stats.device_transfer_seconds) else 0.0
+            ),
+            elapsed_seconds=device_stats.elapsed_seconds,
+            utilization=(
+                utilization[device] if device < len(utilization) else 0.0
+            ),
+        )
+    record_event(
+        "shard.run",
+        stage=driver.stage, devices=stats.devices, workers=stats.workers,
+        policy=policy, waves=stats.waves, steals=stats.steal_count,
+        total_cycles=stats.total_cycles,
+        spm_load_cycles=stats.spm_load_cycles,
+        per_wave_cycles=list(stats.per_wave_cycles),
+        plan_loads=list(stats.plan_loads),
+        elapsed_seconds=stats.elapsed_seconds,
+        host_parallelism=stats.host_parallelism,
+        faults_injected=stats.faults_injected,
+    )
+
+
+def run_sharded(
+    driver: WaveDriver,
+    partitions: Iterable[WaveItem],
+    n_pipelines: int,
+    devices: int = 1,
+    workers: int = 1,
+    spm_cache: Optional[SpmImageCache] = None,
+    registry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    wave_timeout: Optional[float] = None,
+    policy: str = "hash",
+    steal: bool = True,
+    device_config: Optional[DeviceConfig] = None,
+) -> Tuple[Dict[PartitionId, object], ShardedRunStats]:
+    """Run an accelerator stage sharded over ``devices`` modelled cards,
+    each queue fanned out over ``workers`` host processes.
+
+    ``devices=1`` delegates straight to
+    :func:`~repro.accel.scheduler.run_partitioned` (no planning, no
+    thread hop — the unsharded path keeps its cost).  For ``devices>1``
+    the plan from :func:`plan_shards` runs one ``run_partitioned`` per
+    device concurrently, each with its own SPM cache, fault injector
+    (split from ``fault_plan`` by actual wave placement), and process
+    pool, then merges deterministically: results in canonical input
+    partition order, caches absorbed in device order.  See the module
+    docstring for why the answer is bit-identical to serial.
+
+    Unlike ``run_partitioned`` this takes the fault *plan*, not an
+    injector — injectors hold per-run mutable state that cannot be
+    shared across concurrent device queues.
+    """
+    if devices < 1:
+        raise ValueError("need at least one device")
+    parts = list(partitions)
+    started = time.perf_counter()
+
+    if devices == 1:
+        injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        results, stats = run_partitioned(
+            driver, parts, n_pipelines, workers=workers,
+            spm_cache=spm_cache, registry=registry,
+            fault_injector=injector, retry_policy=retry_policy,
+            wave_timeout=wave_timeout,
+        )
+        sharded = ShardedRunStats(
+            devices=1, workers=stats.workers, per_device=[stats],
+            steals=[], plan_loads=[sum(p.num_rows for _pid, p in parts)],
+            per_wave_cycles=list(stats.per_wave_cycles),
+            device_busy_seconds=[], device_transfer_seconds=[],
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        _record_shard_run(driver, sharded, policy)
+        return results, sharded
+
+    plan = plan_shards(parts, n_pipelines, devices, policy=policy, steal=steal)
+    queues = [plan.device_waves(device) for device in range(devices)]
+    device_plans: List[Optional[FaultPlan]] = [None] * devices
+    if fault_plan is not None:
+        device_plans = list(shard_fault_plan(fault_plan, plan.device_queues()))
+    shared_cache = spm_cache if spm_cache is not None else SpmImageCache()
+    seed_images = dict(shared_cache.images())
+    pool = DevicePool(devices, config=device_config)
+    _log.info(
+        "%s: sharding %d wave(s) over %d device(s) (%s policy, "
+        "%d steal(s), loads %s)",
+        driver.stage, len(plan.waves), devices, policy,
+        len(plan.steals), plan.loads(),
+        extra={"stage": driver.stage},
+    )
+
+    def run_device(device: int):
+        queue = queues[device]
+        cache = SpmImageCache()
+        cache.merge(seed_images)
+        injector = (
+            FaultInjector(device_plans[device])
+            if device_plans[device] is not None else None
+        )
+        results, stats = run_partitioned(
+            driver, [], n_pipelines, workers=workers,
+            spm_cache=cache, registry=registry, fault_injector=injector,
+            retry_policy=retry_policy, wave_timeout=wave_timeout,
+            prepacked_waves=[wave.items for wave in queue],
+            device=device, force_pool=True,
+        )
+        # charge the card's virtual timeline: H2D the wave, run it,
+        # wait — per-device occupancy mirrors a single-card run's
+        card = pool.device(device)
+        for local, wave in enumerate(queue):
+            card.transfer(_wave_nbytes(wave), "h2d")
+            card.launch(wave.global_index, stats.per_wave_cycles[local])
+            card.wait(wave.global_index)
+        return results, stats, cache
+
+    with ThreadPoolExecutor(max_workers=devices) as host_pool:
+        outcomes = list(host_pool.map(run_device, range(devices)))
+
+    # -- deterministic merge: canonical order regardless of finish order ----------
+
+    merged: Dict[PartitionId, object] = {
+        pid: driver.empty_result(pid) for pid in plan.empty_pids
+    }
+    for device_results, _stats, _cache in outcomes:
+        merged.update(device_results)
+    results = {pid: merged[pid] for pid, _part in parts}
+
+    per_device: List[ParallelRunStats] = []
+    per_wave_cycles = [0] * len(plan.waves)
+    for device, (_results, stats, _cache) in enumerate(outcomes):
+        stats.steals_in = sum(
+            1 for steal in plan.steals if steal.target == device
+        )
+        stats.steals_out = sum(
+            1 for steal in plan.steals if steal.source == device
+        )
+        for local, wave in enumerate(queues[device]):
+            per_wave_cycles[wave.global_index] = stats.per_wave_cycles[local]
+        per_device.append(stats)
+
+    ext = registry_or_null(registry)
+    for device, stats in enumerate(per_device):
+        labels = {"stage": driver.stage, "device": str(device)}
+        ext.counter("scheduler.steals_in", **labels).inc(stats.steals_in)
+        ext.counter("scheduler.steals_out", **labels).inc(stats.steals_out)
+
+    sharded = ShardedRunStats(
+        devices=devices, workers=workers, per_device=per_device,
+        steals=list(plan.steals), plan_loads=plan.loads(),
+        per_wave_cycles=per_wave_cycles,
+        device_busy_seconds=pool.busy_seconds(),
+        device_transfer_seconds=pool.transfer_seconds(),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+    # absorb per-device caches in device order (images first-wins on
+    # identical keys, counters accumulate), so later stages replay hits
+    for _results, _stats, device_cache in outcomes:
+        shared_cache.absorb(device_cache)
+    _record_shard_run(driver, sharded, policy)
+    _log.info(
+        "%s sharded done: %d cycles over %d wave(s) on %d device(s), "
+        "%.3fs host (parallelism %.2f, %d steal(s))",
+        driver.stage, sharded.total_cycles, sharded.waves, devices,
+        sharded.elapsed_seconds, sharded.host_parallelism,
+        sharded.steal_count,
+        extra={"stage": driver.stage},
+    )
+    return results, sharded

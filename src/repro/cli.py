@@ -12,7 +12,9 @@ Commands:
   bottleneck-analysis summary, and optionally save a Chrome-trace
   timeline and JSON/CSV dumps;
 * ``analyze``     — re-run the bottleneck analysis over a saved
-  ``profile --out`` JSON report;
+  ``profile --out`` JSON report, or with ``--sharding`` report the
+  per-device utilization / steal counts / device-count what-if of the
+  latest sharded run in the ledger;
 * ``bench``       — run the perf probe suite with warmup + repeats,
   write a schema-versioned ``BENCH_<n>.json``, and optionally compare
   against a baseline (nonzero exit on regression).
@@ -75,11 +77,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     from .accel.markdup import accelerated_mark_duplicates
-    from .accel.scheduler import (
-        MetadataWaveDriver,
-        SpmImageCache,
-        run_partitioned,
-    )
+    from .accel.scheduler import MetadataWaveDriver, SpmImageCache
+    from .accel.sharding import run_sharded
     from .faults import RetryPolicy
     from .tables.genomic_tables import reads_to_table
     from .tables.partition import partition_reads, partition_reference
@@ -95,21 +94,23 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     reference = partition_reference(genome, args.psize, args.overlap)
     partitions = partition_reads(table, args.psize)
     spm_cache = SpmImageCache()
-    injector = None
+    fault_plan = None
     if args.inject_faults:
-        from .faults import FaultInjector, FaultPlan
+        from .faults import FaultPlan
 
-        plan = FaultPlan.from_spec(args.inject_faults, seed=args.fault_seed)
-        injector = FaultInjector(plan)
-        for line in plan.describe():
+        fault_plan = FaultPlan.from_spec(
+            args.inject_faults, seed=args.fault_seed
+        )
+        for line in fault_plan.describe():
             print(f"fault plan: {line}")
-    results, stats = run_partitioned(
+    results, stats = run_sharded(
         MetadataWaveDriver(reference=reference),
         partitions,
         args.pipelines,
+        devices=args.devices,
         workers=args.workers,
         spm_cache=spm_cache,
-        fault_injector=injector,
+        fault_plan=fault_plan,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
         wave_timeout=args.wave_timeout,
     )
@@ -124,10 +125,26 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     print(
         f"metadata update: {tagged} reads tagged "
         f"({stats.waves} waves x {args.pipelines} pipelines, "
-        f"workers={stats.workers}, {stats.cycles_including_load} cycles, "
+        f"devices={stats.devices}, workers={stats.workers}, "
+        f"{stats.cycles_including_load} cycles, "
         f"spm cache {stats.spm_cache_hits} hits / "
         f"{stats.spm_cache_misses} misses)"
     )
+    if stats.devices > 1:
+        utilization = stats.device_utilization()
+        for device, device_stats in enumerate(stats.per_device):
+            print(
+                f"  device {device}: {device_stats.waves} waves, "
+                f"{device_stats.total_cycles} cycles "
+                f"({utilization[device]:.0%} of critical path), "
+                f"steals in/out {device_stats.steals_in}/"
+                f"{device_stats.steals_out}"
+            )
+        if stats.steal_count:
+            print(
+                f"  work stealing: {stats.steal_count} wave(s) migrated "
+                "(plan-time, results unchanged)"
+            )
     if stats.workers > 1:
         for worker in sorted(stats.per_worker):
             tally = stats.per_worker[worker]
@@ -135,7 +152,7 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
                 f"  {worker}: {tally.waves} waves, {tally.cycles} cycles, "
                 f"{tally.elapsed_seconds:.3f}s host"
             )
-    if injector is not None:
+    if fault_plan is not None:
         kinds = ", ".join(
             f"{kind}={count}"
             for kind, count in sorted(stats.faults_by_kind.items())
@@ -244,6 +261,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     from .obs import analyze_report, report_from_dict
 
+    if args.sharding:
+        from .obs import sharding_report_from_ledger
+
+        ledger = RunLedger(args.ledger)
+        try:
+            report = sharding_report_from_ledger(ledger)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        record_event(
+            "analyze.sharding", stage=report.stage, devices=report.devices,
+            steals=report.steals,
+        )
+        return 0
+    if not args.report:
+        print(
+            "error: pass a profile REPORT_JSON or --sharding",
+            file=sys.stderr,
+        )
+        return 2
     try:
         with open(args.report) as handle:
             data = json.load(handle)
@@ -283,10 +321,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.devices < 1 or args.workers < 1:
+        print("error: --devices and --workers must be >= 1", file=sys.stderr)
+        return 2
     context = BenchContext(
         reads=args.reads, read_length=args.read_length, psize=args.psize,
         pipelines=args.pipelines, seed=args.seed,
         sql_backend=args.sql_backend,
+        workers=args.workers, devices=args.devices,
     )
     probes = (
         [name.strip() for name in args.probes.split(",") if name.strip()]
@@ -330,9 +372,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(comparison.render())
         record_event(
             "bench.compare", baseline=args.compare,
+            refused=comparison.refused,
             regressions=[probe.name for probe in comparison.regressions],
         )
-        if not comparison.ok:
+        if comparison.refused:
+            log.warning("comparison vs %s refused", args.compare)
+            if not args.report_only:
+                return 2
+        elif not comparison.ok:
             log.warning(
                 "%d probe(s) regressed vs %s",
                 len(comparison.regressions), args.compare,
@@ -398,7 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     preprocess.add_argument(
         "--workers", type=int, default=1,
-        help="host worker processes the waves fan out over",
+        help="host worker processes the waves fan out over (per device)",
+    )
+    preprocess.add_argument(
+        "--devices", type=int, default=1,
+        help="shard the waves over this many simulated accelerator cards "
+             "(bit-identical results at any count)",
     )
     preprocess.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
@@ -464,10 +516,15 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="bottleneck analysis over a saved profile --out JSON",
     )
-    analyze.add_argument("report", metavar="REPORT_JSON")
+    analyze.add_argument("report", metavar="REPORT_JSON", nargs="?")
     analyze.add_argument(
         "--min-stall-share", type=float, default=0.01,
         help="drop stall chains below this fraction of the run",
+    )
+    analyze.add_argument(
+        "--sharding", action="store_true",
+        help="report per-device utilization, steal counts, and the "
+             "device-count what-if of the latest sharded run in the ledger",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -495,6 +552,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--sql-backend", default="fast", metavar="NAME",
         help="SQL execution backend the sql probes measure against the "
              "row-at-a-time reference (default: fast)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes the scheduler probes measure with "
+             "(part of the config digest)",
+    )
+    bench.add_argument(
+        "--devices", type=int, default=2,
+        help="device count the sharding probe measures "
+             "(part of the config digest)",
     )
     bench.add_argument(
         "--probes", default=None, metavar="A,B,...",

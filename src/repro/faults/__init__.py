@@ -21,7 +21,14 @@ from .injector import (
     InjectedWorkerCrash,
     RetryBudgetExceeded,
 )
-from .plan import DEFAULT_SITES, FAULT_KINDS, KNOWN_SITES, FaultPlan, FaultSpec
+from .plan import (
+    DEFAULT_SITES,
+    FAULT_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    shard_fault_plan,
+)
 from .retry import NO_RETRY, RetryPolicy
 
 __all__ = [
@@ -41,4 +48,5 @@ __all__ = [
     "NO_RETRY",
     "RetryBudgetExceeded",
     "RetryPolicy",
+    "shard_fault_plan",
 ]

@@ -29,8 +29,9 @@ block at the end of ``repro profile`` output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from .ledger import RunLedger
 from .profile import ModuleProfile, ProfileReport
 from .registry import MetricsRegistry
 
@@ -274,4 +275,145 @@ def analyze_report(
         root_bottleneck=root_bottleneck,
         what_ifs=what_ifs,
         modules=modules,
+    )
+
+
+# -- multi-device sharding analysis ----------------------------------------------------
+
+
+@dataclass
+class DeviceUtilization:
+    """One device queue's share of a sharded run."""
+
+    device: int
+    waves: int
+    cycles: int
+    steals_in: int
+    steals_out: int
+    busy_seconds: float
+    transfer_seconds: float
+    elapsed_seconds: float
+    #: Cycle share of the critical-path device (1.0 = busiest queue).
+    utilization: float
+
+
+@dataclass
+class ShardingReport:
+    """Per-device utilization and the Amdahl what-if over device count,
+    reconstructed from a run's ``shard.run``/``shard.device`` ledger
+    events."""
+
+    stage: str
+    devices: int
+    workers: int
+    waves: int
+    total_cycles: int
+    steals: int
+    host_parallelism: float
+    per_device: List[DeviceUtilization]
+    what_ifs: List[WhatIf]
+
+    def render(self) -> str:
+        """The human-readable summary block."""
+        lines = [
+            f"sharding analysis: {self.stage} — {self.devices} device(s), "
+            f"{self.workers} worker(s)/device, {self.waves} wave(s), "
+            f"{self.total_cycles} cycles, {self.steals} steal(s), "
+            f"host parallelism {self.host_parallelism:.2f}"
+        ]
+        if self.per_device:
+            lines.append(
+                "  device   waves  cycles        util  steals(in/out)"
+            )
+            for entry in self.per_device:
+                lines.append(
+                    f"  d{entry.device:<7} {entry.waves:>5} "
+                    f"{entry.cycles:>10} {entry.utilization:>7.1%}  "
+                    f"{entry.steals_in}/{entry.steals_out}"
+                )
+        for what_if in self.what_ifs:
+            lines.append(f"  what-if: {what_if.description}")
+        return "\n".join(lines)
+
+
+def device_what_if(
+    per_wave_cycles: Sequence[int],
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+) -> List[WhatIf]:
+    """Amdahl-style bounds over device count: LPT-pack the run's actual
+    per-wave cycle costs onto ``k`` idealized devices and report the
+    makespan speedup vs one device.  Wave granularity is the serial
+    fraction here — a run dominated by one huge wave stops scaling, and
+    the bound makes that visible before anyone provisions hardware."""
+    total = sum(per_wave_cycles)
+    what_ifs: List[WhatIf] = []
+    if total <= 0:
+        return what_ifs
+    costs = sorted(per_wave_cycles, reverse=True)
+    for count in device_counts:
+        if count < 1:
+            continue
+        loads = [0] * count
+        for cost in costs:
+            loads[min(range(count), key=lambda d: (loads[d], d))] += cost
+        makespan = max(loads)
+        speedup = total / makespan if makespan else 1.0
+        what_ifs.append(WhatIf(
+            module=f"devices={count}",
+            speedup_bound=speedup,
+            saved_cycles=total - makespan,
+            description=(
+                f"{count} device(s) bound the critical path at "
+                f"{makespan} cycles ({speedup:.2f}x vs one device)"
+            ),
+        ))
+    return what_ifs
+
+
+def sharding_report_from_ledger(
+    ledger: RunLedger, run_id: Optional[str] = None
+) -> ShardingReport:
+    """Rebuild the :class:`ShardingReport` of a ledgered run.
+
+    Uses the latest ``shard.run`` event (or the latest one of ``run_id``
+    when given) and its sibling ``shard.device`` events.  Raises
+    ``ValueError`` when the ledger holds no sharded runs.
+    """
+    runs = ledger.events("shard.run", run_id=run_id)
+    if not runs:
+        raise ValueError(
+            "no shard.run events in the ledger — run a sharded stage "
+            "(e.g. `repro preprocess --devices N`) first"
+        )
+    summary = runs[-1]
+    siblings = ledger.events(
+        "shard.device", run_id=str(summary.get("run_id"))
+    )
+    per_device = [
+        DeviceUtilization(
+            device=int(record.get("device", 0)),
+            waves=int(record.get("waves", 0)),
+            cycles=int(record.get("cycles", 0)),
+            steals_in=int(record.get("steals_in", 0)),
+            steals_out=int(record.get("steals_out", 0)),
+            busy_seconds=float(record.get("busy_seconds", 0.0)),
+            transfer_seconds=float(record.get("transfer_seconds", 0.0)),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            utilization=float(record.get("utilization", 0.0)),
+        )
+        for record in siblings
+        if record.get("stage") == summary.get("stage")
+    ]
+    per_device.sort(key=lambda entry: entry.device)
+    per_wave = [int(c) for c in summary.get("per_wave_cycles", [])]
+    return ShardingReport(
+        stage=str(summary.get("stage", "?")),
+        devices=int(summary.get("devices", 1)),
+        workers=int(summary.get("workers", 1)),
+        waves=int(summary.get("waves", 0)),
+        total_cycles=int(summary.get("total_cycles", 0)),
+        steals=int(summary.get("steals", 0)),
+        host_parallelism=float(summary.get("host_parallelism", 0.0)),
+        per_device=per_device,
+        what_ifs=device_what_if(per_wave),
     )

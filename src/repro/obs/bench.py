@@ -53,6 +53,11 @@ class BenchContext:
     seed: int = 2024
     #: SQL execution backend the sql probes measure (vs "reference").
     sql_backend: str = "fast"
+    #: Host topology the scheduler probes measure: worker processes per
+    #: device queue and sharded device count.  Part of the config digest
+    #: — medians from different topologies are not comparable.
+    workers: int = 2
+    devices: int = 2
     workload: object = None
 
     def build(self) -> "BenchContext":
@@ -79,6 +84,8 @@ class BenchContext:
             "pipelines": self.pipelines,
             "seed": self.seed,
             "sql_backend": self.sql_backend,
+            "workers": self.workers,
+            "devices": self.devices,
         }
 
 
@@ -118,7 +125,20 @@ def _probe_scheduler_parallelism(context: BenchContext) -> float:
 
     driver = MetadataWaveDriver(reference=context.workload.reference)
     _results, stats = run_partitioned(
-        driver, context.workload.partitions, context.pipelines, workers=2
+        driver, context.workload.partitions, context.pipelines,
+        workers=context.workers,
+    )
+    return stats.host_parallelism
+
+
+def _probe_device_parallelism(context: BenchContext) -> float:
+    from ..accel.sharding import run_sharded
+    from ..accel.scheduler import MetadataWaveDriver
+
+    driver = MetadataWaveDriver(reference=context.workload.reference)
+    _results, stats = run_sharded(
+        driver, context.workload.partitions, context.pipelines,
+        devices=context.devices, workers=1,
     )
     return stats.host_parallelism
 
@@ -197,7 +217,14 @@ DEFAULT_SUITE: Dict[str, Probe] = {
             "scheduler_parallelism",
             _probe_scheduler_parallelism,
             "x", True,
-            "effective host concurrency of a workers=2 partitioned run",
+            "effective host concurrency of a multi-worker partitioned run",
+        ),
+        Probe(
+            "device_scaling_parallelism",
+            _probe_device_parallelism,
+            "x", True,
+            "effective host concurrency of a sharded run across the "
+            "context's device count (one worker per device queue)",
         ),
         Probe(
             "markdup_cycles_per_base",
@@ -373,7 +400,7 @@ def run_bench(
             config=context.config(),
             seed=context.seed,
             pipelines=context.pipelines,
-            workers=1,
+            workers=context.workers,
             mode="event",
         )
     results: Dict[str, ProbeResult] = {}
@@ -414,6 +441,12 @@ def write_bench_result(result: BenchResult, out_dir: str = ".") -> str:
 
 # -- comparison ----------------------------------------------------------------------
 
+#: Config keys describing the measured host/device topology.  Medians
+#: from different topologies answer different questions (a devices=4 run
+#: is not a regression of a devices=1 baseline), so comparisons across
+#: them are refused rather than noted.
+TOPOLOGY_KEYS = ("devices", "workers", "sql_backend")
+
 
 @dataclass
 class ProbeComparison:
@@ -450,6 +483,10 @@ class ComparisonResult:
     missing: List[str] = field(default_factory=list)
     comparable: bool = True
     notes: List[str] = field(default_factory=list)
+    #: True when the comparison was refused outright (mismatched
+    #: topology): no probes were diffed and the caller should treat the
+    #: invocation as a usage error, not a perf verdict.
+    refused: bool = False
 
     @property
     def regressions(self) -> List[ProbeComparison]:
@@ -457,7 +494,7 @@ class ComparisonResult:
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.refused and not self.regressions
 
     def render(self) -> str:
         lines = [
@@ -488,8 +525,38 @@ def compare_results(
     (relative) in the bad direction **and** the current median sits
     outside the baseline's IQR — a wide-IQR (noisy) baseline therefore
     only fails on movements the baseline itself never produced.
+
+    Comparisons across mismatched topology (:data:`TOPOLOGY_KEYS` in
+    both manifests but with different values) are refused: the result
+    carries ``refused=True``, no probes, and a note naming the
+    mismatched keys.  Older results that never recorded topology still
+    compare with the digest-mismatch note only.
     """
     notes: List[str] = []
+    mismatched = [
+        key for key in TOPOLOGY_KEYS
+        if key in current.manifest.config
+        and key in baseline.manifest.config
+        and current.manifest.config[key] != baseline.manifest.config[key]
+    ]
+    if mismatched:
+        details = ", ".join(
+            f"{key}: {baseline.manifest.config[key]} vs "
+            f"{current.manifest.config[key]}"
+            for key in mismatched
+        )
+        return ComparisonResult(
+            threshold=threshold,
+            probes=[],
+            missing=[],
+            comparable=False,
+            notes=[
+                f"refusing to compare across topologies ({details}); "
+                "re-run with matching --devices/--workers/--sql-backend "
+                "or regenerate the baseline"
+            ],
+            refused=True,
+        )
     if current.manifest.digest != baseline.manifest.digest:
         notes.append(
             f"config digests differ (current {current.manifest.digest}, "

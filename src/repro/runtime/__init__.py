@@ -5,12 +5,19 @@ with a virtual timeline that makes host/accelerator overlap and PCIe
 transfer costs observable.
 """
 
-from .api import ColumnBinding, GenesisRuntime, Kernel, PipelineState
+from .api import (
+    ColumnBinding,
+    GenesisRuntime,
+    Kernel,
+    PipelineState,
+    pool_runtimes,
+)
 from .device import (
     CLOCK_HZ,
     PCIE3_BANDWIDTH,
     PCIE4_BANDWIDTH,
     DeviceConfig,
+    DevicePool,
     GenesisDevice,
     TransferRecord,
     VirtualTimeline,
@@ -20,6 +27,7 @@ __all__ = [
     "CLOCK_HZ",
     "ColumnBinding",
     "DeviceConfig",
+    "DevicePool",
     "GenesisDevice",
     "GenesisRuntime",
     "Kernel",
@@ -28,6 +36,7 @@ __all__ = [
     "PipelineState",
     "TransferRecord",
     "VirtualTimeline",
+    "pool_runtimes",
 ]
 
 from .batch import (

@@ -27,7 +27,7 @@ from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
 from ..obs.log import get_logger
 from ..obs.registry import MetricsRegistry, registry_or_null
-from .device import DeviceConfig, GenesisDevice
+from .device import DeviceConfig, DevicePool, GenesisDevice
 
 _log = get_logger("runtime")
 
@@ -84,14 +84,33 @@ GenesisDevice`).
         registry: Optional[MetricsRegistry] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        device: Optional[GenesisDevice] = None,
     ):
-        self.registry = registry_or_null(registry)
-        self.device = GenesisDevice(
-            config,
-            fault_injector=fault_injector,
-            retry_policy=retry_policy,
-            registry=self.registry,
-        )
+        if device is not None:
+            if (
+                config is not None
+                or fault_injector is not None
+                or retry_policy is not None
+            ):
+                raise ValueError(
+                    "pass either a constructed device or its construction "
+                    "parameters, not both"
+                )
+            # a pool member arrives pre-wired: keep its registry unless
+            # the caller wants the traffic mirrored elsewhere
+            self.registry = (
+                registry_or_null(registry)
+                if registry is not None else device.registry
+            )
+            self.device = device
+        else:
+            self.registry = registry_or_null(registry)
+            self.device = GenesisDevice(
+                config,
+                fault_injector=fault_injector,
+                retry_policy=retry_policy,
+                registry=self.registry,
+            )
         self._pipelines: Dict[int, PipelineState] = {}
 
     # -- pipeline registry ---------------------------------------------------------
@@ -210,3 +229,11 @@ GenesisDevice`).
     def elapsed_seconds(self) -> float:
         """Virtual wall-clock since runtime creation."""
         return self.device.timeline.now
+
+
+def pool_runtimes(pool: DevicePool) -> list:
+    """One :class:`GenesisRuntime` per card of a
+    :class:`~repro.runtime.device.DevicePool`, each publishing into its
+    card's own registry — the multi-device analog of constructing one
+    runtime over one device."""
+    return [GenesisRuntime(device=device) for device in pool]

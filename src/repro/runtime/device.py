@@ -223,3 +223,86 @@ class GenesisDevice:
         completion = self._completion_at.get(pipeline_id)
         if completion is not None:
             self.timeline.wait_until(completion)
+
+
+class DevicePool:
+    """N modelled cards, each with its own virtual timeline, PCIe link,
+    device memory, and metrics registry.
+
+    The pool is the hardware side of multi-device sharding
+    (:mod:`repro.accel.sharding`): every shard of a run charges its
+    transfers and compute to its own card, so per-device occupancy and
+    utilization are observable exactly as a single-card run's are.  The
+    cards are fully independent — nothing in the pool is shared state —
+    which is what makes sharded runs deterministic regardless of how the
+    host overlaps the device queues.
+
+    ``fault_injectors`` optionally supplies one injector per device
+    (runtime sites keep per-device slot counters that way); a single
+    shared injector is deliberately not accepted, because concurrent
+    device queues would race its slot counters.
+    """
+
+    def __init__(
+        self,
+        devices: int = 1,
+        config: Optional[DeviceConfig] = None,
+        fault_injectors: Optional[list] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        if devices < 1:
+            raise ValueError("need at least one device")
+        if fault_injectors is not None and len(fault_injectors) != devices:
+            raise ValueError(
+                f"need one fault injector per device "
+                f"({len(fault_injectors)} for {devices} devices)"
+            )
+        self.config = config or DeviceConfig()
+        self.registries = [MetricsRegistry() for _ in range(devices)]
+        self.devices = [
+            GenesisDevice(
+                config=self.config,
+                fault_injector=(
+                    fault_injectors[index]
+                    if fault_injectors is not None else None
+                ),
+                retry_policy=retry_policy,
+                registry=self.registries[index],
+            )
+            for index in range(devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def device(self, index: int) -> GenesisDevice:
+        """The card at ``index``."""
+        return self.devices[index]
+
+    def least_loaded(self) -> int:
+        """The index of the card whose timeline is furthest behind
+        (ties break on the lowest index, so the choice is deterministic)."""
+        return min(
+            range(len(self.devices)),
+            key=lambda index: (self.devices[index].timeline.now, index),
+        )
+
+    def busy_seconds(self) -> list:
+        """Per-device accelerator occupancy, in device order."""
+        return [d.timeline.device_busy_seconds for d in self.devices]
+
+    def transfer_seconds(self) -> list:
+        """Per-device PCIe link occupancy, in device order."""
+        return [d.timeline.transfer_seconds for d in self.devices]
+
+    def utilization(self) -> list:
+        """Each card's busy share of the busiest card (1.0 for the
+        critical-path device; empty-queue devices report 0)."""
+        busy = self.busy_seconds()
+        peak = max(busy) if busy else 0.0
+        if peak <= 0:
+            return [0.0 for _ in busy]
+        return [seconds / peak for seconds in busy]

@@ -292,3 +292,85 @@ class TestSqlOperatorAttribution:
         assert "75.0%" in lines[1]
         assert "1000 rows" in lines[2]
         assert any("reference" in line for line in lines)
+
+
+class TestDeviceWhatIf:
+    def test_lpt_bound_over_device_counts(self):
+        from repro.obs.analyze import device_what_if
+
+        # LPT over [4, 3, 2, 1] on 2 devices: loads (4+1, 3+2) -> makespan 5
+        what_ifs = device_what_if([4, 3, 2, 1], device_counts=(1, 2, 4))
+        by_count = {w.module: w for w in what_ifs}
+        assert by_count["devices=1"].speedup_bound == pytest.approx(1.0)
+        assert by_count["devices=2"].speedup_bound == pytest.approx(10 / 5)
+        # 4 devices: makespan is the largest wave -> 10/4 = 2.5x
+        assert by_count["devices=4"].speedup_bound == pytest.approx(10 / 4)
+        assert by_count["devices=4"].saved_cycles == 6
+
+    def test_one_huge_wave_caps_scaling(self):
+        from repro.obs.analyze import device_what_if
+
+        what_ifs = device_what_if([100, 1, 1], device_counts=(8,))
+        assert what_ifs[0].speedup_bound == pytest.approx(102 / 100)
+
+    def test_empty_and_bogus_inputs(self):
+        from repro.obs.analyze import device_what_if
+
+        assert device_what_if([]) == []
+        assert device_what_if([0, 0]) == []
+        assert device_what_if([5], device_counts=(0, -1)) == []
+
+
+class TestShardingReport:
+    def _sharded_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger, RunManifest, run_context
+        from repro.accel.scheduler import MetadataWaveDriver
+        from repro.accel.sharding import run_sharded
+        from repro.eval.workloads import make_workload
+
+        workload = make_workload(
+            n_reads=60, read_length=50, chromosomes=(21,),
+            genome_scale=2.5e-5, psize=1000, seed=17,
+        )
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        manifest = RunManifest(workload="sharding-test", workers=1)
+        driver = MetadataWaveDriver(reference=workload.reference)
+        with run_context(manifest, ledger):
+            _res, stats = run_sharded(
+                driver, workload.partitions, 2, devices=2, workers=1
+            )
+        return ledger, stats
+
+    def test_report_reconstructs_the_run(self, tmp_path):
+        from repro.obs.analyze import sharding_report_from_ledger
+
+        ledger, stats = self._sharded_ledger(tmp_path)
+        report = sharding_report_from_ledger(ledger)
+        assert report.stage == "metadata"
+        assert report.devices == 2
+        assert report.waves == stats.waves
+        assert report.total_cycles == stats.total_cycles
+        assert report.steals == stats.steal_count
+        assert len(report.per_device) == 2
+        assert [d.device for d in report.per_device] == [0, 1]
+        assert max(d.utilization for d in report.per_device) == pytest.approx(1.0)
+        assert report.what_ifs, "expected Amdahl what-ifs over device count"
+        speedups = {w.module: w.speedup_bound for w in report.what_ifs}
+        assert speedups["devices=1"] == pytest.approx(1.0)
+
+    def test_render_mentions_devices_and_what_ifs(self, tmp_path):
+        from repro.obs.analyze import sharding_report_from_ledger
+
+        ledger, _stats = self._sharded_ledger(tmp_path)
+        text = sharding_report_from_ledger(ledger).render()
+        assert "sharding analysis: metadata" in text
+        assert "d0" in text and "d1" in text
+        assert "what-if: " in text
+
+    def test_empty_ledger_raises(self, tmp_path):
+        from repro.obs.analyze import sharding_report_from_ledger
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(str(tmp_path / "empty.jsonl"))
+        with pytest.raises(ValueError, match="no shard.run events"):
+            sharding_report_from_ledger(ledger)

@@ -220,6 +220,66 @@ class TestCompare:
         text = compare_results(result, result).render()
         assert "0 regression(s) across 1 compared probe(s)" in text
 
+    def _topology_result(self, **config):
+        base = {"fake": True, "devices": 2, "workers": 2, "sql_backend": "fast"}
+        base.update(config)
+        return run_bench(
+            _context(), repeats=1, warmup=0, suite=_suite({"a": 1.0}),
+            manifest=RunManifest(
+                workload="bench", config=base, seed=0,
+                pipelines=1, workers=1, mode="event",
+            ),
+        )
+
+    def test_mismatched_topology_refused(self):
+        baseline = self._topology_result(devices=1)
+        current = self._topology_result(devices=4)
+        comparison = compare_results(current, baseline)
+        assert comparison.refused
+        assert not comparison.ok
+        assert not comparison.probes  # nothing was diffed
+        assert any(
+            "refusing to compare across topologies" in note
+            and "devices: 1 vs 4" in note
+            for note in comparison.notes
+        )
+
+    def test_every_topology_key_guards(self):
+        baseline = self._topology_result()
+        for key, other in (
+            ("devices", 8), ("workers", 16), ("sql_backend", "python")
+        ):
+            comparison = compare_results(
+                self._topology_result(**{key: other}), baseline
+            )
+            assert comparison.refused, key
+            assert any(key in note for note in comparison.notes), key
+
+    def test_matching_topology_still_compares(self):
+        baseline = self._topology_result()
+        comparison = compare_results(self._topology_result(), baseline)
+        assert not comparison.refused
+        assert comparison.ok
+        assert [probe.name for probe in comparison.probes] == ["a"]
+
+    def test_legacy_results_without_topology_keys_compare(self):
+        # Pre-topology baselines never recorded devices/workers: they must
+        # keep the digest-note behavior, not the hard refusal.
+        baseline = _result({"a": 1.0})
+        current = self._topology_result()
+        comparison = compare_results(current, baseline)
+        assert not comparison.refused
+        assert not comparison.comparable  # digest still mismatches
+        assert any("digest" in note for note in comparison.notes)
+
+    def test_manifest_records_topology(self, workload):
+        context = BenchContext(workload=workload, workers=3, devices=2)
+        result = run_bench(
+            context, repeats=1, warmup=0, suite=_suite({"a": 1.0})
+        )
+        assert result.manifest.config["workers"] == 3
+        assert result.manifest.config["devices"] == 2
+
 
 class TestRealProbes:
     def test_deterministic_cycle_probe_on_tiny_workload(self, workload):

@@ -239,3 +239,86 @@ def test_cli_records_runs_in_ledger(tmp_path, capsys):
     assert start["manifest"]["workload"] == "profile"
     run_id = start["run_id"]
     assert all(record["run_id"] == run_id for record in records)
+
+
+# -- multi-device sharding (DESIGN.md §3.7) ------------------------------------------
+
+
+def _simulate(tmp_path):
+    fasta = tmp_path / "ref.fa"
+    sam = tmp_path / "reads.sam"
+    assert main([
+        "--no-ledger", "simulate", "--fasta", str(fasta), "--sam", str(sam),
+        "--reads", "60", "--read-length", "50", "--seed", "5",
+        "--chromosomes", "21",
+    ]) == 0
+    return fasta, sam
+
+
+def test_preprocess_devices_bit_identical_output(tmp_path, capsys):
+    """The CLI-level invariant: --devices N writes byte-identical SAM."""
+    fasta, sam = _simulate(tmp_path)
+    outs = {}
+    for devices in (1, 2):
+        out = tmp_path / f"tagged_d{devices}.sam"
+        assert main([
+            "--no-ledger", "preprocess", "--fasta", str(fasta),
+            "--sam", str(sam), "--out", str(out), "--psize", "1000",
+            "--devices", str(devices), "--workers", "2",
+        ]) == 0
+        outs[devices] = out.read_text()
+    assert outs[2] == outs[1]
+    out = capsys.readouterr().out
+    assert "devices=2" in out
+    assert "device 0:" in out and "device 1:" in out
+
+
+def test_analyze_sharding_reads_the_ledger(tmp_path, capsys):
+    fasta, sam = _simulate(tmp_path)
+    ledger = tmp_path / "ledger.jsonl"
+    assert main([
+        "--ledger", str(ledger), "preprocess", "--fasta", str(fasta),
+        "--sam", str(sam), "--out", str(tmp_path / "tagged.sam"),
+        "--psize", "1000", "--devices", "2",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["--ledger", str(ledger), "analyze", "--sharding"]) == 0
+    out = capsys.readouterr().out
+    assert "sharding analysis: metadata" in out
+    assert "what-if" in out
+
+
+def test_analyze_sharding_empty_ledger_exits_cleanly(tmp_path, capsys):
+    ledger = tmp_path / "empty.jsonl"
+    assert main(["--ledger", str(ledger), "analyze", "--sharding"]) == 2
+    assert "no shard.run events" in capsys.readouterr().err
+
+
+def test_analyze_needs_report_or_sharding(capsys):
+    assert main(["--no-ledger", "analyze"]) == 2
+    assert "REPORT_JSON or --sharding" in capsys.readouterr().err
+
+
+def test_bench_refuses_mismatched_topology(tmp_path, capsys):
+    assert main(_bench_argv(tmp_path, "--devices", "2")) == 0
+    baseline = tmp_path / "BENCH_1.json"
+    capsys.readouterr()
+
+    # Same probes, different topology: refused outright, exit 2.
+    assert main(_bench_argv(
+        tmp_path, "--devices", "4", "--compare", str(baseline), "--no-write"
+    )) == 2
+    out = capsys.readouterr().out
+    assert "refusing to compare across topologies" in out
+    assert "devices: 2 vs 4" in out
+
+    # --report-only downgrades the refusal to a printed note.
+    assert main(_bench_argv(
+        tmp_path, "--devices", "4", "--compare", str(baseline),
+        "--no-write", "--report-only",
+    )) == 0
+
+
+def test_bench_rejects_nonpositive_topology(tmp_path, capsys):
+    assert main(_bench_argv(tmp_path, "--devices", "0", "--no-write")) == 2
+    assert "must be >= 1" in capsys.readouterr().err

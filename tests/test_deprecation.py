@@ -1,32 +1,31 @@
-"""The repro.accel.parallel shim must warn and re-export the scheduler
-implementations (imported via importlib so the module-level ban on
-``repro.accel.parallel`` imports keeps applying to real code)."""
+"""The deprecated ``repro.accel.parallel`` shim was removed after a full
+deprecation cycle (warned since PR 4, banned from package code via ruff
+TID251 until removal): importing it must now fail loudly, and the
+scheduler module it pointed at must keep exporting everything the shim
+used to re-export."""
 
 import importlib
 import sys
-import warnings
+
+import pytest
 
 
-def test_parallel_shim_warns_and_reexports():
+def test_parallel_shim_is_gone():
     sys.modules.pop("repro.accel.parallel", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.import_module("repro.accel.parallel")
-    assert any(
-        issubclass(w.category, DeprecationWarning)
-        and "repro.accel.scheduler" in str(w.message)
-        for w in caught
-    )
-    scheduler = importlib.import_module("repro.accel.scheduler")
-    assert shim.run_metadata_parallel is scheduler.run_metadata_parallel
-    assert shim.ParallelRunStats is scheduler.ParallelRunStats
-    assert shim.SpmImageCache is scheduler.SpmImageCache
-    assert shim.WorkerStats is scheduler.WorkerStats
-
-
-def test_nothing_in_the_package_imports_the_shim():
-    # The package itself must be clean even before ruff's TID251 runs.
-    sys.modules.pop("repro.accel.parallel", None)
-    importlib.import_module("repro.accel")
-    importlib.import_module("repro.cli")
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.accel.parallel")
     assert "repro.accel.parallel" not in sys.modules
+
+
+def test_scheduler_exports_the_former_shim_surface():
+    scheduler = importlib.import_module("repro.accel.scheduler")
+    for name in (
+        "run_metadata_parallel",
+        "ParallelRunStats",
+        "SpmImageCache",
+        "WorkerStats",
+    ):
+        assert hasattr(scheduler, name), name
+    accel = importlib.import_module("repro.accel")
+    for name in ("ParallelRunStats", "SpmImageCache", "run_partitioned"):
+        assert hasattr(accel, name), name

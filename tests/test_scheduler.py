@@ -268,6 +268,61 @@ def test_spm_cache_eviction():
     assert len(cache) == 1
 
 
+def test_spm_cache_absorb_merges_images_and_counters(sched_workload):
+    """absorb() is the cross-device merge: disjoint image sets union,
+    and the per-pool hit/miss/cycles-saved history accumulates."""
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    parts = list(sched_workload.partitions)
+    half = len(parts) // 2
+    assert half >= 1
+    cache_a, cache_b = SpmImageCache(), SpmImageCache()
+    run_partitioned(driver, parts[:half], 2, spm_cache=cache_a)
+    run_partitioned(driver, parts[half:], 2, spm_cache=cache_b)
+    keys_a, keys_b = set(cache_a.images()), set(cache_b.images())
+    misses_a, misses_b = cache_a.misses, cache_b.misses
+    cache_a.absorb(cache_b)
+    assert set(cache_a.images()) == keys_a | keys_b
+    assert cache_a.misses == misses_a + misses_b
+    # the absorbed pool replays both halves without re-simulating
+    _res, stats = run_partitioned(driver, parts, 2, spm_cache=cache_a)
+    assert stats.spm_cache_misses == 0
+
+
+def test_spm_cache_absorb_overlapping_keys_idempotent(sched_workload):
+    """Two pools that cached the same partitions merge first-wins: the
+    image set does not grow, and the surviving entries are the target's
+    own (no churn on identical keys)."""
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    cache_a, cache_b = SpmImageCache(), SpmImageCache()
+    run_partitioned(driver, sched_workload.partitions, 2, spm_cache=cache_a)
+    run_partitioned(driver, sched_workload.partitions, 2, spm_cache=cache_b)
+    before = cache_a.images()
+    cache_a.absorb(cache_b)
+    after = cache_a.images()
+    assert set(after) == set(before)
+    for key, image in before.items():
+        assert after[key] is image  # first writer won
+    # a second absorb of the same pool adds no images either
+    cache_a.absorb(cache_b)
+    assert set(cache_a.images()) == set(before)
+
+
+def test_spm_cache_absorb_counters_survive_merge(sched_workload):
+    driver = MetadataWaveDriver(reference=sched_workload.reference)
+    cache_a, cache_b = SpmImageCache(), SpmImageCache()
+    run_partitioned(driver, sched_workload.partitions, 2, spm_cache=cache_a)
+    run_partitioned(driver, sched_workload.partitions, 2, spm_cache=cache_b)
+    run_partitioned(driver, sched_workload.partitions, 2, spm_cache=cache_b)
+    assert cache_b.hits > 0 and cache_b.cycles_saved > 0
+    expected = (
+        cache_a.hits + cache_b.hits,
+        cache_a.misses + cache_b.misses,
+        cache_a.cycles_saved + cache_b.cycles_saved,
+    )
+    cache_a.absorb(cache_b)
+    assert (cache_a.hits, cache_a.misses, cache_a.cycles_saved) == expected
+
+
 # -- wave packing --------------------------------------------------------------------
 
 

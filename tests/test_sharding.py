@@ -1,0 +1,413 @@
+"""Tests for multi-device sharding (repro.accel.sharding).
+
+The headline invariant under test: a sharded run is **bit-identical**
+to the serial run — per-partition results AND simulated cycle
+accounting — at every ``(devices, workers)`` combination, including
+under injected faults and with work stealing engaged.  Host-side cache
+hit/miss counts are the one deliberate exception (locality depends on
+which device a wave lands on); the *modelled* SPM load cycles charge
+the same either way, so they are asserted invariant too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.scheduler import (
+    BqsrWaveDriver,
+    MarkdupWaveDriver,
+    MetadataWaveDriver,
+    SpmImageCache,
+    pack_waves,
+    run_partitioned,
+)
+from repro.accel.sharding import (
+    ShardedRunStats,
+    plan_shards,
+    reduce_bqsr_results,
+    run_sharded,
+    stable_shard_hash,
+)
+from repro.eval.workloads import make_workload
+from repro.faults.plan import FaultPlan, FaultSpec, shard_fault_plan
+
+BQSR_FIELDS = ("total_cycle", "total_context", "error_cycle", "error_context")
+
+DEVICE_GRID = [
+    (devices, workers) for devices in (1, 2, 4) for workers in (1, 4)
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Enough partitions for multi-wave, multi-device schedules."""
+    return make_workload(
+        n_reads=120,
+        read_length=60,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=1000,
+        seed=105,
+    )
+
+
+@pytest.fixture(scope="module")
+def metadata_serial(workload):
+    driver = MetadataWaveDriver(reference=workload.reference)
+    return run_partitioned(driver, workload.partitions, 2, workers=1)
+
+
+@pytest.fixture(scope="module")
+def markdup_serial(workload):
+    driver = MarkdupWaveDriver()
+    return run_partitioned(driver, workload.partitions, 1, workers=1)
+
+
+@pytest.fixture(scope="module")
+def bqsr_serial(workload):
+    driver = BqsrWaveDriver(
+        reference=workload.reference, read_length=workload.read_length
+    )
+    return run_partitioned(driver, workload.group_partitions, 4, workers=1)
+
+
+def _assert_same_cycles(serial_stats, sharded):
+    """The simulated half of the accounting must be topology-invariant."""
+    assert isinstance(sharded, ShardedRunStats)
+    assert sharded.waves == serial_stats.waves
+    assert sharded.per_wave_cycles == serial_stats.per_wave_cycles
+    assert sharded.total_cycles == serial_stats.total_cycles
+    assert sharded.spm_load_cycles == serial_stats.spm_load_cycles
+    assert sharded.cycles_including_load == serial_stats.cycles_including_load
+    assert sharded.total_flits == serial_stats.total_flits
+
+
+def _assert_metadata_identical(serial_res, sharded_res):
+    assert set(sharded_res) == set(serial_res)
+    for pid in serial_res:
+        assert sharded_res[pid].nm == serial_res[pid].nm, str(pid)
+        assert sharded_res[pid].md == serial_res[pid].md, str(pid)
+        assert sharded_res[pid].uq == serial_res[pid].uq, str(pid)
+
+
+def _assert_bqsr_identical(serial_res, sharded_res):
+    assert set(sharded_res) == set(serial_res)
+    for pid in serial_res:
+        for field in BQSR_FIELDS:
+            assert np.array_equal(
+                getattr(sharded_res[pid], field), getattr(serial_res[pid], field)
+            ), (str(pid), field)
+
+
+# -- differential: devices x workers vs the serial schedule -------------------------
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_metadata_sharded_bit_identical(workload, metadata_serial, devices, workers):
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=devices, workers=workers
+    )
+    assert serial_stats.waves > 1, "need a multi-wave schedule to compare"
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, sharded_res)
+    assert stats.devices == devices
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_markdup_sharded_bit_identical(workload, markdup_serial, devices, workers):
+    serial_res, serial_stats = markdup_serial
+    driver = MarkdupWaveDriver()
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 1, devices=devices, workers=workers
+    )
+    _assert_same_cycles(serial_stats, stats)
+    assert set(sharded_res) == set(serial_res)
+    for pid in serial_res:
+        assert sharded_res[pid].quality_sums == serial_res[pid].quality_sums
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_bqsr_sharded_bit_identical(workload, bqsr_serial, devices, workers):
+    serial_res, serial_stats = bqsr_serial
+    driver = BqsrWaveDriver(
+        reference=workload.reference, read_length=workload.read_length
+    )
+    sharded_res, stats = run_sharded(
+        driver, workload.group_partitions, 4, devices=devices, workers=workers
+    )
+    _assert_same_cycles(serial_stats, stats)
+    _assert_bqsr_identical(serial_res, sharded_res)
+
+
+def test_sharded_smoke(workload, metadata_serial):
+    """Fast single-topology differential for CI smoke jobs
+    (``pytest -k test_sharded_smoke``)."""
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=2
+    )
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, sharded_res)
+
+
+# -- differential under injected faults ---------------------------------------------
+
+
+@pytest.mark.parametrize("devices", (1, 2, 4))
+def test_sharded_bit_identical_under_faults(workload, metadata_serial, devices):
+    """Global fault slots fire on whichever device runs that wave, and
+    the retry ladder still converges to the serial answer."""
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    plan = FaultPlan(
+        seed=7, specs=(FaultSpec("worker_crash", count=2, at=(0, 1)),)
+    )
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=devices, workers=2,
+        fault_plan=plan,
+    )
+    assert stats.faults_injected == 2
+    assert stats.faults_by_kind == {"worker_crash": 2}
+    assert stats.retries >= 2
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, sharded_res)
+
+
+def test_sharded_bit_identical_under_timeout(workload, metadata_serial):
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    plan = FaultPlan(
+        seed=11, specs=(FaultSpec("wave_timeout", at=(0,)),)
+    )
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=1,
+        fault_plan=plan, wave_timeout=0.75,
+    )
+    assert stats.faults_injected == 1
+    assert stats.watchdog_timeouts >= 1
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, sharded_res)
+
+
+# -- work stealing ------------------------------------------------------------------
+
+
+def test_range_policy_forces_a_steal(workload, metadata_serial):
+    """The range policy front-loads the LPT order onto low devices, so
+    the steal loop must engage — and results stay bit-identical."""
+    serial_res, serial_stats = metadata_serial
+    plan = plan_shards(workload.partitions, 2, devices=2, policy="range")
+    assert plan.steals, "expected the range layout to trigger stealing"
+    driver = MetadataWaveDriver(reference=workload.reference)
+    sharded_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=1, policy="range"
+    )
+    assert stats.steal_count == len(plan.steals)
+    for steal in stats.steals:
+        assert stats.per_device[steal.target].steals_in >= 1
+        assert stats.per_device[steal.source].steals_out >= 1
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, sharded_res)
+
+
+def test_steal_strictly_improves_makespan(workload):
+    stolen = plan_shards(workload.partitions, 2, devices=2, policy="range")
+    unstolen = plan_shards(
+        workload.partitions, 2, devices=2, policy="range", steal=False
+    )
+    assert not unstolen.steals
+    assert max(stolen.loads()) < max(unstolen.loads())
+    assert sum(stolen.loads()) == sum(unstolen.loads())
+
+
+# -- the shard planner --------------------------------------------------------------
+
+
+def test_plan_shards_is_deterministic(workload):
+    first = plan_shards(workload.partitions, 2, devices=3)
+    second = plan_shards(workload.partitions, 2, devices=3)
+    assert [w.device for w in first.waves] == [w.device for w in second.waves]
+    assert first.steals == second.steals
+    assert first.device_queues() == second.device_queues()
+
+
+def test_plan_shards_preserves_global_packing(workload):
+    """Sharding must never re-pack: every wave's composition is exactly
+    the serial LPT packing's."""
+    empty_pids, packed = pack_waves(workload.partitions, 2)
+    plan = plan_shards(workload.partitions, 2, devices=4)
+    assert plan.empty_pids == empty_pids
+    assert len(plan.waves) == len(packed)
+    for wave, packed_wave in zip(plan.waves, packed):
+        assert [pid for pid, _p in wave.items] == [pid for pid, _p in packed_wave]
+
+
+def test_plan_shards_queue_order_and_hash_homes(workload):
+    plan = plan_shards(workload.partitions, 2, devices=2, steal=False)
+    for device in range(2):
+        queue = plan.device_queues()[device]
+        assert queue == sorted(queue)  # global order within a queue
+    for wave in plan.waves:
+        assert wave.device == wave.home_device  # steal=False: nothing moved
+        assert wave.home_device == stable_shard_hash(wave.items[0][0]) % 2
+
+
+def test_plan_shards_rejects_bad_arguments(workload):
+    with pytest.raises(ValueError, match="at least one device"):
+        plan_shards(workload.partitions, 2, devices=0)
+    with pytest.raises(ValueError, match="unknown shard policy"):
+        plan_shards(workload.partitions, 2, devices=2, policy="striped")
+
+
+def test_stable_shard_hash_is_value_based(workload):
+    """The shard hash must depend only on the partition id's *value*
+    (CRC32 of its rendered form), never on object identity or Python's
+    per-process hash salt."""
+    import zlib
+
+    pid = next(iter(workload.partitions))[0]
+    clone = type(pid)(pid.chrom, pid.segment, pid.read_group)
+    assert clone is not pid
+    assert stable_shard_hash(clone) == stable_shard_hash(pid)
+    assert stable_shard_hash(pid) == zlib.crc32(str(pid).encode("utf-8"))
+
+
+# -- fault-plan sharding ------------------------------------------------------------
+
+
+def test_shard_fault_plan_places_by_actual_layout():
+    plan = FaultPlan(
+        seed=1, specs=(FaultSpec("worker_crash", count=2, at=(1, 2)),)
+    )
+    # device 0 runs global waves [0, 2]; device 1 runs [1, 3]
+    shards = shard_fault_plan(plan, [[0, 2], [1, 3]])
+    assert len(shards) == 2
+    (spec0,) = shards[0].specs
+    assert spec0.at == (1,)  # global wave 2 is device 0's local slot 1
+    (spec1,) = shards[1].specs
+    assert spec1.at == (0,)  # global wave 1 is device 1's local slot 0
+    assert shards[0].seed == shards[1].seed == plan.seed
+
+
+def test_shard_fault_plan_drops_out_of_range_targets():
+    plan = FaultPlan(
+        seed=2, specs=(FaultSpec("worker_crash", count=2, at=(0, 99)),)
+    )
+    shards = shard_fault_plan(plan, [[0], [1]])
+    (spec0,) = shards[0].specs
+    assert spec0.at == (0,) and spec0.count == 1
+    assert shards[1].specs == ()
+
+
+def test_shard_fault_plan_replicates_other_sites():
+    plan = FaultPlan(
+        seed=3,
+        specs=(
+            FaultSpec("transfer_error", site="runtime.transfer"),
+            FaultSpec("worker_crash", at=(0,)),
+        ),
+    )
+    shards = shard_fault_plan(plan, [[0], [1]])
+    for shard in shards:
+        assert any(s.site == "runtime.transfer" for s in shard.specs)
+    assert any(s.site == "scheduler.wave" for s in shards[0].specs)
+    assert not any(s.site == "scheduler.wave" for s in shards[1].specs)
+
+
+def test_shard_fault_plan_rejects_empty_layout():
+    with pytest.raises(ValueError, match="device queue"):
+        shard_fault_plan(FaultPlan(seed=0, specs=()), [])
+
+
+# -- per-device SPM caches ----------------------------------------------------------
+
+
+def test_shared_cache_seeds_every_device(workload):
+    """A warm shared cache reaches every device queue: the second
+    sharded run re-simulates nothing, anywhere."""
+    driver = MetadataWaveDriver(reference=workload.reference)
+    cache = SpmImageCache()
+    _cold, cold_stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=1, spm_cache=cache
+    )
+    assert cold_stats.spm_cache_misses > 0
+    warm_res, warm_stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=1, spm_cache=cache
+    )
+    assert warm_stats.spm_cache_misses == 0
+    assert warm_stats.spm_cache_hits > 0
+    assert warm_stats.spm_cycles_saved > 0
+    _assert_same_cycles(cold_stats, warm_stats)
+    for pid in warm_res:
+        assert warm_res[pid].nm is not None
+
+
+def test_device_caches_absorb_into_shared(workload):
+    """After a sharded run the shared cache holds every device's images
+    (a later serial run replays them all)."""
+    driver = MetadataWaveDriver(reference=workload.reference)
+    cache = SpmImageCache()
+    run_sharded(
+        driver, workload.partitions, 2, devices=4, workers=1, spm_cache=cache
+    )
+    _res, serial_stats = run_partitioned(
+        driver, workload.partitions, 2, spm_cache=cache
+    )
+    assert serial_stats.spm_cache_misses == 0
+
+
+# -- sharded stats surface ----------------------------------------------------------
+
+
+def test_sharded_stats_views(workload):
+    driver = MetadataWaveDriver(reference=workload.reference)
+    _res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=1
+    )
+    assert stats.devices == 2
+    utilization = stats.device_utilization()
+    assert len(utilization) == 2
+    assert max(utilization) == pytest.approx(1.0)
+    assert all(0.0 <= u <= 1.0 for u in utilization)
+    assert len(stats.plan_loads) == 2
+    assert len(stats.device_busy_seconds) == 2
+    assert len(stats.device_transfer_seconds) == 2
+    assert all(b > 0 for b in stats.device_busy_seconds if b)
+    assert stats.elapsed_seconds > 0
+    assert stats.host_parallelism > 0
+    # per-worker tallies are namespaced by device
+    assert all(key.startswith("d") for key in stats.per_worker)
+
+
+def test_run_sharded_rejects_zero_devices(workload):
+    driver = MetadataWaveDriver(reference=workload.reference)
+    with pytest.raises(ValueError, match="at least one device"):
+        run_sharded(driver, workload.partitions, 2, devices=0)
+
+
+# -- deterministic BQSR reduction ---------------------------------------------------
+
+
+def test_reduce_bqsr_matches_serial_reduction(workload, bqsr_serial):
+    """Reducing per-device BQSR shards gives the exact covariate tables
+    the serial reduction gives — whichever devices the partitions ran
+    on, the per-read-group sums are the same integers."""
+    serial_res, _stats = bqsr_serial
+    driver = BqsrWaveDriver(
+        reference=workload.reference, read_length=workload.read_length
+    )
+    sharded_res, _sharded = run_sharded(
+        driver, workload.group_partitions, 4, devices=4, workers=1
+    )
+    serial_tables = reduce_bqsr_results(serial_res, workload.read_length)
+    sharded_tables = reduce_bqsr_results(sharded_res, workload.read_length)
+    assert set(sharded_tables) == set(serial_tables)
+    assert len(serial_tables) > 1, "need multiple read groups to reduce"
+    for group in serial_tables:
+        a, b = serial_tables[group], sharded_tables[group]
+        for field in BQSR_FIELDS:
+            assert np.array_equal(getattr(a, field), getattr(b, field)), (
+                group, field,
+            )

@@ -31,6 +31,7 @@ REQUIRED_DOCUMENTED = {
     "--max-retries",
     "--wave-timeout",
     "--workers",
+    "--devices",
     "--pipelines",
     "--ledger",
 }
