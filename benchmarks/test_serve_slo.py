@@ -1,0 +1,129 @@
+"""Soak/load benchmark for the multi-tenant job service.
+
+Hundreds of simulated tenants push a seeded mixed-stage arrival trace
+(markdup / metadata / bqsr) through :class:`~repro.serve.JobService`,
+and the gate asserts the serving SLOs from the *ledger* — the same
+per-tenant p50/p99 report an operator would reconstruct after the
+fact:
+
+* zero dropped-but-admitted jobs (everything admitted completes);
+* fleet-wide and per-tenant p99 latency under the SLO bound.
+
+Latency is virtual cycles on the service clock, so the gate is exact
+and deterministic — no warmup, no variance, no flaky CI.  The
+``smoke`` variant runs a small topology for the CI bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.workloads import make_workload
+from repro.obs.ledger import RunLedger, RunManifest, run_context
+from repro.serve import ArrivalTrace, JobService, ServiceReport, trace_jobs
+
+#: Fleet p99 SLO, in virtual cycles.  The soak topology's deterministic
+#: p99 sits well under this; a scheduler regression that doubles
+#: queueing delay blows through it.
+SOAK_P99_SLO_CYCLES = 2_000_000
+SMOKE_P99_SLO_CYCLES = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        n_reads=60,
+        read_length=50,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=800,
+        seed=105,
+    )
+
+
+def _soak(workload, tmp_path, *, tenants, jobs, devices, mean_gap, seed,
+          quota=4, backlog=256):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    manifest = RunManifest(
+        workload="serve-soak",
+        config={"tenants": tenants, "jobs": jobs, "devices": devices},
+        seed=seed,
+    )
+    trace = ArrivalTrace.generate(
+        tenants=tenants,
+        jobs=jobs,
+        seed=seed,
+        mean_gap_cycles=mean_gap,
+        max_partitions=2,
+    )
+    with run_context(manifest, ledger):
+        service = JobService(
+            devices=devices, workers=1, quota=quota, max_backlog=backlog
+        )
+        for at_cycles, spec in trace_jobs(trace, workload, n_pipelines=2):
+            service.schedule(spec, at_cycles=at_cycles)
+        summary = service.run_until_idle()
+    report = ServiceReport.from_ledger(ledger, run_id=manifest.run_id)
+    return summary, report
+
+
+def _assert_slo(summary, report, p99_slo):
+    # nothing admitted may be dropped: the ledger's completion count
+    # accounts for every admission
+    assert report.dropped_admitted == 0
+    assert report.failed == 0
+    assert report.admitted == summary.jobs_admitted
+    assert report.completed == summary.jobs_completed
+    fleet_p99 = report.p99_latency_cycles()
+    assert fleet_p99 is not None
+    assert fleet_p99 <= p99_slo, (
+        f"fleet p99 {fleet_p99} cycles blows the {p99_slo}-cycle SLO"
+    )
+    for tenant, tenant_report in report.tenants.items():
+        if not tenant_report.latencies:
+            continue
+        assert tenant_report.p50_latency_cycles <= (
+            tenant_report.p99_latency_cycles
+        )
+        assert tenant_report.p99_latency_cycles <= p99_slo, (
+            f"tenant {tenant} p99 {tenant_report.p99_latency_cycles} "
+            f"cycles blows the {p99_slo}-cycle SLO"
+        )
+
+
+def test_serve_soak_slo(workload, tmp_path):
+    """Hundreds of tenants, mixed traffic, SLO gated from the ledger."""
+    summary, report = _soak(
+        workload, tmp_path,
+        tenants=200, jobs=400, devices=4, mean_gap=4_000, seed=13,
+    )
+    assert len(report.tenants) > 150  # the draw really spans the fleet
+    assert summary.jobs_admitted + summary.jobs_rejected == 400
+    assert summary.jobs_admitted > 350  # admission is the exception
+    _assert_slo(summary, report, SOAK_P99_SLO_CYCLES)
+
+
+def test_serve_soak_overload_rejects_explicitly(workload, tmp_path):
+    """Overload shows up as admission rejects, never as lost jobs."""
+    summary, report = _soak(
+        workload, tmp_path,
+        tenants=20, jobs=120, devices=1, mean_gap=200, seed=5,
+        quota=2, backlog=8,
+    )
+    assert summary.jobs_rejected > 0
+    assert report.rejected == summary.jobs_rejected
+    # the zero-loss gate still holds for everything that got in
+    assert report.dropped_admitted == 0
+    assert summary.jobs_admitted == summary.jobs_completed
+
+
+def test_serve_slo_smoke(workload, tmp_path):
+    """Small-topology variant for the CI bench-smoke job."""
+    summary, report = _soak(
+        workload, tmp_path,
+        tenants=8, jobs=24, devices=2, mean_gap=8_000, seed=3,
+    )
+    assert summary.jobs_admitted == 24
+    _assert_slo(summary, report, SMOKE_P99_SLO_CYCLES)
+    print()  # keep the rendered report on its own lines under -s
+    print(report.render())

@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Cloud batch preprocessing: the paper's deployment story.
+"""Cloud batch preprocessing: the paper's deployment story, served.
 
-A sequencing center preprocesses a batch of patient genomes on AWS.  This
-example drives the mark-duplicates accelerator through the Section III-E
-host API (configure_mem / run_genesis / check_genesis / genesis_flush) with
-genuine host/accelerator overlap, then uses the performance and cost
-models to project the batch to whole-genome scale and compare the
-f1.2xlarge deployment against the r5.4xlarge software baseline —
+A sequencing center preprocesses a batch of patient genomes on a shared
+Genesis deployment.  Each patient is a *tenant* of the multi-tenant job
+service (DESIGN.md §3.8): the batch submits every patient's
+mark-duplicates stage through :class:`repro.serve.JobService`, which
+time-multiplexes the simulated accelerator cards across patients under
+weighted-fair queueing and reports per-tenant latency in virtual
+cycles.  The service's outputs are bit-identical to running each stage
+directly, so the duplicate flags downstream are exactly the GATK
+baseline's.
+
+The second half projects the batch to whole-genome scale and compares
+the f1.2xlarge deployment against the r5.4xlarge software baseline —
 the Figure 13 / Table III analysis, end to end.
 
 Run:  python examples/cloud_batch_preprocessing.py
 """
 
-from repro.accel.markdup import run_quality_sums
+from repro.accel.scheduler import MarkdupWaveDriver
 from repro.eval import make_workload
 from repro.eval.experiments import measure_cycles_per_base
 from repro.gatk import mark_duplicates
@@ -20,62 +26,65 @@ from repro.perf import (
     F1_2XLARGE,
     PAPER_READS,
     R5_4XLARGE,
-    CpuModel,
     model_stage,
     table3_row,
 )
-from repro.runtime import GenesisRuntime
+from repro.serve import JobService, JobSpec
 
 PATIENTS = 3
 
 
-def preprocess_patient(name: str, seed: int) -> dict:
-    """One patient's mark-duplicates stage over the runtime API."""
-    workload = make_workload(n_reads=90, read_length=70, chromosomes=(20,),
-                             seed=seed)
-    quals = [read.qual for read in workload.reads]
-
-    def kernel(inputs):
-        result = run_quality_sums(inputs["QUAL"])
-        return {"sums": result.quality_sums}, result.stats.cycles
-
-    runtime = GenesisRuntime()
-    runtime.register_pipeline(0, kernel)
-    runtime.configure_mem(quals, 1, sum(len(q) for q in quals), "QUAL", 0)
-    runtime.configure_mem(None, 4, len(quals), "SUMS", 0, is_output=True)
-    runtime.run_genesis(0)
-    # The host prepares the next patient's data while the FPGA runs —
-    # the concurrency the non-blocking API exists for (Section III-E).
-    runtime.host_compute(5e-6)
-    overlap_used = runtime.check_genesis(0)
-    sums = runtime.genesis_flush(0)["sums"]
-
-    result = mark_duplicates(workload.reads, quality_sums=sums)
-    return {
-        "patient": name,
-        "reads": workload.n_reads,
-        "duplicates": result.num_duplicates,
-        "virtual_seconds": runtime.elapsed_seconds,
-        "overlapped": overlap_used,
-        "workload": workload,
-    }
-
-
 def main() -> None:
-    print(f"=== preprocessing a batch of {PATIENTS} patients ===")
-    outcomes = []
-    for index in range(PATIENTS):
-        outcome = preprocess_patient(f"patient{index:03d}", seed=100 + index)
-        outcomes.append(outcome)
-        print(f"{outcome['patient']}: {outcome['reads']} reads, "
-              f"{outcome['duplicates']} duplicates flagged, "
-              f"{outcome['virtual_seconds'] * 1e6:.1f} us on the device "
-              f"timeline")
+    print(f"=== serving a batch of {PATIENTS} patients ===")
+    # The batch front end: one workload per patient, one shared service.
+    patients = {
+        f"patient{index:03d}": make_workload(
+            n_reads=90, read_length=70, chromosomes=(20,), seed=100 + index
+        )
+        for index in range(PATIENTS)
+    }
+    service = JobService(devices=2, workers=1, quota=4, max_backlog=16)
+    tickets = {}
+    for offset, (name, workload) in enumerate(patients.items()):
+        ticket = service.submit(
+            JobSpec(
+                tenant=name,
+                driver=MarkdupWaveDriver(),
+                partitions=list(workload.partitions),
+                n_pipelines=2,
+            )
+        )
+        tickets[name] = ticket
+        print(f"{name}: submitted job {ticket.job_id} "
+              f"({ticket.waves_total} waves)")
+
+    summary = service.run_until_idle()
+
+    # Harvest per-tenant: the ROWID column joins the per-partition
+    # quality sums back to each patient's read order, and the GATK
+    # criterion flags duplicates from the service-computed sums.
+    for name, workload in patients.items():
+        results = service.results(tickets[name].job_id)
+        sums_by_rowid = {}
+        for (pid, part) in workload.partitions:
+            for rowid, qsum in zip(
+                part.column("ROWID").tolist(), results[pid].quality_sums
+            ):
+                sums_by_rowid[rowid] = qsum
+        sums = [sums_by_rowid[index] for index in range(len(workload.reads))]
+        flagged = mark_duplicates(workload.reads, quality_sums=sums)
+        status = service.status(tickets[name].job_id)
+        print(f"{name}: {len(workload.reads)} reads, "
+              f"{flagged.num_duplicates} duplicates flagged, "
+              f"latency {status.latency_cycles} cycles on the service "
+              "clock")
+
+    tenant_lines = summary.render().splitlines()
+    print("\n".join(line for line in tenant_lines if "tenant" in line))
 
     # Project to whole-genome scale with simulation-measured cycle rates.
     print("\n=== whole-genome projection (700M reads, Figure 13) ===")
-    sample = outcomes[0]["workload"]
-    cpu = CpuModel()
+    sample = next(iter(patients.values()))
     total_accel_hours = 0.0
     total_sw_hours = 0.0
     for stage in ("markdup", "metadata", "bqsr_table"):
@@ -90,7 +99,7 @@ def main() -> None:
 
     sw_cost = R5_4XLARGE.cost_of(total_sw_hours * 3600)
     accel_cost = F1_2XLARGE.cost_of(total_accel_hours * 3600)
-    print(f"\nper genome, the three data-manipulation stages:")
+    print("\nper genome, the three data-manipulation stages:")
     print(f"  software on {R5_4XLARGE.name}: {total_sw_hours:.1f} h, "
           f"${sw_cost:.2f}")
     print(f"  Genesis on {F1_2XLARGE.name}:  {total_accel_hours:.2f} h, "

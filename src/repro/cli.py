@@ -389,6 +389,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .eval.workloads import make_workload
+    from .faults import FaultPlan, RetryPolicy
+    from .serve import ArrivalTrace, JobService, trace_jobs
+
+    stages = tuple(
+        stage.strip() for stage in args.stages.split(",") if stage.strip()
+    )
+    workload = make_workload(
+        n_reads=args.reads,
+        read_length=args.read_length,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=args.psize,
+        seed=args.seed,
+    )
+    trace = ArrivalTrace.generate(
+        tenants=args.tenants,
+        jobs=args.jobs,
+        seed=args.seed,
+        stages=stages,
+        mean_gap_cycles=args.mean_gap,
+    )
+    fault_plan = None
+    if args.inject_faults:
+        fault_plan = FaultPlan.from_spec(
+            args.inject_faults, seed=args.fault_seed
+        )
+        for line in fault_plan.describe():
+            print(f"fault plan: {line}")
+    service = JobService(
+        devices=args.devices,
+        workers=args.workers,
+        max_backlog=args.backlog,
+        quota=args.quota,
+        fault_plan=fault_plan,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+    )
+    for at_cycles, spec in trace_jobs(
+        trace, workload, n_pipelines=args.pipelines
+    ):
+        service.schedule(spec, at_cycles=at_cycles)
+    if args.drain_at:
+        service.run(max_dispatches=args.drain_at)
+        checkpoint = service.drain()
+        print(
+            f"serve: drained at clock {checkpoint.clock} "
+            f"({checkpoint.open_jobs} open job(s) requeued); resuming"
+        )
+        service = JobService.resume(checkpoint)
+    summary = service.run_until_idle()
+    print(summary.render())
+    record_event(
+        "serve.run",
+        tenants=args.tenants, jobs=args.jobs,
+        devices=args.devices, workers=args.workers,
+        clock_cycles=summary.clock_cycles,
+        completed=summary.jobs_completed,
+        rejected=summary.jobs_rejected,
+        failed=summary.jobs_failed,
+    )
+    return 0 if summary.jobs_failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -580,6 +644,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="print regressions but exit zero anyway",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="multi-tenant job service over a simulated arrival trace",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=8,
+        help="simulated tenants submitting jobs",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=32,
+        help="jobs in the seeded arrival trace",
+    )
+    serve.add_argument(
+        "--stages", default="markdup,metadata,bqsr",
+        help="comma-separated stage mix the trace draws from",
+    )
+    serve.add_argument("--reads", type=int, default=120)
+    serve.add_argument("--read-length", type=int, default=60)
+    serve.add_argument("--psize", type=int, default=1000)
+    serve.add_argument(
+        "--pipelines", type=int, default=2,
+        help="pipeline replicas per wave",
+    )
+    serve.add_argument(
+        "--devices", type=int, default=2,
+        help="simulated accelerator cards the dispatcher time-multiplexes",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="host worker processes a dispatch round fans out over "
+             "(virtual timeline is identical at any count)",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=8,
+        help="max open jobs per tenant before admission rejects",
+    )
+    serve.add_argument(
+        "--backlog", type=int, default=64,
+        help="max open jobs service-wide before admission rejects",
+    )
+    serve.add_argument(
+        "--mean-gap", type=int, default=50_000, metavar="CYCLES",
+        help="mean inter-arrival gap of the trace, in virtual cycles",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--drain-at", type=int, default=None, metavar="DISPATCHES",
+        help="drain after this many dispatches, then resume from the "
+             "checkpoint (exercises the graceful-restart path)",
+    )
+    serve.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="fault plan, e.g. 'transfer_error:2@serve.wave'",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per wave before the job fails",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

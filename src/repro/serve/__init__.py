@@ -1,0 +1,67 @@
+"""Multi-tenant job serving over the Genesis runtime.
+
+The paper frames the accelerator as a shared cloud resource; this
+package is the serving side of that story — a deterministic,
+virtual-time job service that time-multiplexes the modelled
+:class:`~repro.runtime.device.DevicePool` across tenants while
+sharing one SPM image cache, with weighted-fair queueing, bounded
+admission, a dispatch-boundary fault ladder, and graceful
+drain/resume.  See DESIGN.md §3.8.
+"""
+
+from .job import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    Job,
+    JobSpec,
+    JobStatus,
+)
+from .queue import REJECT_BACKLOG, REJECT_QUOTA, JobQueue, TenantAccount
+from .report import ServiceReport, TenantReport, percentile
+from .service import (
+    SERVE_FAULT_SITE,
+    JobService,
+    ServeSummary,
+    ServiceCheckpoint,
+    TenantSummary,
+)
+from .trace import (
+    SERVE_STAGES,
+    ArrivalTrace,
+    JobArrival,
+    stage_driver,
+    stage_partitions,
+    trace_jobs,
+)
+
+__all__ = [
+    "COMPLETED",
+    "FAILED",
+    "QUEUED",
+    "REJECTED",
+    "RUNNING",
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "REJECT_BACKLOG",
+    "REJECT_QUOTA",
+    "JobQueue",
+    "TenantAccount",
+    "ServiceReport",
+    "TenantReport",
+    "percentile",
+    "SERVE_FAULT_SITE",
+    "JobService",
+    "ServeSummary",
+    "ServiceCheckpoint",
+    "TenantSummary",
+    "SERVE_STAGES",
+    "ArrivalTrace",
+    "JobArrival",
+    "stage_driver",
+    "stage_partitions",
+    "trace_jobs",
+]

@@ -1,0 +1,719 @@
+"""The multi-tenant job service: a deterministic event loop over a
+virtual clock that time-multiplexes a :class:`~repro.runtime.device.
+DevicePool` across tenants.
+
+Determinism model
+-----------------
+
+The service clock counts *accelerator cycles*, never wall time.  Every
+scheduling decision — admission, WFQ tenant pick, device assignment,
+fault injection, retry backoff, completion order — is a pure function
+of the submission trace, the topology, and the fault seed:
+
+* arrivals are admitted in ``(at_cycles, submission order)`` order;
+* a dispatch round fills free devices in index order from
+  :meth:`JobQueue.next_wave` (deterministic WFQ with name tie-breaks);
+* a wave's virtual duration is ``transfer + spm_load + simulated
+  cycles + fault backoff``, all deterministic quantities;
+* completions are processed in ``(end_cycles, device)`` order.
+
+Host-side execution is *eager*: a dispatched wave is simulated
+immediately (inline, or fanned out over a process pool), and only its
+virtual completion is deferred to ``clock + duration``.  Every wave in
+a round is seeded from the SPM-cache state at the start of the round
+and the results are merged back in dispatch order (first-writer-wins),
+exactly the :func:`~repro.accel.scheduler.run_partitioned` pool
+protocol — so results, cycles, and the entire virtual timeline are
+bit-identical for every ``workers`` value.
+
+Faults are enacted at the dispatch boundary (site ``serve.wave``),
+parent-side: an injected fault consumes a retry and charges the
+deterministic backoff to the virtual clock, mirroring how
+:class:`~repro.runtime.device.GenesisDevice` charges its retry ladder
+to the device timeline.  The wave's simulation itself is never
+perturbed, so bit-identity of results survives any fault plan; a wave
+that faults past its budget fails the whole job (an explicit
+``serve.job.failed`` the client can see).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..accel.scheduler import SpmImageCache, _run_wave_task
+from ..accel.sharding import MODEL_ROW_BYTES
+from ..faults.injector import FaultInjector, RetryBudgetExceeded
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
+from ..tables.partition import PartitionId
+from ..obs.ledger import record_event
+from ..obs.registry import MetricsRegistry
+from ..runtime.device import DeviceConfig, DevicePool
+from .job import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    Job,
+    JobSpec,
+    JobStatus,
+)
+from .queue import JobQueue
+
+#: Injection site for the service's dispatch-boundary fault ladder.
+SERVE_FAULT_SITE = "serve.wave"
+
+
+@dataclass
+class _Dispatch:
+    """One wave picked in a dispatch round."""
+
+    job: Job
+    wave_index: int
+    device: int
+    seq: int
+    attempt: int
+    penalty_cycles: int
+    cost_rows: int
+
+
+@dataclass
+class _Inflight:
+    """A dispatched wave awaiting its virtual completion."""
+
+    dispatch: _Dispatch
+    results: Dict[PartitionId, object]
+    cycles: int
+    load_cycles: int
+    end_cycles: int
+
+
+@dataclass
+class TenantSummary:
+    tenant: str
+    admitted: int
+    rejected: int
+    completed: int
+    failed: int
+    cycles: int
+    p50_latency_cycles: Optional[int]
+    p99_latency_cycles: Optional[int]
+
+
+@dataclass
+class ServeSummary:
+    """Deterministic end-of-run accounting (virtual time throughout)."""
+
+    clock_cycles: int
+    jobs_admitted: int
+    jobs_rejected: int
+    jobs_completed: int
+    jobs_failed: int
+    waves_dispatched: int
+    retries: int
+    faults: Dict[str, int]
+    tenants: Dict[str, TenantSummary]
+    device_busy_seconds: List[float]
+    device_transfer_seconds: List[float]
+    spm_hits: int
+    spm_misses: int
+    spm_cycles_saved: int
+    host_elapsed_seconds: float
+
+    def render(self) -> str:
+        lines = [
+            f"serve: clock {self.clock_cycles} cycles, "
+            f"{self.jobs_admitted} admitted / {self.jobs_rejected} rejected, "
+            f"{self.jobs_completed} completed / {self.jobs_failed} failed, "
+            f"{self.waves_dispatched} waves, {self.retries} retries",
+            f"serve: spm cache {self.spm_hits} hits / {self.spm_misses} "
+            f"misses, {self.spm_cycles_saved} cycles saved; host "
+            f"{self.host_elapsed_seconds:.2f}s",
+        ]
+        for index, busy in enumerate(self.device_busy_seconds):
+            lines.append(
+                f"  device {index}: busy {busy * 1e3:.3f} ms, transfer "
+                f"{self.device_transfer_seconds[index] * 1e3:.3f} ms"
+            )
+        for tenant in sorted(self.tenants):
+            t = self.tenants[tenant]
+            lines.append(
+                f"  tenant {tenant}: {t.completed}/{t.admitted} done "
+                f"({t.rejected} rejected), {t.cycles} cycles, "
+                f"p50 {t.p50_latency_cycles} / p99 {t.p99_latency_cycles} "
+                "cycles latency"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceCheckpoint:
+    """Everything :meth:`JobService.drain` hands to
+    :meth:`JobService.resume`: the virtual clock, the queue with every
+    open job (in-flight waves already requeued), the not-yet-admitted
+    arrivals, and the fault state so consumed slots are not replayed."""
+
+    clock: int
+    dispatch_seq: int
+    next_job_id: int
+    jobs: Dict[int, Job]
+    queue: JobQueue
+    arrivals: List[Tuple[int, int, JobSpec]]
+    devices: int
+    workers: int
+    fault_plan: Optional[FaultPlan]
+    retry_policy: RetryPolicy
+    fault_slots: Dict[str, int]
+    device_config: Optional[DeviceConfig]
+    retries: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def open_jobs(self) -> int:
+        return self.queue.open_jobs()
+
+
+class JobService:
+    """Long-lived multi-tenant scheduler over the Genesis runtime.
+
+    Client path: :meth:`submit` (immediate) or :meth:`schedule`
+    (arrival trace), :meth:`status` / :meth:`partial_results` /
+    :meth:`results` to observe, :meth:`drain` + :meth:`resume` for a
+    graceful restart.  :meth:`run` advances the virtual clock.
+    """
+
+    def __init__(
+        self,
+        devices: int = 1,
+        workers: int = 1,
+        max_backlog: int = 64,
+        quota: int = 8,
+        weights: Optional[Dict[str, float]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        spm_cache: Optional[SpmImageCache] = None,
+        device_config: Optional[DeviceConfig] = None,
+    ) -> None:
+        if devices < 1:
+            raise ValueError("need at least one device")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.devices = devices
+        self.workers = workers
+        self.clock = 0
+        self.queue = JobQueue(
+            max_backlog=max_backlog, quota=quota, weights=weights
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = spm_cache if spm_cache is not None else SpmImageCache()
+        self.device_config = device_config
+        self.pool = DevicePool(
+            devices, config=device_config or DeviceConfig()
+        )
+        self.fault_plan = fault_plan
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.injector = (
+            FaultInjector(fault_plan, registry=self.registry)
+            if fault_plan is not None
+            else None
+        )
+        self._jobs: Dict[int, Job] = {}
+        self._arrivals: List[Tuple[int, int, JobSpec]] = []
+        self._arrival_seq = 0
+        self._next_job_id = 0
+        self._dispatch_seq = 0
+        self._inflight: Dict[int, _Inflight] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._retries = 0
+        self._prior_faults: Dict[str, int] = {}
+        self._host_seconds = 0.0
+        #: In-memory mirror of every ledger event the service records,
+        #: in order — what the replay/property tests compare.
+        self.events: List[Tuple[str, Dict[str, object]]] = []
+
+    # -- client path ---------------------------------------------------------
+
+    def schedule(self, spec: JobSpec, at_cycles: int) -> None:
+        """Enqueue an arrival for admission when the virtual clock
+        reaches ``at_cycles``."""
+        if at_cycles < self.clock:
+            at_cycles = self.clock
+        self._arrivals.append((at_cycles, self._arrival_seq, spec))
+        self._arrival_seq += 1
+        self._arrivals.sort(key=lambda item: (item[0], item[1]))
+
+    def submit(self, spec: JobSpec) -> JobStatus:
+        """Admit (or reject) a job at the current virtual clock."""
+        return JobStatus.of(self._admit(spec, self.clock))
+
+    def status(self, job_id: int) -> JobStatus:
+        return JobStatus.of(self._jobs[job_id])
+
+    def partial_results(self, job_id: int) -> Dict[PartitionId, object]:
+        """Snapshot of per-partition results completed so far — the
+        streaming-results path: callable while the job is running."""
+        return dict(self._jobs[job_id].results)
+
+    def results(self, job_id: int) -> Dict[PartitionId, object]:
+        job = self._jobs[job_id]
+        if job.state != COMPLETED:
+            raise RuntimeError(
+                f"job {job_id} is {job.state}, not {COMPLETED}"
+            )
+        return job.results
+
+    def stream(self, job_id: int) -> Iterator[JobStatus]:
+        """Yield a status snapshot after every clock advance until the
+        job leaves the open set."""
+        job = self._jobs[job_id]
+        while job.is_open and (self._inflight or self._arrivals
+                               or self.queue.pending_waves()):
+            self.run(max_dispatches=1)
+            yield self.status(job_id)
+        yield self.status(job_id)
+
+    def jobs(self) -> List[JobStatus]:
+        return [JobStatus.of(job) for _id, job in sorted(self._jobs.items())]
+
+    # -- admission -----------------------------------------------------------
+
+    def _admit(self, spec: JobSpec, at_cycles: int) -> Job:
+        job = Job.admit(self._next_job_id, spec, at_cycles)
+        self._next_job_id += 1
+        self._jobs[job.job_id] = job
+        reason = self.queue.try_admit(job)
+        if reason is not None:
+            job.state = REJECTED
+            job.pending = []
+            self._event(
+                "serve.reject",
+                tenant=job.tenant, job=job.job_id, stage=job.stage,
+                reason=reason, clock=at_cycles,
+            )
+            self.registry.counter(
+                "serve.jobs.rejected", tenant=job.tenant, reason=reason
+            ).inc()
+        else:
+            self._event(
+                "serve.admit",
+                tenant=job.tenant, job=job.job_id, stage=job.stage,
+                waves=len(job.waves), partitions=len(spec.partitions),
+                clock=at_cycles,
+            )
+            self.registry.counter(
+                "serve.jobs.admitted", tenant=job.tenant
+            ).inc()
+        self.registry.histogram("serve.queue.depth").record(
+            self.queue.open_jobs()
+        )
+        return job
+
+    def _admit_due(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self.clock:
+            _at, _seq, spec = self._arrivals.pop(0)
+            self._admit(spec, self.clock)
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, max_dispatches: Optional[int] = None) -> ServeSummary:
+        """Advance the virtual clock until idle, or until
+        ``max_dispatches`` waves have been dispatched in this call
+        (leaving later work, and any in-flight waves, for a later
+        ``run`` or a :meth:`drain`)."""
+        started = time.perf_counter()
+        budget = max_dispatches
+        try:
+            while True:
+                self._admit_due()
+                if budget is not None and budget <= 0:
+                    break
+                dispatched = self._dispatch_round(budget)
+                if budget is not None:
+                    budget -= dispatched
+                if dispatched:
+                    continue
+                next_times = []
+                if self._inflight:
+                    next_times.append(
+                        min(rec.end_cycles for rec in self._inflight.values())
+                    )
+                if self._arrivals:
+                    next_times.append(self._arrivals[0][0])
+                if not next_times:
+                    break
+                self.clock = max(self.clock, min(next_times))
+                self._complete_due()
+        finally:
+            self._shutdown_executor()
+            self._host_seconds += time.perf_counter() - started
+        return self.summary()
+
+    def run_until_idle(self) -> ServeSummary:
+        return self.run(max_dispatches=None)
+
+    def _dispatch_round(self, limit: Optional[int]) -> int:
+        picks: List[_Dispatch] = []
+        for device in range(self.devices):
+            if device in self._inflight:
+                continue
+            if limit is not None and len(picks) >= limit:
+                break
+            while True:
+                choice = self.queue.next_wave()
+                if choice is None:
+                    break
+                job, wave_index = choice
+                try:
+                    attempt, penalty = self._fault_ladder(job, wave_index)
+                except RetryBudgetExceeded:
+                    self._fail_job(job, wave_index)
+                    continue
+                picks.append(self._dispatch(job, wave_index, device,
+                                            attempt, penalty))
+                break
+            if choice is None:
+                break
+        if picks:
+            self._execute(picks)
+        return len(picks)
+
+    def _dispatch(
+        self, job: Job, wave_index: int, device: int,
+        attempt: int, penalty: int,
+    ) -> _Dispatch:
+        seq = self._dispatch_seq
+        self._dispatch_seq += 1
+        if job.state == QUEUED:
+            job.state = RUNNING
+        if job.first_dispatch_cycles is None:
+            job.first_dispatch_cycles = self.clock
+        cost = sum(
+            part.num_rows for _pid, part in job.waves[wave_index]
+        )
+        self.queue.charge_rows(job.tenant, cost)
+        self._event(
+            "serve.dispatch",
+            seq=seq, tenant=job.tenant, job=job.job_id, stage=job.stage,
+            wave=wave_index, device=device, clock=self.clock,
+            attempt=attempt, cost_rows=cost,
+        )
+        self.registry.counter("serve.waves.dispatched").inc()
+        return _Dispatch(job, wave_index, device, seq, attempt, penalty, cost)
+
+    def _fault_ladder(self, job: Job, wave_index: int) -> Tuple[int, int]:
+        """Parent-side injection at the dispatch boundary: poll, charge
+        virtual backoff per retry, return the clean ``(attempt,
+        penalty_cycles)`` — or raise :class:`RetryBudgetExceeded`."""
+        if self.injector is None:
+            return job.attempts[wave_index], 0
+        if job.slots[wave_index] is None:
+            job.slots[wave_index] = self.injector.next_slot(SERVE_FAULT_SITE)
+        slot = job.slots[wave_index]
+        attempt = job.attempts[wave_index]
+        start_attempt = attempt
+        penalty = 0
+        clock_hz = self.pool.config.clock_hz
+        while True:
+            fault = self.injector.poll(
+                SERVE_FAULT_SITE, slot, attempt,
+                tenant=job.tenant, job=job.job_id, wave=wave_index,
+            )
+            if fault is None:
+                job.attempts[wave_index] = attempt
+                return attempt, penalty
+            self.registry.counter("serve.faults", kind=fault.kind).inc()
+            if attempt - start_attempt >= self.retry_policy.max_retries:
+                job.attempts[wave_index] = attempt + 1
+                raise RetryBudgetExceeded(
+                    f"job {job.job_id} wave {wave_index} exhausted its "
+                    f"retry budget ({self.retry_policy.max_retries})"
+                )
+            backoff = self.retry_policy.backoff_seconds(slot, attempt)
+            penalty += int(round(backoff * clock_hz))
+            self._retries += 1
+            self.registry.counter("serve.retries").inc()
+            self._event(
+                "serve.retry",
+                tenant=job.tenant, job=job.job_id, wave=wave_index,
+                attempt=attempt, kind=fault.kind,
+                backoff_seconds=backoff,
+            )
+            attempt += 1
+
+    def _fail_job(self, job: Job, wave_index: int) -> None:
+        job.state = FAILED
+        job.pending = []
+        self.queue.close(job)
+        self.queue.account(job.tenant).failed += 1
+        self._event(
+            "serve.job.failed",
+            tenant=job.tenant, job=job.job_id, stage=job.stage,
+            wave=wave_index, clock=self.clock,
+        )
+        self.registry.counter(
+            "serve.jobs.failed", tenant=job.tenant
+        ).inc()
+
+    # -- execution (eager host-side, deferred virtual completion) ------------
+
+    def _execute(self, picks: List[_Dispatch]) -> None:
+        waves = [p.job.waves[p.wave_index] for p in picks]
+        drivers = [p.job.spec.driver for p in picks]
+        seeds = [
+            self.cache.images_for(driver.wave_keys(wave))
+            for driver, wave in zip(drivers, waves)
+        ]
+        if self.workers > 1 and len(picks) > 1:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    _run_wave_task, driver, pick.wave_index, wave, seed
+                )
+                for pick, driver, wave, seed in zip(
+                    picks, drivers, waves, seeds
+                )
+            ]
+            payloads = [future.result() for future in futures]
+        else:
+            payloads = [
+                _run_wave_task(driver, pick.wave_index, wave, seed)
+                for pick, driver, wave, seed in zip(picks, drivers, waves,
+                                                    seeds)
+            ]
+        for pick, payload in zip(picks, payloads):
+            (
+                _index, wave_results, stats, load_cycles, new_images,
+                hits, misses, saved, _pid, _elapsed,
+            ) = payload
+            self.cache.merge(new_images)
+            self.cache.hits += hits
+            self.cache.misses += misses
+            self.cache.cycles_saved += saved
+            duration = (
+                self._transfer_cycles(pick.cost_rows)
+                + load_cycles
+                + stats.cycles
+                + pick.penalty_cycles
+            )
+            end = self.clock + duration
+            card = self.pool.device(pick.device)
+            card.transfer(pick.cost_rows * MODEL_ROW_BYTES, "h2d")
+            card.launch(pick.seq, stats.cycles)
+            card.wait(pick.seq)
+            self._inflight[pick.device] = _Inflight(
+                pick, wave_results, stats.cycles, load_cycles, end
+            )
+
+    def _transfer_cycles(self, rows: int) -> int:
+        config = self.pool.config
+        seconds = (
+            config.transfer_setup_seconds
+            + rows * MODEL_ROW_BYTES / config.pcie_bandwidth
+        )
+        return int(round(seconds * config.clock_hz))
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=min(self.workers, self.devices)
+            )
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    close = _shutdown_executor
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete_due(self) -> None:
+        due = sorted(
+            (rec.end_cycles, device)
+            for device, rec in self._inflight.items()
+            if rec.end_cycles <= self.clock
+        )
+        for end_cycles, device in due:
+            self._finish(device, end_cycles)
+
+    def _finish(self, device: int, end_cycles: int) -> None:
+        rec = self._inflight.pop(device)
+        job = rec.dispatch.job
+        wave_index = rec.dispatch.wave_index
+        job.results.update(rec.results)
+        job.wave_cycles[wave_index] = rec.cycles
+        job.wave_load_cycles[wave_index] = rec.load_cycles
+        job.waves_done += 1
+        charged = rec.cycles + rec.load_cycles
+        self.queue.charge_cycles(job.tenant, charged)
+        self.registry.counter(
+            "serve.tenant.cycles", tenant=job.tenant
+        ).inc(charged)
+        self._event(
+            "serve.wave.done",
+            tenant=job.tenant, job=job.job_id, wave=wave_index,
+            device=device, cycles=rec.cycles, load_cycles=rec.load_cycles,
+            end_cycles=end_cycles,
+        )
+        if job.waves_done == len(job.waves) and job.state == RUNNING:
+            job.finalize(end_cycles)
+            self.queue.close(job)
+            account = self.queue.account(job.tenant)
+            account.completed += 1
+            account.latencies.append(job.latency_cycles)
+            self._event(
+                "serve.job.done",
+                tenant=job.tenant, job=job.job_id, stage=job.stage,
+                waves=len(job.waves),
+                latency_cycles=job.latency_cycles,
+                queue_cycles=job.queue_cycles,
+                service_cycles=job.service_cycles,
+                clock=end_cycles,
+            )
+            self.registry.counter(
+                "serve.jobs.completed", tenant=job.tenant
+            ).inc()
+
+    # -- drain / resume ------------------------------------------------------
+
+    def drain(self) -> ServiceCheckpoint:
+        """Stop gracefully: requeue every in-flight wave (its computed
+        results are discarded — the wave re-runs after resume, bit-
+        identically) and hand back a checkpoint a fresh service can
+        :meth:`resume` from.  The ledger records the drain so the
+        restart trail is auditable."""
+        requeued = 0
+        for device in sorted(self._inflight):
+            rec = self._inflight.pop(device)
+            rec.dispatch.job.requeue(rec.dispatch.wave_index)
+            requeued += 1
+        self._shutdown_executor()
+        self._event(
+            "serve.drain",
+            clock=self.clock, requeued=requeued,
+            open_jobs=self.queue.open_jobs(),
+            pending_arrivals=len(self._arrivals),
+        )
+        return ServiceCheckpoint(
+            clock=self.clock,
+            dispatch_seq=self._dispatch_seq,
+            next_job_id=self._next_job_id,
+            jobs=self._jobs,
+            queue=self.queue,
+            arrivals=list(self._arrivals),
+            devices=self.devices,
+            workers=self.workers,
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
+            fault_slots=(
+                dict(self.injector._slots) if self.injector else {}
+            ),
+            device_config=self.device_config,
+            retries=self._retries,
+            fault_counts=self._fault_counts(),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: ServiceCheckpoint,
+        registry: Optional[MetricsRegistry] = None,
+        spm_cache: Optional[SpmImageCache] = None,
+    ) -> "JobService":
+        """Restart from a drain checkpoint: same clock, same queue state
+        (with in-flight waves back on their jobs), same fault slots —
+        the continued run merges bit-identically with an undisturbed
+        one.  The SPM cache starts cold unless one is passed; a cold
+        cache re-loads images and replays identically by construction."""
+        service = cls(
+            devices=checkpoint.devices,
+            workers=checkpoint.workers,
+            fault_plan=checkpoint.fault_plan,
+            retry_policy=checkpoint.retry_policy,
+            registry=registry,
+            spm_cache=spm_cache,
+            device_config=checkpoint.device_config,
+        )
+        service.clock = checkpoint.clock
+        service._dispatch_seq = checkpoint.dispatch_seq
+        service._next_job_id = checkpoint.next_job_id
+        service._jobs = checkpoint.jobs
+        service.queue = checkpoint.queue
+        service._arrivals = list(checkpoint.arrivals)
+        service._arrival_seq = len(checkpoint.arrivals)
+        if service.injector is not None:
+            service.injector._slots.update(checkpoint.fault_slots)
+        service._retries = checkpoint.retries
+        service._prior_faults = dict(checkpoint.fault_counts)
+        service._event(
+            "serve.resume",
+            clock=service.clock,
+            open_jobs=service.queue.open_jobs(),
+            pending_arrivals=len(service._arrivals),
+        )
+        return service
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> ServeSummary:
+        from .report import percentile
+
+        tenants = {}
+        for name in sorted(self.queue.accounts):
+            account = self.queue.accounts[name]
+            tenants[name] = TenantSummary(
+                tenant=name,
+                admitted=account.admitted,
+                rejected=account.rejected,
+                completed=account.completed,
+                failed=account.failed,
+                cycles=account.cycles,
+                p50_latency_cycles=percentile(account.latencies, 50),
+                p99_latency_cycles=percentile(account.latencies, 99),
+            )
+        return ServeSummary(
+            clock_cycles=self.clock,
+            jobs_admitted=sum(t.admitted for t in tenants.values()),
+            jobs_rejected=sum(t.rejected for t in tenants.values()),
+            jobs_completed=sum(t.completed for t in tenants.values()),
+            jobs_failed=sum(t.failed for t in tenants.values()),
+            waves_dispatched=self._dispatch_seq,
+            retries=self._retries,
+            faults=self._fault_counts(),
+            tenants=tenants,
+            device_busy_seconds=self.pool.busy_seconds(),
+            device_transfer_seconds=self.pool.transfer_seconds(),
+            spm_hits=self.cache.hits,
+            spm_misses=self.cache.misses,
+            spm_cycles_saved=self.cache.cycles_saved,
+            host_elapsed_seconds=self._host_seconds,
+        )
+
+    def _fault_counts(self) -> Dict[str, int]:
+        """Injections across the whole service lifetime, drains
+        included (pre-drain tallies arrive via the checkpoint)."""
+        counts = dict(self._prior_faults)
+        if self.injector is not None:
+            for kind, count in self.injector.counts_by_kind().items():
+                counts[kind] = counts.get(kind, 0) + count
+        return counts
+
+    # -- events --------------------------------------------------------------
+
+    def _event(self, event: str, **fields: object) -> None:
+        self.events.append((event, fields))
+        record_event(event, **fields)

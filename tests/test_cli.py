@@ -322,3 +322,56 @@ def test_bench_refuses_mismatched_topology(tmp_path, capsys):
 def test_bench_rejects_nonpositive_topology(tmp_path, capsys):
     assert main(_bench_argv(tmp_path, "--devices", "0", "--no-write")) == 2
     assert "must be >= 1" in capsys.readouterr().err
+
+
+# -- repro serve --------------------------------------------------------------------
+
+
+SERVE_ARGV = [
+    "serve", "--tenants", "3", "--jobs", "5", "--reads", "50",
+    "--psize", "800", "--mean-gap", "10000", "--seed", "3",
+]
+
+
+def test_serve_runs_and_records_ledger(tmp_path, capsys):
+    from repro.obs.ledger import RunLedger
+
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["--ledger", str(ledger)] + SERVE_ARGV) == 0
+    out = capsys.readouterr().out
+    assert "serve: clock" in out
+    assert "tenant" in out
+    records = RunLedger(str(ledger))
+    done = records.events("serve.job.done")
+    assert done and all(record["latency_cycles"] > 0 for record in done)
+    assert records.events("serve.dispatch")
+    assert records.events("serve.run")
+
+
+def test_serve_summary_is_deterministic(capsys):
+    def run():
+        assert main(["--no-ledger"] + SERVE_ARGV) == 0
+        out = capsys.readouterr().out
+        # everything but the host wall-time line is virtual, hence exact
+        return [line for line in out.splitlines() if "host" not in line]
+
+    assert run() == run()
+
+
+def test_serve_drain_resume_flag(capsys):
+    assert main(["--no-ledger"] + SERVE_ARGV + ["--drain-at", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "drained at clock" in out
+    assert "resuming" in out
+    assert "5 admitted" in out and "5 completed" in out
+
+
+def test_serve_with_fault_plan(capsys):
+    assert main(
+        ["--no-ledger"] + SERVE_ARGV
+        + ["--inject-faults", "transfer_error:1@serve.wave",
+           "--max-retries", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fault plan: transfer_error" in out
+    assert "1 retries" in out or "retries" in out

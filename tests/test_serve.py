@@ -1,0 +1,379 @@
+"""Differential suite for the multi-tenant job service.
+
+The headline invariant of DESIGN.md §3.8: a job submitted through
+:class:`~repro.serve.JobService` produces results bit-identical to the
+same stage run directly via ``run_partitioned``/``run_sharded`` — for
+every (tenants, devices, workers) topology, and under an injected
+fault plan.  The service may reorder, interleave, time-multiplex, and
+retry; it may never change a single output bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.scheduler import run_partitioned
+from repro.accel.sharding import run_sharded
+from repro.eval.workloads import make_workload
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.obs.ledger import RunLedger, RunManifest, run_context
+from repro.serve import (
+    COMPLETED,
+    QUEUED,
+    REJECT_BACKLOG,
+    REJECT_QUOTA,
+    REJECTED,
+    SERVE_FAULT_SITE,
+    JobService,
+    JobSpec,
+    ServiceReport,
+)
+from repro.serve.trace import SERVE_STAGES, stage_driver, stage_partitions
+
+BQSR_FIELDS = ("total_cycle", "total_context", "error_cycle", "error_context")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        n_reads=90,
+        read_length=50,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=900,
+        seed=105,
+    )
+
+
+@pytest.fixture(scope="module")
+def direct_results(workload):
+    """Per-stage ground truth from the direct scheduler."""
+    out = {}
+    for stage in SERVE_STAGES:
+        results, _stats = run_partitioned(
+            stage_driver(stage, workload), stage_partitions(stage, workload), 2
+        )
+        out[stage] = results
+    return out
+
+
+def _assert_stage_identical(stage, got, want):
+    assert set(got) == set(want)
+    for pid in want:
+        if stage == "markdup":
+            assert got[pid].quality_sums == want[pid].quality_sums, str(pid)
+        elif stage == "metadata":
+            assert got[pid].nm == want[pid].nm, str(pid)
+            assert got[pid].md == want[pid].md, str(pid)
+            assert got[pid].uq == want[pid].uq, str(pid)
+        else:
+            for field in BQSR_FIELDS:
+                assert np.array_equal(
+                    getattr(got[pid], field), getattr(want[pid], field)
+                ), (str(pid), field)
+
+
+def _schedule_mixed(service, workload, tenants, jobs):
+    """One job per index, stages round-robin, tenants round-robin."""
+    for index in range(jobs):
+        stage = SERVE_STAGES[index % len(SERVE_STAGES)]
+        service.schedule(
+            JobSpec(
+                tenant=f"t{index % tenants}",
+                driver=stage_driver(stage, workload),
+                partitions=stage_partitions(stage, workload),
+                n_pipelines=2,
+            ),
+            at_cycles=index * 1500,
+        )
+
+
+TOPOLOGIES = [
+    (tenants, devices, workers)
+    for tenants in (1, 8)
+    for devices in (1, 2)
+    for workers in (1, 4)
+]
+
+
+@pytest.mark.parametrize("tenants,devices,workers", TOPOLOGIES)
+def test_service_bit_identical(
+    workload, direct_results, tenants, devices, workers
+):
+    service = JobService(devices=devices, workers=workers)
+    jobs = max(tenants, len(SERVE_STAGES))
+    _schedule_mixed(service, workload, tenants, jobs)
+    summary = service.run_until_idle()
+    assert summary.jobs_admitted == jobs
+    assert summary.jobs_completed == jobs
+    assert summary.jobs_rejected == 0
+    for status in service.jobs():
+        assert status.state == COMPLETED
+        _assert_stage_identical(
+            status.stage,
+            service.results(status.job_id),
+            direct_results[status.stage],
+        )
+
+
+def test_virtual_timeline_invariant_across_workers(workload):
+    """Host-side parallelism must not leak into the virtual clock:
+    same trace, same devices — identical events at any ``workers``."""
+    def run(workers):
+        service = JobService(devices=2, workers=workers)
+        _schedule_mixed(service, workload, tenants=4, jobs=6)
+        summary = service.run_until_idle()
+        return service.events, summary.clock_cycles
+
+    events_1, clock_1 = run(1)
+    events_4, clock_4 = run(4)
+    assert events_1 == events_4
+    assert clock_1 == clock_4
+
+
+def test_service_matches_run_sharded(workload):
+    """The service's outputs agree with the direct multi-device path
+    too (which is itself bit-identical to the serial schedule)."""
+    driver = stage_driver("metadata", workload)
+    partitions = stage_partitions("metadata", workload)
+    direct, _stats = run_sharded(driver, partitions, 2, devices=2, workers=2)
+    service = JobService(devices=2, workers=2)
+    status = service.submit(
+        JobSpec(
+            tenant="a", driver=driver, partitions=partitions, n_pipelines=2
+        )
+    )
+    service.run_until_idle()
+    _assert_stage_identical(
+        "metadata", service.results(status.job_id), direct
+    )
+
+
+FAULT_PLAN = FaultPlan(
+    seed=7,
+    specs=(
+        FaultSpec("transfer_error", site=SERVE_FAULT_SITE, count=2, at=(0, 2)),
+        FaultSpec("launch_error", site=SERVE_FAULT_SITE, count=1, at=(4,)),
+    ),
+)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_service_bit_identical_under_faults(workload, direct_results, workers):
+    service = JobService(
+        devices=2,
+        workers=workers,
+        fault_plan=FAULT_PLAN,
+        retry_policy=RetryPolicy(max_retries=3),
+    )
+    _schedule_mixed(service, workload, tenants=2, jobs=6)
+    summary = service.run_until_idle()
+    assert summary.jobs_completed == 6
+    assert summary.jobs_failed == 0
+    assert summary.retries == 3
+    assert summary.faults == {"launch_error": 1, "transfer_error": 2}
+    for status in service.jobs():
+        _assert_stage_identical(
+            status.stage,
+            service.results(status.job_id),
+            direct_results[status.stage],
+        )
+
+
+def test_fault_budget_fails_job_not_service(workload):
+    """A wave that faults past its budget fails its own job; other
+    tenants' jobs are untouched."""
+    plan = FaultPlan(
+        seed=7,
+        specs=(
+            FaultSpec(
+                "launch_error", site=SERVE_FAULT_SITE, count=1,
+                at=(0,), attempts=5,
+            ),
+        ),
+    )
+    service = JobService(
+        devices=1,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=1),
+    )
+    doomed = service.submit(
+        JobSpec(
+            tenant="a",
+            driver=stage_driver("markdup", workload),
+            partitions=stage_partitions("markdup", workload),
+            n_pipelines=2,
+        )
+    )
+    healthy = service.submit(
+        JobSpec(
+            tenant="b",
+            driver=stage_driver("markdup", workload),
+            partitions=stage_partitions("markdup", workload),
+            n_pipelines=2,
+        )
+    )
+    summary = service.run_until_idle()
+    assert service.status(doomed.job_id).state == "failed"
+    assert service.status(healthy.job_id).state == COMPLETED
+    assert summary.jobs_failed == 1
+    assert summary.jobs_completed == 1
+    with pytest.raises(RuntimeError):
+        service.results(doomed.job_id)
+
+
+# -- admission control --------------------------------------------------------------
+
+
+def _one_partition_spec(workload, tenant):
+    return JobSpec(
+        tenant=tenant,
+        driver=stage_driver("markdup", workload),
+        partitions=stage_partitions("markdup", workload)[:1],
+        n_pipelines=2,
+    )
+
+
+def test_admission_quota_and_backlog(workload):
+    service = JobService(devices=1, quota=2, max_backlog=3)
+    assert service.submit(_one_partition_spec(workload, "a")).state == QUEUED
+    assert service.submit(_one_partition_spec(workload, "a")).state == QUEUED
+    over_quota = service.submit(_one_partition_spec(workload, "a"))
+    assert over_quota.state == REJECTED
+    assert service.submit(_one_partition_spec(workload, "b")).state == QUEUED
+    over_backlog = service.submit(_one_partition_spec(workload, "b"))
+    assert over_backlog.state == REJECTED
+    reasons = [
+        fields["reason"]
+        for event, fields in service.events
+        if event == "serve.reject"
+    ]
+    assert reasons == [REJECT_QUOTA, REJECT_BACKLOG]
+    summary = service.run_until_idle()
+    assert summary.jobs_completed == 3
+    assert summary.jobs_rejected == 2
+    assert summary.tenants["a"].rejected == 1
+    assert summary.tenants["b"].rejected == 1
+    # capacity freed: the same tenant is admitted again
+    assert service.submit(_one_partition_spec(workload, "a")).state == QUEUED
+
+
+def test_weighted_fair_dispatch(workload):
+    """With weights {a: 1, b: 3} and equal-size jobs, the first eight
+    dispatches split 2/6 — the WFQ pattern a,b,b,b,a,b,b,b."""
+    service = JobService(
+        devices=1, quota=16, max_backlog=32, weights={"a": 1.0, "b": 3.0}
+    )
+    for tenant in ("a", "b"):
+        for _ in range(8):
+            service.submit(_one_partition_spec(workload, tenant))
+    service.run_until_idle()
+    dispatched = [
+        fields["tenant"]
+        for event, fields in service.events
+        if event == "serve.dispatch"
+    ]
+    assert dispatched[:8] == ["a", "b", "b", "b", "a", "b", "b", "b"]
+    assert dispatched.count("a") == 8 and dispatched.count("b") == 8
+
+
+# -- status / streaming -------------------------------------------------------------
+
+
+def test_status_and_partial_results(workload, direct_results):
+    partitions = stage_partitions("metadata", workload)
+    service = JobService(devices=1)
+    status = service.submit(
+        JobSpec(
+            tenant="a",
+            driver=stage_driver("metadata", workload),
+            partitions=partitions,
+            n_pipelines=2,
+        )
+    )
+    assert status.state == QUEUED
+    assert status.waves_total > 1
+    assert service.partial_results(status.job_id) == {}
+    service.run(max_dispatches=1)
+    service.run(max_dispatches=1)
+    mid = service.status(status.job_id)
+    assert mid.state == "running"
+    assert 0 < mid.waves_done < mid.waves_total
+    partial = service.partial_results(status.job_id)
+    assert partial
+    for pid, result in partial.items():
+        assert result.nm == direct_results["metadata"][pid].nm
+    service.run_until_idle()
+    done = service.status(status.job_id)
+    assert done.state == COMPLETED
+    assert done.waves_done == done.waves_total
+    assert done.latency_cycles > 0
+
+
+def test_stream_yields_progress(workload):
+    service = JobService(devices=1)
+    status = service.submit(
+        JobSpec(
+            tenant="a",
+            driver=stage_driver("markdup", workload),
+            partitions=stage_partitions("markdup", workload),
+            n_pipelines=2,
+        )
+    )
+    snapshots = list(service.stream(status.job_id))
+    assert snapshots[-1].state == COMPLETED
+    done_counts = [snap.waves_done for snap in snapshots]
+    assert done_counts == sorted(done_counts)
+
+
+# -- observability ------------------------------------------------------------------
+
+
+def test_ledger_events_and_report(workload, tmp_path):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    manifest = RunManifest(workload="serve-test", config={}, seed=0)
+    with run_context(manifest, ledger):
+        service = JobService(devices=2, quota=1, max_backlog=8)
+        _schedule_mixed(service, workload, tenants=3, jobs=3)
+        service.schedule(_one_partition_spec(workload, "t0"), at_cycles=0)
+        service.run_until_idle()
+    assert ledger.events("serve.admit", run_id=manifest.run_id)
+    assert ledger.events("serve.dispatch", run_id=manifest.run_id)
+    assert ledger.events("serve.wave.done", run_id=manifest.run_id)
+    done = ledger.events("serve.job.done", run_id=manifest.run_id)
+    assert len(done) == 3
+    assert all(record["latency_cycles"] > 0 for record in done)
+    report = ServiceReport.from_ledger(ledger, run_id=manifest.run_id)
+    assert report.admitted == 3
+    assert report.rejected == 1
+    assert report.completed == 3
+    assert report.dropped_admitted == 0
+    for tenant_report in report.tenants.values():
+        if tenant_report.completed:
+            assert tenant_report.p50_latency_cycles > 0
+            assert (
+                tenant_report.p99_latency_cycles
+                >= tenant_report.p50_latency_cycles
+            )
+
+
+def test_registry_metrics(workload):
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    service = JobService(devices=1, quota=1, max_backlog=8, registry=registry)
+    service.submit(_one_partition_spec(workload, "a"))
+    service.submit(_one_partition_spec(workload, "a"))
+    service.run_until_idle()
+    assert registry.value("serve.jobs.admitted", tenant="a") == 1
+    assert (
+        registry.value(
+            "serve.jobs.rejected", tenant="a", reason=REJECT_QUOTA
+        )
+        == 1
+    )
+    assert registry.value("serve.jobs.completed", tenant="a") == 1
+    assert registry.value("serve.waves.dispatched") == 1
+    assert registry.value("serve.tenant.cycles", tenant="a") > 0
+    depth = registry.find("serve.queue.depth")
+    assert depth is not None and depth.total == 2

@@ -1,0 +1,181 @@
+"""Graceful drain/resume regression tests.
+
+Draining mid-wave must requeue every in-flight wave, the restarted
+service must pick the work back up from the checkpoint (with the
+drain/resume trail in the ledger), and the merged results must stay
+bit-identical to an undisturbed run — faults included.  Latencies may
+legitimately differ (a drain delays the requeued waves); output bits
+may not.
+"""
+
+import pytest
+
+from repro.eval.workloads import make_workload
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.obs.ledger import RunLedger, RunManifest, run_context
+from repro.serve import COMPLETED, SERVE_FAULT_SITE, JobService, JobSpec
+from repro.serve.trace import SERVE_STAGES, stage_driver, stage_partitions
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        n_reads=80,
+        read_length=50,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=900,
+        seed=105,
+    )
+
+
+def _build(workload, fault_plan=None):
+    service = JobService(
+        devices=2,
+        workers=1,
+        fault_plan=fault_plan,
+        retry_policy=RetryPolicy(max_retries=3),
+    )
+    for index in range(4):
+        stage = SERVE_STAGES[index % len(SERVE_STAGES)]
+        service.schedule(
+            JobSpec(
+                tenant=f"t{index % 2}",
+                driver=stage_driver(stage, workload),
+                partitions=stage_partitions(stage, workload),
+                n_pipelines=2,
+            ),
+            at_cycles=index * 1000,
+        )
+    return service
+
+
+def _results_by_job(service):
+    return {
+        status.job_id: service.results(status.job_id)
+        for status in service.jobs()
+    }
+
+
+def _assert_identical(stage, got, want):
+    import numpy as np
+
+    assert set(got) == set(want)
+    for pid in want:
+        if stage == "markdup":
+            assert got[pid].quality_sums == want[pid].quality_sums
+        elif stage == "metadata":
+            assert got[pid].nm == want[pid].nm
+            assert got[pid].md == want[pid].md
+            assert got[pid].uq == want[pid].uq
+        else:
+            for field in (
+                "total_cycle", "total_context", "error_cycle",
+                "error_context",
+            ):
+                assert np.array_equal(
+                    getattr(got[pid], field), getattr(want[pid], field)
+                )
+
+
+@pytest.mark.parametrize("drain_after", (1, 3, 5))
+def test_drain_resume_bit_identical(workload, drain_after):
+    undisturbed = _build(workload)
+    undisturbed.run_until_idle()
+    want = _results_by_job(undisturbed)
+
+    service = _build(workload)
+    service.run(max_dispatches=drain_after)
+    checkpoint = service.drain()
+    assert not service._inflight  # everything requeued
+    resumed = JobService.resume(checkpoint)
+    summary = resumed.run_until_idle()
+    assert summary.jobs_completed == 4
+    stages = {
+        status.job_id: status.stage for status in resumed.jobs()
+    }
+    got = _results_by_job(resumed)
+    assert set(got) == set(want)
+    for job_id in want:
+        _assert_identical(stages[job_id], got[job_id], want[job_id])
+
+
+def test_drain_requeues_inflight_waves(workload):
+    service = _build(workload)
+    service.run(max_dispatches=3)
+    inflight = {
+        (rec.dispatch.job.job_id, rec.dispatch.wave_index)
+        for rec in service._inflight.values()
+    }
+    assert inflight  # the budgeted run left work mid-wave
+    pre_drain_done = {
+        job_id: service.status(job_id).waves_done
+        for job_id, _wave in inflight
+    }
+    checkpoint = service.drain()
+    for job_id, wave_index in inflight:
+        job = checkpoint.jobs[job_id]
+        assert wave_index in job.pending  # requeued, not completed
+        assert job.waves_done == pre_drain_done[job_id]
+    resumed = JobService.resume(checkpoint)
+    resumed.run_until_idle()
+    for job_id, _wave in inflight:
+        assert resumed.status(job_id).state == COMPLETED
+
+
+def test_drain_resume_under_faults(workload):
+    plan = FaultPlan(
+        seed=11,
+        specs=(
+            FaultSpec(
+                "transfer_error", site=SERVE_FAULT_SITE, count=2, at=(0, 3)
+            ),
+        ),
+    )
+    undisturbed = _build(workload, fault_plan=plan)
+    undisturbed.run_until_idle()
+    want = _results_by_job(undisturbed)
+
+    service = _build(workload, fault_plan=plan)
+    service.run(max_dispatches=4)
+    checkpoint = service.drain()
+    resumed = JobService.resume(checkpoint)
+    summary = resumed.run_until_idle()
+    assert summary.jobs_completed == 4
+    assert summary.faults == {"transfer_error": 2}
+    stages = {status.job_id: status.stage for status in resumed.jobs()}
+    got = _results_by_job(resumed)
+    for job_id in want:
+        _assert_identical(stages[job_id], got[job_id], want[job_id])
+    # consumed fault slots are not replayed after resume: the total
+    # injection count matches the undisturbed run exactly
+    assert summary.faults == undisturbed.summary().faults
+
+
+def test_drain_trail_in_ledger(workload, tmp_path):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    manifest = RunManifest(workload="serve-drain", config={}, seed=0)
+    with run_context(manifest, ledger):
+        service = _build(workload)
+        service.run(max_dispatches=2)
+        checkpoint = service.drain()
+        resumed = JobService.resume(checkpoint)
+        resumed.run_until_idle()
+    drains = ledger.events("serve.drain", run_id=manifest.run_id)
+    resumes = ledger.events("serve.resume", run_id=manifest.run_id)
+    assert len(drains) == 1 and len(resumes) == 1
+    assert drains[0]["requeued"] >= 1
+    assert resumes[0]["clock"] == drains[0]["clock"]
+    done = ledger.events("serve.job.done", run_id=manifest.run_id)
+    assert len(done) == 4
+
+
+def test_drain_idle_service_is_clean(workload):
+    service = _build(workload)
+    service.run_until_idle()
+    checkpoint = service.drain()
+    assert checkpoint.open_jobs == 0
+    resumed = JobService.resume(checkpoint)
+    summary = resumed.run_until_idle()
+    assert summary.jobs_completed == 4

@@ -34,6 +34,10 @@ REQUIRED_DOCUMENTED = {
     "--devices",
     "--pipelines",
     "--ledger",
+    "--tenants",
+    "--quota",
+    "--backlog",
+    "--drain-at",
 }
 
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
