@@ -1,0 +1,89 @@
+"""Trace-span layer overhead: disabled tracing must be free.
+
+Instrumented code (``run_partitioned``, ``run_sharded``, the SQL
+executor, the job service) pays one ``active_spans().enabled`` check
+per wave/operator when no recorder is installed.  Mirroring the
+metrics-overhead gate in ``test_sim_throughput.py``: two interleaved
+best-of-4 samples of the untraced path must agree within 5% — a
+systematic span tax would show up as a stable gap between them.  The
+traced cost is recorded alongside for the trajectory, and tracing must
+never perturb the virtual timeline (bit-identical cycle counts).
+"""
+
+import time
+
+from repro.accel.scheduler import MetadataWaveDriver, run_partitioned
+from repro.eval.workloads import make_workload
+from repro.obs import SpanRecorder, tracing
+
+
+def _workload():
+    return make_workload(
+        n_reads=160,
+        read_length=80,
+        genome_scale=4.5e-5,
+        psize=2000,
+        seed=2021,
+    )
+
+
+def test_spans_disabled_zero_overhead(benchmark, report):
+    workload = _workload()
+    driver = MetadataWaveDriver(reference=workload.reference)
+
+    def time_once(traced):
+        recorder = SpanRecorder(enabled=traced)
+        start = time.perf_counter()
+        with tracing(recorder):
+            _results, stats = run_partitioned(
+                driver, workload.partitions, 8
+            )
+        wall = time.perf_counter() - start
+        return wall, stats.cycles_including_load, len(recorder)
+
+    # Warm up, then interleave the two untraced samples — alternating
+    # which goes first — so drift and ordering effects hit both equally.
+    time_once(False)
+    sample_a, sample_b = [], []
+    for i in range(4):
+        first, second = (
+            (sample_a, sample_b) if i % 2 == 0 else (sample_b, sample_a)
+        )
+        first.append(time_once(False))
+        second.append(time_once(False))
+    base_wall, base_cycles, base_spans = min(sample_a)
+    check_wall, check_cycles, _ = min(sample_b)
+    assert base_cycles == check_cycles
+    assert base_spans == 0  # a disabled recorder records nothing
+
+    traced_runs = []
+
+    def run_traced():
+        traced_runs.append(time_once(True))
+
+    benchmark.pedantic(run_traced, rounds=3, iterations=1)
+    traced_wall, traced_cycles, traced_spans = min(traced_runs)
+    assert traced_cycles == base_cycles  # tracing never perturbs timing
+    assert traced_spans > 0
+
+    ratio = check_wall / base_wall
+    assert ratio <= 1.05, (
+        f"untraced span path regressed: {ratio:.3f}x between two "
+        "samples of the same configuration"
+    )
+    traced_ratio = traced_wall / base_wall
+
+    benchmark.extra_info.update(
+        untraced_seconds=round(base_wall, 4),
+        untraced_check_ratio=round(ratio, 4),
+        traced_seconds=round(traced_wall, 4),
+        traced_overhead=round(traced_ratio, 3),
+        traced_spans=traced_spans,
+        simulated_cycles=base_cycles,
+    )
+    report("Span overhead - untraced vs traced run", [
+        f"untraced: {base_wall:.3f}s (A/A ratio {ratio:.3f}x, gate 1.05x)",
+        f"traced:   {traced_wall:.3f}s ({traced_ratio:.2f}x of untraced, "
+        f"{traced_spans} spans laid)",
+        f"simulated cycles identical at {base_cycles}",
+    ])

@@ -71,6 +71,7 @@ from ..hw.spm import Scratchpad
 from ..obs.ledger import record_event
 from ..obs.log import get_logger, set_worker_id
 from ..obs.registry import MetricsRegistry, registry_or_null
+from ..obs.spans import active_spans
 from ..tables.partition import PartitionId, PartitionedReference
 from ..tables.table import Table
 from .bqsr import (
@@ -712,6 +713,72 @@ def _run_wave_task(
     )
 
 
+def _lay_run_spans(
+    driver, waves, device, run_registry, stats, accounted_faults, policy
+) -> None:
+    """Lay one run's trace spans on its device lane (no-op without an
+    ambient :func:`~repro.obs.spans.tracing` recorder).
+
+    Spans are laid parent-side *after* the run from the per-wave
+    accounting, in wave-index order on a cumulative virtual-cycle axis —
+    so the trace is identical for every ``workers`` value, exactly like
+    the cycle accounting itself.  Each wave gets a parent span with
+    ``spm_load``/``kernel`` children tiling it, plus a zero-length fault
+    marker per injected fault (carrying the deterministic backoff the
+    retry would charge)."""
+    tracer = active_spans()
+    if not tracer.enabled:
+        return
+    lane_index = device if device is not None else 0
+    lane = f"device:{lane_index}"
+    trace_id = f"run-{driver.stage}-d{lane_index}"
+    load_by_wave = {
+        int(dict(labels)["wave"]): gauge.value
+        for labels, gauge in
+        run_registry.values("scheduler.wave.load_cycles").items()
+    }
+    faults_by_wave: Dict[int, List[Tuple[int, str]]] = {}
+    for kind, wave_index, attempt in sorted(
+        accounted_faults, key=lambda item: (item[1], item[2])
+    ):
+        faults_by_wave.setdefault(wave_index, []).append((attempt, kind))
+    run_span = tracer.reserve()
+    cursor = 0
+    for wave_index, cycles in enumerate(stats.per_wave_cycles):
+        load = load_by_wave.get(wave_index, 0)
+        parent = tracer.record(
+            f"{driver.stage}:w{wave_index}", "wave",
+            cursor, cursor + load + cycles,
+            trace_id=trace_id, parent_id=run_span, lane=lane,
+            wave=wave_index, replicas=len(waves[wave_index]),
+        )
+        for attempt, kind in faults_by_wave.get(wave_index, ()):
+            tracer.record(
+                f"fault:{kind}", "fault", cursor, cursor,
+                trace_id=trace_id, parent_id=parent, lane=lane,
+                wave=wave_index, attempt=attempt, kind=kind,
+                backoff_seconds=policy.backoff_seconds(wave_index, attempt),
+            )
+        if load > 0:
+            tracer.record(
+                "spm_load", "spm_load", cursor, cursor + load,
+                trace_id=trace_id, parent_id=parent, lane=lane,
+                wave=wave_index,
+            )
+        tracer.record(
+            "kernel", "kernel", cursor + load, cursor + load + cycles,
+            trace_id=trace_id, parent_id=parent, lane=lane,
+            wave=wave_index,
+        )
+        cursor += load + cycles
+    tracer.record(
+        f"{driver.stage}:run", "run", 0, cursor,
+        trace_id=trace_id, span_id=run_span, lane=lane,
+        stage=driver.stage, waves=stats.waves, workers=stats.workers,
+        device=device,
+    )
+
+
 def run_partitioned(
     driver: WaveDriver,
     partitions: Iterable[WaveItem],
@@ -806,6 +873,9 @@ def run_partitioned(
         run_registry.gauge(
             "scheduler.wave.seconds", wave=wave_index
         ).set(elapsed)
+        run_registry.gauge(
+            "scheduler.wave.load_cycles", wave=wave_index
+        ).set(load_cycles)
         run_registry.counter("scheduler.spm_load_cycles").inc(load_cycles)
         run_registry.counter("sim.wall_seconds").inc(stats.wall_seconds)
         run_registry.counter("sim.ticks_executed").inc(stats.ticks_executed)
@@ -1111,6 +1181,8 @@ def run_partitioned(
     )
     stats.device = device
     stats.publish(registry_or_null(registry), stage=driver.stage)
+    _lay_run_spans(driver, waves, device, run_registry, stats,
+                   accounted_faults, policy)
     record_event(
         "scheduler.run",
         **device_labels,

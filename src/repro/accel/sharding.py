@@ -56,6 +56,7 @@ from ..gatk.bqsr import CovariateTables
 from ..obs.ledger import record_event
 from ..obs.log import get_logger
 from ..obs.registry import MetricsRegistry, registry_or_null
+from ..obs.spans import active_spans
 from ..runtime.device import DeviceConfig, DevicePool
 from ..tables.partition import PartitionId
 from .bqsr import merge_partition_results
@@ -555,6 +556,30 @@ def run_sharded(
         labels = {"stage": driver.stage, "device": str(device)}
         ext.counter("scheduler.steals_in", **labels).inc(stats.steals_in)
         ext.counter("scheduler.steals_out", **labels).inc(stats.steals_out)
+
+    # Trace the modelled H2D link occupancy: one pcie:<n> lane per card,
+    # waves tiled in queue order on a cumulative virtual-cycle axis
+    # (parent-side after the merge, so the trace is thread-order-free).
+    tracer = active_spans()
+    if tracer.enabled:
+        config = pool.config
+        for device in range(devices):
+            cursor = 0
+            for wave in queues[device]:
+                nbytes = _wave_nbytes(wave)
+                seconds = (
+                    config.transfer_setup_seconds
+                    + nbytes / config.pcie_bandwidth
+                )
+                cycles = int(round(seconds * config.clock_hz))
+                tracer.record(
+                    f"h2d:w{wave.global_index}", "transfer",
+                    cursor, cursor + cycles,
+                    trace_id=f"run-{driver.stage}-pcie{device}",
+                    lane=f"pcie:{device}",
+                    wave=wave.global_index, device=device, nbytes=nbytes,
+                )
+                cursor += cycles
 
     sharded = ShardedRunStats(
         devices=devices, workers=workers, per_device=per_device,

@@ -12,12 +12,19 @@ Commands:
   bottleneck-analysis summary, and optionally save a Chrome-trace
   timeline and JSON/CSV dumps;
 * ``analyze``     — re-run the bottleneck analysis over a saved
-  ``profile --out`` JSON report, or with ``--sharding`` report the
+  ``profile --out`` JSON report, with ``--sharding`` report the
   per-device utilization / steal counts / device-count what-if of the
-  latest sharded run in the ledger;
+  latest sharded run in the ledger, or with ``--critical-path``
+  decompose each served job's latency into queue-wait / transfer /
+  spm-load / kernel / fault-penalty / drain cycles;
 * ``bench``       — run the perf probe suite with warmup + repeats,
-  write a schema-versioned ``BENCH_<n>.json``, and optionally compare
-  against a baseline (nonzero exit on regression).
+  write a schema-versioned ``BENCH_<n>.json``, optionally record the
+  scaling curve over a topology cross-product (``--sweep``), and
+  compare against a baseline — scalar medians and curve shape both
+  gate (nonzero exit on regression);
+* ``serve``       — run the multi-tenant job service over a simulated
+  arrival trace; ``--trace`` exports the merged fleet
+  chrome://tracing timeline.
 
 Global flags: ``-v``/``--quiet``/``--log-json`` control the structured
 logger, ``--ledger``/``--no-ledger`` the run ledger every command
@@ -261,6 +268,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     from .obs import analyze_report, report_from_dict
 
+    if args.critical_path:
+        from .obs import critical_path_from_ledger
+
+        ledger = RunLedger(args.ledger)
+        try:
+            report = critical_path_from_ledger(ledger, job_id=args.job)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        record_event(
+            "analyze.critical_path", run_id=report.run_id,
+            jobs=len(report.jobs),
+        )
+        return 0
     if args.sharding:
         from .obs import sharding_report_from_ledger
 
@@ -278,7 +300,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     if not args.report:
         print(
-            "error: pass a profile REPORT_JSON or --sharding",
+            "error: pass a profile REPORT_JSON, --sharding, or "
+            "--critical-path",
             file=sys.stderr,
         )
         return 2
@@ -308,7 +331,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BenchContext,
         BenchResult,
         compare_results,
+        compare_sweeps,
+        parse_sweep,
         run_bench,
+        run_sweep,
         write_bench_result,
     )
     from .sql import available_backends
@@ -338,7 +364,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         result = run_bench(
             context, repeats=args.repeats, warmup=args.warmup, probes=probes,
         )
-    except KeyError as error:
+        if args.sweep:
+            sweep_probes = (
+                [n.strip() for n in args.sweep_probes.split(",") if n.strip()]
+                if args.sweep_probes else None
+            )
+            result.sweep = run_sweep(
+                context, parse_sweep(args.sweep), probes=sweep_probes,
+                repeats=args.repeats, warmup=args.warmup,
+            )
+    except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     print(result.render())
@@ -386,6 +421,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             if not args.report_only:
                 return 1
+        if result.sweep is not None and baseline.sweep is not None:
+            curve = compare_sweeps(
+                result.sweep, baseline.sweep, threshold=args.threshold
+            )
+            print(curve.render())
+            record_event(
+                "bench.compare_sweep", baseline=args.compare,
+                refused=curve.refused,
+                regressions=len(curve.regressions),
+            )
+            if curve.refused:
+                log.warning("sweep comparison vs %s refused", args.compare)
+                if not args.report_only:
+                    return 2
+            if not curve.ok:
+                log.warning(
+                    "%d curve regression(s) vs %s",
+                    len(curve.regressions), args.compare,
+                )
+                if not args.report_only:
+                    return 1
+        elif result.sweep is not None:
+            print("note: baseline has no sweep; curve shape not compared")
     return 0
 
 
@@ -441,6 +499,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = JobService.resume(checkpoint)
     summary = service.run_until_idle()
     print(summary.render())
+    if args.trace:
+        from .obs import write_fleet_trace
+
+        _ensure_parent(args.trace)
+        write_fleet_trace(service.spans.spans, args.trace)
+        print(
+            f"wrote fleet chrome trace -> {args.trace} "
+            f"({len(service.spans)} spans; load in chrome://tracing "
+            "or ui.perfetto.dev)"
+        )
     record_event(
         "serve.run",
         tenants=args.tenants, jobs=args.jobs,
@@ -590,6 +658,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-device utilization, steal counts, and the "
              "device-count what-if of the latest sharded run in the ledger",
     )
+    analyze.add_argument(
+        "--critical-path", action="store_true",
+        help="walk the latest served run in the ledger and decompose each "
+             "job's latency into queue-wait / transfer / spm-load / kernel "
+             "/ fault-penalty / drain cycles (sums exactly to the latency)",
+    )
+    analyze.add_argument(
+        "--job", type=int, default=None, metavar="JOB_ID",
+        help="narrow --critical-path to one job id",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     bench = commands.add_parser(
@@ -630,6 +708,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--probes", default=None, metavar="A,B,...",
         help="comma-separated probe subset (default: the full suite)",
+    )
+    bench.add_argument(
+        "--sweep", default=None, metavar="SPEC",
+        help="record the scaling curve over a topology cross-product, "
+             "e.g. 'devices=1,2;workers=1,2' "
+             "(axes: devices, workers, pipelines)",
+    )
+    bench.add_argument(
+        "--sweep-probes", default=None, metavar="A,B,...",
+        help="probes the sweep re-measures per point (default: the "
+             "parallelism probes)",
     )
     bench.add_argument(
         "--compare", default=None, metavar="BASELINE",
@@ -703,6 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-retries", type=int, default=2,
         help="retry budget per wave before the job fails",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the merged fleet chrome://tracing JSON (one lane per "
+             "device, tenant-colored job tracks)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

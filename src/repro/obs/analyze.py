@@ -29,7 +29,7 @@ block at the end of ``repro profile`` output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .ledger import RunLedger
 from .profile import ModuleProfile, ProfileReport
@@ -368,6 +368,228 @@ def device_what_if(
             ),
         ))
     return what_ifs
+
+
+# -- per-job critical-path decomposition -----------------------------------------------
+
+#: The categories a served job's latency decomposes into, in charge
+#: priority order (a cycle covered by work beats the drain window beats
+#: plain queueing).
+CRITICAL_PATH_CATEGORIES = (
+    "queue_wait", "fault_penalty", "transfer", "spm_load", "kernel", "drain",
+)
+
+
+@dataclass
+class JobPath:
+    """One job's latency, decomposed cycle-exactly.
+
+    ``segments`` partitions ``[arrival, completion]`` on the service's
+    virtual clock, so ``sum(segments.values()) == latency_cycles``
+    always — the invariant the acceptance test pins."""
+
+    job: int
+    tenant: str
+    stage: str
+    arrival_cycles: int
+    completed_cycles: int
+    latency_cycles: int
+    waves: int
+    segments: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dominant(self) -> str:
+        """The category carrying the most cycles (ties break on the
+        canonical category order)."""
+        return max(
+            CRITICAL_PATH_CATEGORIES,
+            key=lambda cat: (self.segments.get(cat, 0),
+                             -CRITICAL_PATH_CATEGORIES.index(cat)),
+        )
+
+    def render(self) -> str:
+        parts = " ".join(
+            f"{cat}={self.segments.get(cat, 0)}"
+            for cat in CRITICAL_PATH_CATEGORIES
+            if self.segments.get(cat, 0)
+        ) or "queue_wait=0"
+        return (
+            f"  job {self.job} [{self.tenant}/{self.stage}] "
+            f"{self.latency_cycles} cycles ({self.waves} wave(s)): {parts}"
+        )
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-job critical paths of one served run, from the ledger alone."""
+
+    run_id: str
+    jobs: List[JobPath]
+
+    def totals(self) -> Dict[str, int]:
+        """Summed cycles per category across every job."""
+        totals = {cat: 0 for cat in CRITICAL_PATH_CATEGORIES}
+        for path in self.jobs:
+            for cat, cycles in path.segments.items():
+                totals[cat] = totals.get(cat, 0) + cycles
+        return totals
+
+    def render(self) -> str:
+        total_latency = sum(path.latency_cycles for path in self.jobs)
+        lines = [
+            f"critical-path analysis: {len(self.jobs)} job(s), "
+            f"{total_latency} summed latency cycles"
+        ]
+        totals = self.totals()
+        for cat in CRITICAL_PATH_CATEGORIES:
+            cycles = totals.get(cat, 0)
+            if not cycles:
+                continue
+            share = cycles / total_latency if total_latency else 0.0
+            lines.append(f"  {cat:<13} {cycles:>12} cycles {share:>7.1%}")
+        for path in self.jobs:
+            lines.append(path.render())
+        return "\n".join(lines)
+
+
+def _wave_intervals(record: Dict[str, object]) -> List[Tuple[int, int, str]]:
+    """One completed wave's ``(start, end, category)`` sub-intervals.
+
+    New-format ``serve.wave.done`` events carry ``start_cycles`` /
+    ``transfer_cycles`` / ``penalty_cycles``; old ledgers reconstruct
+    the wave's tail (``end - cycles - load``) and decompose into
+    ``spm_load``/``kernel`` only — the remainder of the latency simply
+    stays ``queue_wait``, so the exact-sum invariant holds for both."""
+    end = int(record.get("end_cycles", 0))
+    kernel = int(record.get("cycles", 0))
+    load = int(record.get("load_cycles", 0))
+    if "start_cycles" in record:
+        start = int(record["start_cycles"])
+        penalty = int(record.get("penalty_cycles", 0))
+        transfer = int(record.get("transfer_cycles", 0))
+    else:
+        start = end - kernel - load
+        penalty = transfer = 0
+    cursor = start
+    intervals: List[Tuple[int, int, str]] = []
+    for cycles, cat in (
+        (penalty, "fault_penalty"),
+        (transfer, "transfer"),
+        (load, "spm_load"),
+        (kernel, "kernel"),
+    ):
+        if cycles > 0:
+            intervals.append((cursor, cursor + cycles, cat))
+            cursor += cycles
+    if cursor < end:  # rounding slack in an old-format record
+        intervals.append((cursor, end, "kernel"))
+    return intervals
+
+
+def _job_path(
+    done: Dict[str, object],
+    waves: List[Dict[str, object]],
+    aborted: List[Dict[str, object]],
+    drain_windows: List[Tuple[int, int]],
+) -> JobPath:
+    """Decompose one completed job's ``[arrival, completion]`` window.
+
+    The window is cut at every sub-interval boundary; each elementary
+    segment is charged to exactly one category (work by the covering
+    wave — latest-ending wins when waves of one job overlap across
+    devices — else aborted/drain time, else queue wait).  A partition
+    sums to the window exactly by construction."""
+    end = int(done.get("clock", 0))
+    if "arrival_cycles" in done:
+        arrival = int(done["arrival_cycles"])
+    else:  # old ledger: derive from the latency the service recorded
+        arrival = end - int(done.get("latency_cycles", 0))
+    covered: List[Tuple[int, int, str]] = []
+    for record in waves:
+        covered.extend(_wave_intervals(record))
+    aborted_spans = [
+        (int(record.get("start_cycles", 0)), int(record.get("clock", 0)))
+        for record in aborted
+    ]
+    bounds = {arrival, end}
+    for lo, hi, _cat in covered:
+        bounds.update((lo, hi))
+    for lo, hi in aborted_spans + drain_windows:
+        bounds.update((lo, hi))
+    edges = sorted(b for b in bounds if arrival <= b <= end)
+    segments = {cat: 0 for cat in CRITICAL_PATH_CATEGORIES}
+    for lo, hi in zip(edges, edges[1:]):
+        if hi <= lo:
+            continue
+        mid = (lo + hi) / 2
+        covering = [item for item in covered if item[0] <= mid < item[1]]
+        if covering:
+            # the latest-ending covering wave is the one still on the
+            # critical path at this instant
+            _lo, _hi, cat = max(covering, key=lambda item: item[1])
+        elif any(lo_ <= mid < hi_ for lo_, hi_ in aborted_spans):
+            cat = "drain"
+        elif any(lo_ <= mid < hi_ for lo_, hi_ in drain_windows):
+            cat = "drain"
+        else:
+            cat = "queue_wait"
+        segments[cat] += hi - lo
+    return JobPath(
+        job=int(done.get("job", -1)),
+        tenant=str(done.get("tenant", "?")),
+        stage=str(done.get("stage", "?")),
+        arrival_cycles=arrival,
+        completed_cycles=end,
+        latency_cycles=end - arrival,
+        waves=len(waves),
+        segments=segments,
+    )
+
+
+def critical_path_from_ledger(
+    ledger: RunLedger,
+    run_id: Optional[str] = None,
+    job_id: Optional[int] = None,
+) -> CriticalPathReport:
+    """Rebuild per-job critical paths from a served run's ledger events.
+
+    Uses the latest run carrying ``serve.job.done`` events (or ``run_id``
+    when given); ``job_id`` narrows to one job.  Raises ``ValueError``
+    when no served run (or no such job) is in the ledger."""
+    done_events = ledger.events("serve.job.done", run_id=run_id)
+    if not done_events:
+        raise ValueError(
+            "no serve.job.done events in the ledger — run `repro serve` "
+            "first"
+        )
+    run = str(done_events[-1].get("run_id"))
+    done_events = [r for r in done_events if str(r.get("run_id")) == run]
+    if job_id is not None:
+        done_events = [
+            r for r in done_events if int(r.get("job", -1)) == job_id
+        ]
+        if not done_events:
+            raise ValueError(f"job {job_id} did not complete in run {run}")
+    waves = ledger.events("serve.wave.done", run_id=run)
+    aborted = ledger.events("serve.wave.aborted", run_id=run)
+    drains = ledger.events("serve.drain", run_id=run)
+    resumes = ledger.events("serve.resume", run_id=run)
+    drain_windows = [
+        (int(drain.get("clock", 0)), int(resume.get("clock", 0)))
+        for drain, resume in zip(drains, resumes)
+    ]
+    jobs = [
+        _job_path(
+            done,
+            [r for r in waves if r.get("job") == done.get("job")],
+            [r for r in aborted if r.get("job") == done.get("job")],
+            drain_windows,
+        )
+        for done in sorted(
+            done_events, key=lambda r: int(r.get("job", -1))
+        )
+    ]
+    return CriticalPathReport(run_id=run, jobs=jobs)
 
 
 def sharding_report_from_ledger(

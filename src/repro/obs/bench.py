@@ -20,21 +20,32 @@ fails only when its median moved more than ``threshold`` in the bad
 direction **and** landed outside the baseline's IQR.  Deterministic
 probes (simulated cycles) have zero IQR, so any real regression trips
 them; noisy host-time probes get the IQR guard.
+
+The scaling-curve observatory rides on the same suite: ``run_sweep``
+re-runs selected probes across a cross-product of topology axes
+(``devices`` × ``workers`` × ``pipelines``) on the *same* materialized
+workload and records the full curve as a :class:`SweepResult` inside
+the ``BENCH_*.json``.  ``compare_sweeps`` gates curve *shape*, not just
+endpoints: every point gets the median+IQR rule against its baseline
+twin, and each probe's parallel-efficiency slope along each axis must
+not drop more than the threshold below the baseline slope.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
 import statistics
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .ledger import RunManifest
 
 #: Bumped when the BENCH_*.json shape changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the optional ``sweep`` scaling-curve block.
+BENCH_SCHEMA_VERSION = 2
 
 _BENCH_NAME = re.compile(r"BENCH_(\d+)\.json$")
 
@@ -315,6 +326,223 @@ class ProbeResult:
         )
 
 
+# -- the scaling-curve observatory ---------------------------------------------------
+
+#: Topology axes ``run_sweep`` may vary.  Each is a BenchContext field
+#: that reshapes the host/device topology without touching the workload.
+SWEEP_AXES = ("devices", "workers", "pipelines")
+
+#: Probes swept by default: the two whose whole point is a scaling curve.
+DEFAULT_SWEEP_PROBES = ("scheduler_parallelism", "device_scaling_parallelism")
+
+
+def parse_sweep(spec: str) -> Dict[str, List[int]]:
+    """Parse a ``--sweep`` spec like ``"devices=1,2;workers=1,2"``.
+
+    Axes are separated by ``;`` (or ``×``); each axis lists its values
+    as ``name=v1,v2,...``.  Only :data:`SWEEP_AXES` are accepted.
+    """
+    axes: Dict[str, List[int]] = {}
+    for part in re.split(r"[;×]", spec):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, rest = part.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"bad sweep axis {part!r}; expected name=v1,v2 with "
+                f"name in {SWEEP_AXES}"
+            )
+        if name not in SWEEP_AXES:
+            raise ValueError(
+                f"unknown sweep axis {name!r}; axes are {SWEEP_AXES}"
+            )
+        if name in axes:
+            raise ValueError(f"duplicate sweep axis {name!r}")
+        values = [int(value) for value in rest.split(",") if value.strip()]
+        if not values:
+            raise ValueError(f"sweep axis {name!r} has no values")
+        if any(value < 1 for value in values):
+            raise ValueError(f"sweep axis {name!r} values must be >= 1")
+        axes[name] = values
+    if not axes:
+        raise ValueError("empty sweep spec")
+    return axes
+
+
+@dataclass
+class CurvePoint:
+    """One topology point on the sweep grid: overrides + probe summaries."""
+
+    overrides: Dict[str, int]
+    probes: Dict[str, ProbeResult]
+
+    def key(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self.overrides.items()))
+
+    def label(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "overrides": dict(sorted(self.overrides.items())),
+            "probes": {
+                name: result.to_dict()
+                for name, result in sorted(self.probes.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CurvePoint":
+        return cls(
+            overrides={
+                str(k): int(v)
+                for k, v in data.get("overrides", {}).items()
+            },
+            probes={
+                name: ProbeResult.from_dict(name, probe)
+                for name, probe in data.get("probes", {}).items()
+            },
+        )
+
+
+@dataclass
+class SweepResult:
+    """A full scaling curve: the axis grid plus one point per combo."""
+
+    axes: Dict[str, List[int]]
+    probe_names: List[str]
+    points: List[CurvePoint]
+
+    def series(self, probe: str, axis: str) -> List[Tuple[int, float]]:
+        """``(axis value, median)`` pairs along ``axis`` with every other
+        axis held at its first (base) value."""
+        base = {name: values[0] for name, values in self.axes.items()}
+        out: List[Tuple[int, float]] = []
+        for value in self.axes.get(axis, []):
+            want = dict(base)
+            want[axis] = value
+            for point in self.points:
+                if point.overrides == want and probe in point.probes:
+                    out.append((value, point.probes[probe].median))
+                    break
+        return out
+
+    def efficiency_slope(self, probe: str, axis: str) -> Optional[float]:
+        """Slope of parallel efficiency along ``axis``.
+
+        Efficiency at a point is ``(median / base median) / (value /
+        base value)`` — 1.0 means perfect scaling, below 1.0 sub-linear.
+        The slope is the efficiency drop per unit of axis ratio between
+        the first and last point; flat (0.0) is ideal, more negative
+        means the curve bends away from linear harder.  ``None`` when
+        the series is too short or degenerate to define one.
+        """
+        series = self.series(probe, axis)
+        if len(series) < 2:
+            return None
+        base_value, base_median = series[0]
+        if base_value == 0 or base_median == 0:
+            return None
+        first_ratio = 1.0
+        last_value, last_median = series[-1]
+        last_ratio = last_value / base_value
+        if last_ratio == first_ratio:
+            return None
+        first_eff = 1.0
+        last_eff = (last_median / base_median) / last_ratio
+        return (last_eff - first_eff) / (last_ratio - first_ratio)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "probes": list(self.probe_names),
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepResult":
+        return cls(
+            axes={
+                str(name): [int(v) for v in values]
+                for name, values in data.get("axes", {}).items()
+            },
+            probe_names=[str(name) for name in data.get("probes", [])],
+            points=[
+                CurvePoint.from_dict(point)
+                for point in data.get("points", [])
+            ],
+        )
+
+    def render(self) -> str:
+        lines = [
+            "sweep "
+            + " × ".join(
+                f"{name}={'|'.join(str(v) for v in values)}"
+                for name, values in self.axes.items()
+            )
+        ]
+        for point in self.points:
+            cells = "  ".join(
+                f"{name}={point.probes[name].median:.3f}"
+                for name in self.probe_names
+                if name in point.probes
+            )
+            lines.append(f"  [{point.label()}]  {cells}")
+        for probe in self.probe_names:
+            for axis in self.axes:
+                slope = self.efficiency_slope(probe, axis)
+                if slope is not None:
+                    lines.append(
+                        f"  slope {probe}/{axis}: {slope:+.3f} "
+                        "(efficiency per axis ratio; 0 = linear scaling)"
+                    )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    context: BenchContext,
+    axes: Dict[str, List[int]],
+    probes: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    warmup: int = 1,
+    suite: Optional[Dict[str, Probe]] = None,
+) -> SweepResult:
+    """Record the scaling curve: re-run ``probes`` at every point of the
+    ``axes`` cross-product on the same materialized workload."""
+    suite = suite if suite is not None else DEFAULT_SUITE
+    unknown_axes = [name for name in axes if name not in SWEEP_AXES]
+    if unknown_axes:
+        raise ValueError(
+            f"unknown sweep axes {unknown_axes}; axes are {SWEEP_AXES}"
+        )
+    if not axes:
+        raise ValueError("sweep needs at least one axis")
+    if probes:
+        selected = list(probes)
+    else:
+        selected = [name for name in DEFAULT_SWEEP_PROBES if name in suite]
+        if not selected:
+            selected = list(suite)
+    context.build()
+    names = list(axes)
+    points: List[CurvePoint] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        point_context = replace(context, **overrides)
+        result = run_bench(
+            point_context, repeats=repeats, warmup=warmup,
+            probes=selected, suite=suite,
+        )
+        points.append(CurvePoint(overrides=overrides, probes=result.probes))
+    return SweepResult(
+        axes={name: list(axes[name]) for name in names},
+        probe_names=selected,
+        points=points,
+    )
+
+
 @dataclass
 class BenchResult:
     """One suite run: manifest + per-probe summaries."""
@@ -322,9 +550,11 @@ class BenchResult:
     manifest: RunManifest
     probes: Dict[str, ProbeResult]
     schema_version: int = BENCH_SCHEMA_VERSION
+    #: Optional scaling curve recorded by ``--sweep``.
+    sweep: Optional[SweepResult] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema_version": self.schema_version,
             "manifest": self.manifest.to_dict(),
             "probes": {
@@ -332,6 +562,9 @@ class BenchResult:
                 for name, result in sorted(self.probes.items())
             },
         }
+        if self.sweep is not None:
+            data["sweep"] = self.sweep.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "BenchResult":
@@ -341,6 +574,7 @@ class BenchResult:
                 f"bench schema v{version} is not v{BENCH_SCHEMA_VERSION}; "
                 "regenerate the baseline with this package version"
             )
+        sweep = data.get("sweep")
         return cls(
             manifest=RunManifest.from_dict(data.get("manifest", {})),
             probes={
@@ -348,6 +582,7 @@ class BenchResult:
                 for name, probe in data.get("probes", {}).items()
             },
             schema_version=version,
+            sweep=SweepResult.from_dict(sweep) if sweep else None,
         )
 
     @classmethod
@@ -371,6 +606,8 @@ class BenchResult:
                 f"{result.unit} {arrow}  IQR {result.iqr:.3f} "
                 f"({len(result.samples)} repeats)"
             )
+        if self.sweep is not None:
+            lines.append(self.sweep.render())
         return "\n".join(lines)
 
 
@@ -598,4 +835,185 @@ def compare_results(
         missing=missing,
         comparable=not notes,
         notes=notes,
+    )
+
+
+# -- curve-shape comparison ----------------------------------------------------------
+
+
+@dataclass
+class PointComparison:
+    """One sweep point's baseline-vs-current verdict for one probe."""
+
+    label: str
+    probe: str
+    unit: str
+    higher_is_better: bool
+    baseline_median: float
+    current_median: float
+    delta: float
+    outside_iqr: bool
+    regression: bool
+
+    def render(self) -> str:
+        verdict = "REGRESSION" if self.regression else (
+            "ok (within noise)" if self.delta > 0 else "ok"
+        )
+        return (
+            f"[{self.label}] {self.probe}: {self.baseline_median:.3f} -> "
+            f"{self.current_median:.3f} {self.unit} "
+            f"({self.delta:+.1%} worse) {verdict}"
+        )
+
+
+@dataclass
+class SlopeComparison:
+    """One probe/axis parallel-efficiency slope verdict."""
+
+    probe: str
+    axis: str
+    baseline_slope: float
+    current_slope: float
+    regression: bool
+
+    def render(self) -> str:
+        verdict = "REGRESSION" if self.regression else "ok"
+        return (
+            f"slope {self.probe}/{self.axis}: {self.baseline_slope:+.3f} -> "
+            f"{self.current_slope:+.3f} {verdict}"
+        )
+
+
+@dataclass
+class SweepComparison:
+    """Curve-shape verdict: per-point deltas plus slope drift."""
+
+    threshold: float
+    points: List[PointComparison]
+    slopes: List[SlopeComparison]
+    missing: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    refused: bool = False
+
+    @property
+    def regressions(self) -> List[object]:
+        bad: List[object] = [p for p in self.points if p.regression]
+        bad.extend(s for s in self.slopes if s.regression)
+        return bad
+
+    @property
+    def ok(self) -> bool:
+        return not self.refused and not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"sweep compare vs baseline (threshold {self.threshold:.0%} "
+            "per point; slope drop gated at the same threshold):"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for point in self.points:
+            lines.append(f"  {point.render()}")
+        for slope in self.slopes:
+            lines.append(f"  {slope.render()}")
+        for label in self.missing:
+            lines.append(f"  {label}: not in baseline (skipped)")
+        lines.append(
+            f"  => {len(self.regressions)} curve regression(s) across "
+            f"{len(self.points)} point(s) and {len(self.slopes)} slope(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare_sweeps(
+    current: SweepResult,
+    baseline: SweepResult,
+    threshold: float = 0.10,
+) -> SweepComparison:
+    """Gate curve *shape* against the baseline sweep.
+
+    Two rules, both noise-aware:
+
+    - **Per-point**: every (topology point, probe) pair applies the same
+      median+IQR rule as :func:`compare_results` against its baseline
+      twin — a curve that sags anywhere fails even if the endpoints
+      match.
+    - **Slope**: each probe's parallel-efficiency slope along each axis
+      (see :meth:`SweepResult.efficiency_slope`) must not drop more than
+      ``threshold`` below the baseline slope — a curve that bends away
+      from linear scaling harder than the baseline did fails even when
+      no single point trips the per-point rule.
+
+    Sweeps over different axis grids are refused (``refused=True``): a
+    devices=1..4 curve is not a regression of a devices=1..2 curve.
+    """
+    if current.axes != baseline.axes:
+        return SweepComparison(
+            threshold=threshold,
+            points=[],
+            slopes=[],
+            notes=[
+                f"refusing to compare sweeps over different grids "
+                f"(current {current.axes} vs baseline {baseline.axes}); "
+                "regenerate the baseline with the same --sweep spec"
+            ],
+            refused=True,
+        )
+    baseline_points = {point.key(): point for point in baseline.points}
+    comparisons: List[PointComparison] = []
+    missing: List[str] = []
+    for point in current.points:
+        twin = baseline_points.get(point.key())
+        if twin is None:
+            missing.append(point.label())
+            continue
+        for name in sorted(point.probes):
+            probe = point.probes[name]
+            base = twin.probes.get(name)
+            if base is None:
+                missing.append(f"[{point.label()}] {name}")
+                continue
+            base_median = base.median
+            if base_median == 0:
+                delta = 0.0 if probe.median == 0 else 1.0
+            elif probe.higher_is_better:
+                delta = (base_median - probe.median) / abs(base_median)
+            else:
+                delta = (probe.median - base_median) / abs(base_median)
+            if probe.higher_is_better:
+                outside = probe.median < base.q1
+            else:
+                outside = probe.median > base.q3
+            comparisons.append(PointComparison(
+                label=point.label(),
+                probe=name,
+                unit=probe.unit,
+                higher_is_better=probe.higher_is_better,
+                baseline_median=base_median,
+                current_median=probe.median,
+                delta=delta,
+                outside_iqr=outside,
+                regression=delta > threshold and outside,
+            ))
+    slopes: List[SlopeComparison] = []
+    for name in current.probe_names:
+        if name not in baseline.probe_names:
+            continue
+        for axis in current.axes:
+            current_slope = current.efficiency_slope(name, axis)
+            baseline_slope = baseline.efficiency_slope(name, axis)
+            if current_slope is None or baseline_slope is None:
+                continue
+            slopes.append(SlopeComparison(
+                probe=name,
+                axis=axis,
+                baseline_slope=baseline_slope,
+                current_slope=current_slope,
+                regression=current_slope < baseline_slope - threshold,
+            ))
+    return SweepComparison(
+        threshold=threshold,
+        points=comparisons,
+        slopes=slopes,
+        missing=missing,
     )

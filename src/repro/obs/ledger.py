@@ -38,8 +38,23 @@ from typing import Dict, Iterator, List, Optional
 DEFAULT_LEDGER_DIR = ".repro"
 DEFAULT_LEDGER_NAME = "ledger.jsonl"
 
-#: Bumped when the record shape changes incompatibly.
-LEDGER_SCHEMA_VERSION = 1
+#: Bumped when the record shape changes.  v2 added the explicit
+#: ``schema_version`` field (v1 records carried only ``schema``);
+#: readers tolerate records from either version and ignore unknown
+#: keys, so an old ``.repro/ledger.jsonl`` still analyzes cleanly.
+LEDGER_SCHEMA_VERSION = 2
+
+
+def record_schema_version(record: Dict[str, object]) -> int:
+    """The schema version a ledger record was written under.
+
+    v1 records stamped ``schema``; v2 stamps both ``schema`` and
+    ``schema_version``.  Records predating the stamp read as v1."""
+    version = record.get("schema_version", record.get("schema", 1))
+    try:
+        return int(version)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 1
 
 
 def config_digest(config: Dict[str, object]) -> str:
@@ -127,8 +142,14 @@ class RunLedger:
         self.path = path or os.path.join(DEFAULT_LEDGER_DIR, DEFAULT_LEDGER_NAME)
 
     def append(self, record: Dict[str, object]) -> None:
-        """Append one record (a ``schema`` field is stamped on)."""
-        record = {"schema": LEDGER_SCHEMA_VERSION, **record}
+        """Append one record (``schema``/``schema_version`` stamped on;
+        ``schema`` is kept alongside the explicit name so v1 readers of
+        this file keep working too)."""
+        record = {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            **record,
+        }
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -158,7 +179,10 @@ class RunLedger:
 
     def read(self) -> List[Dict[str, object]]:
         """Every record in the ledger, oldest first (empty when the file
-        does not exist; malformed lines are skipped, not fatal)."""
+        does not exist; malformed or non-object lines are skipped, not
+        fatal).  Unknown keys — fields stamped by newer writers — pass
+        through untouched: every reader queries by ``.get``, so ledgers
+        written before or after a schema bump both analyze cleanly."""
         if not os.path.exists(self.path):
             return []
         records: List[Dict[str, object]] = []
@@ -168,9 +192,11 @@ class RunLedger:
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    record = json.loads(line)
                 except json.JSONDecodeError:
                     continue
+                if isinstance(record, dict):
+                    records.append(record)
         return records
 
     def runs(self) -> Dict[str, List[Dict[str, object]]]:

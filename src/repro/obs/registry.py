@@ -18,11 +18,34 @@ cycle — the hot loop stays untouched and the disabled path costs zero.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: (name, labels) -> instrument key.  Labels are sorted key=value pairs so
 #: lookup order never changes identity.
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def nearest_rank(total: int, q: float) -> int:
+    """The 1-based nearest-rank index of percentile ``q`` in an ordered
+    sample of ``total`` observations: ``max(1, ceil(q/100 * total))``.
+
+    Deterministic, no interpolation — ties and integer samples come out
+    exact, which is why both the serving SLO report and the histogram
+    summaries use it."""
+    if not 0 < q <= 100:
+        raise ValueError("q must be in (0, 100]")
+    if total <= 0:
+        raise ValueError("total must be positive")
+    return max(1, math.ceil(q / 100.0 * total))
+
+
+def nearest_rank_percentile(values: Sequence, q: float):
+    """Nearest-rank percentile of ``values`` (``None`` when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[nearest_rank(len(ordered), q) - 1]
 
 
 def _key(name: str, labels: Dict[str, object]) -> MetricKey:
@@ -92,15 +115,16 @@ class Histogram:
         return sum(v * c for v, c in enumerate(self.counts)) / total
 
     def quantile(self, q: float) -> int:
-        """The smallest value covering fraction ``q`` of observations."""
+        """The smallest value covering fraction ``q`` of observations
+        (nearest-rank, shared with :func:`nearest_rank`)."""
         total = self.total
         if not total:
             return 0
-        threshold = q * total
+        rank = nearest_rank(total, q * 100.0)
         seen = 0
         for value, count in enumerate(self.counts):
             seen += count
-            if seen >= threshold:
+            if seen >= rank:
                 return value
         return len(self.counts) - 1
 

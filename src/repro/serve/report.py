@@ -12,20 +12,16 @@ latencies: deterministic, no interpolation, no floating-point noise.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs.registry import nearest_rank_percentile
+
 
 def percentile(values: List[int], q: float) -> Optional[int]:
-    """Nearest-rank percentile of ``values`` (``None`` when empty)."""
-    if not values:
-        return None
-    if not 0 < q <= 100:
-        raise ValueError("q must be in (0, 100]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    """Nearest-rank percentile of ``values`` (``None`` when empty) —
+    the shared :func:`repro.obs.registry.nearest_rank_percentile`."""
+    return nearest_rank_percentile(values, q)
 
 
 @dataclass

@@ -51,6 +51,7 @@ from ..faults.retry import RetryPolicy
 from ..tables.partition import PartitionId
 from ..obs.ledger import record_event
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import SpanRecorder, fleet_chrome_trace
 from ..runtime.device import DeviceConfig, DevicePool
 from .job import (
     COMPLETED,
@@ -90,6 +91,8 @@ class _Inflight:
     cycles: int
     load_cycles: int
     end_cycles: int
+    start_cycles: int = 0
+    transfer_cycles: int = 0
 
 
 @dataclass
@@ -171,6 +174,8 @@ class ServiceCheckpoint:
     device_config: Optional[DeviceConfig]
     retries: int = 0
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    spans: Optional[SpanRecorder] = None
+    job_span_ids: Dict[int, int] = field(default_factory=dict)
 
     @property
     def open_jobs(self) -> int:
@@ -198,6 +203,7 @@ class JobService:
         registry: Optional[MetricsRegistry] = None,
         spm_cache: Optional[SpmImageCache] = None,
         device_config: Optional[DeviceConfig] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         if devices < 1:
             raise ValueError("need at least one device")
@@ -210,6 +216,11 @@ class JobService:
             max_backlog=max_backlog, quota=quota, weights=weights
         )
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Fleet trace-context recorder.  On by default — every served
+        #: run can export a merged chrome trace (:meth:`fleet_trace`);
+        #: pass ``SpanRecorder(enabled=False)`` to opt out.
+        self.spans = spans if spans is not None else SpanRecorder()
+        self._job_span_ids: Dict[int, int] = {}
         self.cache = spm_cache if spm_cache is not None else SpmImageCache()
         self.device_config = device_config
         self.pool = DevicePool(
@@ -301,6 +312,10 @@ class JobService:
                 "serve.jobs.rejected", tenant=job.tenant, reason=reason
             ).inc()
         else:
+            # The job's root span is recorded at completion (or failure),
+            # but its id is reserved now so every wave/fault child span
+            # can parent to it while the job is still open.
+            self._job_span_ids[job.job_id] = self.spans.reserve()
             self._event(
                 "serve.admit",
                 tenant=job.tenant, job=job.job_id, stage=job.stage,
@@ -445,6 +460,14 @@ class JobService:
                 attempt=attempt, kind=fault.kind,
                 backoff_seconds=backoff,
             )
+            self.spans.record(
+                f"fault:{fault.kind}", "fault", self.clock, self.clock,
+                trace_id=f"job-{job.job_id}",
+                parent_id=self._job_span_ids.get(job.job_id),
+                lane="service", tenant=job.tenant,
+                job=job.job_id, wave=wave_index, attempt=attempt,
+                kind=fault.kind, backoff_seconds=backoff,
+            )
             attempt += 1
 
     def _fail_job(self, job: Job, wave_index: int) -> None:
@@ -456,6 +479,14 @@ class JobService:
             "serve.job.failed",
             tenant=job.tenant, job=job.job_id, stage=job.stage,
             wave=wave_index, clock=self.clock,
+        )
+        self.spans.record(
+            f"job:{job.job_id}", "job", job.arrival_cycles, self.clock,
+            trace_id=f"job-{job.job_id}",
+            span_id=self._job_span_ids.get(job.job_id),
+            lane="service", tenant=job.tenant,
+            job=job.job_id, stage=job.stage, state=FAILED,
+            failed_wave=wave_index,
         )
         self.registry.counter(
             "serve.jobs.failed", tenant=job.tenant
@@ -496,8 +527,9 @@ class JobService:
             self.cache.hits += hits
             self.cache.misses += misses
             self.cache.cycles_saved += saved
+            transfer_cycles = self._transfer_cycles(pick.cost_rows)
             duration = (
-                self._transfer_cycles(pick.cost_rows)
+                transfer_cycles
                 + load_cycles
                 + stats.cycles
                 + pick.penalty_cycles
@@ -508,7 +540,8 @@ class JobService:
             card.launch(pick.seq, stats.cycles)
             card.wait(pick.seq)
             self._inflight[pick.device] = _Inflight(
-                pick, wave_results, stats.cycles, load_cycles, end
+                pick, wave_results, stats.cycles, load_cycles, end,
+                start_cycles=self.clock, transfer_cycles=transfer_cycles,
             )
 
     def _transfer_cycles(self, rows: int) -> int:
@@ -568,7 +601,12 @@ class JobService:
             tenant=job.tenant, job=job.job_id, wave=wave_index,
             device=device, cycles=rec.cycles, load_cycles=rec.load_cycles,
             end_cycles=end_cycles,
+            start_cycles=rec.start_cycles,
+            transfer_cycles=rec.transfer_cycles,
+            penalty_cycles=rec.dispatch.penalty_cycles,
+            attempt=rec.dispatch.attempt,
         )
+        self._record_wave_spans(rec, device, end_cycles)
         if job.waves_done == len(job.waves) and job.state == RUNNING:
             job.finalize(end_cycles)
             self.queue.close(job)
@@ -582,11 +620,61 @@ class JobService:
                 latency_cycles=job.latency_cycles,
                 queue_cycles=job.queue_cycles,
                 service_cycles=job.service_cycles,
+                arrival_cycles=job.arrival_cycles,
                 clock=end_cycles,
+            )
+            self.spans.record(
+                f"job:{job.job_id}", "job", job.arrival_cycles, end_cycles,
+                trace_id=f"job-{job.job_id}",
+                span_id=self._job_span_ids.get(job.job_id),
+                lane="service", tenant=job.tenant,
+                job=job.job_id, stage=job.stage, state=COMPLETED,
+                latency_cycles=job.latency_cycles,
+                queue_cycles=job.queue_cycles,
             )
             self.registry.counter(
                 "serve.jobs.completed", tenant=job.tenant
             ).inc()
+
+    def _record_wave_spans(
+        self, rec: _Inflight, device: int, end_cycles: int
+    ) -> None:
+        """Lay the completed wave's spans on its device lane: one parent
+        covering dispatch → completion, with penalty/transfer/load/kernel
+        children tiling it exactly (their cycles sum to the wave's
+        virtual duration by construction)."""
+        if not self.spans.enabled:
+            return
+        job = rec.dispatch.job
+        wave_index = rec.dispatch.wave_index
+        trace_id = f"job-{job.job_id}"
+        lane = f"device:{device}"
+        parent = self.spans.record(
+            f"{job.stage}:j{job.job_id}:w{wave_index}", "wave",
+            rec.start_cycles, end_cycles,
+            trace_id=trace_id,
+            parent_id=self._job_span_ids.get(job.job_id),
+            lane=lane, tenant=job.tenant,
+            job=job.job_id, wave=wave_index, device=device,
+            attempt=rec.dispatch.attempt, cost_rows=rec.dispatch.cost_rows,
+        )
+        cursor = rec.start_cycles
+        segments = (
+            ("backoff", "fault_penalty", rec.dispatch.penalty_cycles),
+            ("h2d", "transfer", rec.transfer_cycles),
+            ("spm_load", "spm_load", rec.load_cycles),
+            ("kernel", "kernel", rec.cycles),
+        )
+        for name, cat, cycles in segments:
+            if cycles <= 0 and cat in ("fault_penalty", "spm_load"):
+                continue
+            self.spans.record(
+                name, cat, cursor, cursor + cycles,
+                trace_id=trace_id, parent_id=parent,
+                lane=lane, tenant=job.tenant,
+                job=job.job_id, wave=wave_index, device=device,
+            )
+            cursor += cycles
 
     # -- drain / resume ------------------------------------------------------
 
@@ -599,7 +687,27 @@ class JobService:
         requeued = 0
         for device in sorted(self._inflight):
             rec = self._inflight.pop(device)
-            rec.dispatch.job.requeue(rec.dispatch.wave_index)
+            job = rec.dispatch.job
+            wave_index = rec.dispatch.wave_index
+            job.requeue(wave_index)
+            self._event(
+                "serve.wave.aborted",
+                tenant=job.tenant, job=job.job_id, wave=wave_index,
+                device=device, start_cycles=rec.start_cycles,
+                clock=self.clock,
+            )
+            # The wave's work up to the drain point still occupied the
+            # device — trace it as an aborted span cut at the drain
+            # clock (it re-runs in full after resume).
+            self.spans.record(
+                f"{job.stage}:j{job.job_id}:w{wave_index}", "aborted",
+                rec.start_cycles, self.clock,
+                trace_id=f"job-{job.job_id}",
+                parent_id=self._job_span_ids.get(job.job_id),
+                lane=f"device:{device}", tenant=job.tenant,
+                job=job.job_id, wave=wave_index, device=device,
+                drained=True,
+            )
             requeued += 1
         self._shutdown_executor()
         self._event(
@@ -607,6 +715,10 @@ class JobService:
             clock=self.clock, requeued=requeued,
             open_jobs=self.queue.open_jobs(),
             pending_arrivals=len(self._arrivals),
+        )
+        self.spans.record(
+            "drain", "drain", self.clock, self.clock,
+            trace_id="service", lane="service", requeued=requeued,
         )
         return ServiceCheckpoint(
             clock=self.clock,
@@ -625,6 +737,8 @@ class JobService:
             device_config=self.device_config,
             retries=self._retries,
             fault_counts=self._fault_counts(),
+            spans=self.spans,
+            job_span_ids=dict(self._job_span_ids),
         )
 
     @classmethod
@@ -659,15 +773,31 @@ class JobService:
             service.injector._slots.update(checkpoint.fault_slots)
         service._retries = checkpoint.retries
         service._prior_faults = dict(checkpoint.fault_counts)
+        if checkpoint.spans is not None:
+            # Continue the drained service's recorder (same id counter)
+            # so pre-drain and post-resume spans merge into one trace.
+            service.spans = checkpoint.spans
+            service._job_span_ids = dict(checkpoint.job_span_ids)
         service._event(
             "serve.resume",
             clock=service.clock,
             open_jobs=service.queue.open_jobs(),
             pending_arrivals=len(service._arrivals),
         )
+        service.spans.record(
+            "resume", "drain", service.clock, service.clock,
+            trace_id="service", lane="service",
+            open_jobs=service.queue.open_jobs(),
+        )
         return service
 
     # -- reporting -----------------------------------------------------------
+
+    def fleet_trace(self, name: str = "fleet") -> Dict[str, object]:
+        """The merged fleet chrome://tracing export of every span the
+        service (and any traced run merged into its recorder) saw: one
+        process lane per device, tenant-colored job tracks."""
+        return fleet_chrome_trace(self.spans.spans, name=name)
 
     def summary(self) -> ServeSummary:
         from .report import percentile

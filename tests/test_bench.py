@@ -311,3 +311,206 @@ class TestSqlBackendProbe:
         assert probe.median > 1.0  # vectorized beats row-at-a-time
         assert probe.higher_is_better
         assert result.manifest.config["sql_backend"] == "fast"
+
+
+# -- the scaling-curve observatory ---------------------------------------------------
+
+
+from repro.obs.bench import (  # noqa: E402
+    SWEEP_AXES,
+    CurvePoint,
+    SweepResult,
+    compare_sweeps,
+    parse_sweep,
+    run_sweep,
+)
+
+
+def _scaling_suite():
+    """Probes whose value depends on the topology: `linear` scales
+    perfectly with devices, `flat` never scales."""
+    return {
+        "linear": Probe(
+            "linear", lambda ctx: float(ctx.devices), "x", True
+        ),
+        "flat": Probe("flat", lambda ctx: 1.0, "x", True),
+    }
+
+
+def _sweep(axes="devices=1,2", suite=None, probes=None):
+    return run_sweep(
+        _context(), parse_sweep(axes),
+        probes=probes, repeats=1, warmup=0,
+        suite=suite if suite is not None else _scaling_suite(),
+    )
+
+
+class TestParseSweep:
+    def test_two_axes(self):
+        assert parse_sweep("devices=1,2;workers=1,2,4") == {
+            "devices": [1, 2], "workers": [1, 2, 4],
+        }
+
+    def test_cross_separator(self):
+        assert parse_sweep("devices=1,2×pipelines=2,4") == {
+            "devices": [1, 2], "pipelines": [2, 4],
+        }
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            parse_sweep("gpus=1,2")
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_sweep("devices=1;devices=2")
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            parse_sweep("devices=")
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            parse_sweep("devices=0,1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty sweep"):
+            parse_sweep(" ; ")
+
+
+class TestRunSweep:
+    def test_cross_product_points(self):
+        sweep = _sweep("devices=1,2;workers=1,2")
+        assert len(sweep.points) == 4
+        grid = {point.key() for point in sweep.points}
+        assert (("devices", 2), ("workers", 1)) in grid
+        assert sweep.probe_names == ["linear", "flat"]
+
+    def test_probes_see_the_override(self):
+        sweep = _sweep("devices=1,2")
+        by_devices = {
+            point.overrides["devices"]: point.probes["linear"].median
+            for point in sweep.points
+        }
+        assert by_devices == {1: 1.0, 2: 2.0}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axes"):
+            run_sweep(
+                _context(), {"gpus": [1]}, repeats=1, warmup=0,
+                suite=_scaling_suite(),
+            )
+
+    def test_axes_exported(self):
+        assert set(SWEEP_AXES) == {"devices", "workers", "pipelines"}
+
+
+class TestSweepResult:
+    def test_series_holds_other_axes_at_base(self):
+        sweep = _sweep("devices=1,2;workers=1,2")
+        assert sweep.series("linear", "devices") == [(1, 1.0), (2, 2.0)]
+        assert sweep.series("flat", "workers") == [(1, 1.0), (2, 1.0)]
+
+    def test_efficiency_slope_flat_for_perfect_scaling(self):
+        sweep = _sweep("devices=1,2,4")
+        assert sweep.efficiency_slope("linear", "devices") == pytest.approx(0)
+        # a non-scaling probe: efficiency 1 -> 0.25 over ratio 1 -> 4
+        assert sweep.efficiency_slope("flat", "devices") == pytest.approx(
+            (0.25 - 1.0) / 3.0
+        )
+
+    def test_slope_undefined_for_single_point(self):
+        sweep = _sweep("devices=1")
+        assert sweep.efficiency_slope("linear", "devices") is None
+
+    def test_round_trip(self):
+        sweep = _sweep("devices=1,2;workers=1,2")
+        rebuilt = SweepResult.from_dict(sweep.to_dict())
+        assert rebuilt.axes == sweep.axes
+        assert rebuilt.probe_names == sweep.probe_names
+        assert [p.key() for p in rebuilt.points] == [
+            p.key() for p in sweep.points
+        ]
+        assert rebuilt.series("linear", "devices") == sweep.series(
+            "linear", "devices"
+        )
+
+    def test_render_shows_points_and_slopes(self):
+        text = _sweep("devices=1,2").render()
+        assert "devices=1" in text and "devices=2" in text
+        assert "slope linear/devices" in text
+
+    def test_bench_result_carries_sweep(self):
+        result = _result({"a": 1.0})
+        result.sweep = _sweep("devices=1,2")
+        rebuilt = BenchResult.from_dict(result.to_dict())
+        assert rebuilt.sweep is not None
+        assert rebuilt.sweep.axes == {"devices": [1, 2]}
+        assert "slope linear/devices" in result.render()
+        # sweepless results stay sweepless through the round trip
+        plain = BenchResult.from_dict(_result({"a": 1.0}).to_dict())
+        assert plain.sweep is None
+
+
+class TestCompareSweeps:
+    def test_identical_sweeps_ok(self):
+        sweep = _sweep("devices=1,2")
+        comparison = compare_sweeps(sweep, sweep, threshold=0.1)
+        assert comparison.ok
+        assert len(comparison.points) == 4  # 2 points x 2 probes
+        assert comparison.slopes
+
+    def test_sagging_point_flags(self):
+        baseline = _sweep("devices=1,2")
+        current = _sweep("devices=1,2")
+        # sink one interior point 50%: endpoints unchanged
+        sunk = current.points[1].probes["linear"]
+        sunk.samples = [sample * 0.5 for sample in sunk.samples]
+        comparison = compare_sweeps(current, baseline, threshold=0.1)
+        assert not comparison.ok
+        bad = [p for p in comparison.points if p.regression]
+        assert [(p.label, p.probe) for p in bad] == [("devices=2", "linear")]
+
+    def test_slope_regression_flags_even_when_points_pass(self):
+        # A super-linear probe: a modest endpoint droop moves the
+        # efficiency slope further than any per-point median, so only
+        # the slope rule catches the bent curve.
+        suite = {
+            "quad": Probe(
+                "quad", lambda ctx: float(ctx.devices ** 2), "x", True
+            ),
+        }
+        baseline = _sweep("devices=1,4", suite=suite)
+        current = _sweep("devices=1,4", suite=suite)
+        drooped = current.points[1].probes["quad"]
+        drooped.samples = [sample * 0.75 for sample in drooped.samples]
+        comparison = compare_sweeps(current, baseline, threshold=0.3)
+        point_failures = [p for p in comparison.points if p.regression]
+        assert not point_failures
+        slope_failures = [s for s in comparison.slopes if s.regression]
+        assert [(s.probe, s.axis) for s in slope_failures] == [
+            ("quad", "devices")
+        ]
+        assert not comparison.ok
+
+    def test_improvement_never_flags(self):
+        baseline = _sweep("devices=1,2")
+        current = _sweep("devices=1,2")
+        for point in current.points:
+            better = point.probes["flat"]
+            better.samples = [sample * 2 for sample in better.samples]
+        assert compare_sweeps(current, baseline, threshold=0.1).ok
+
+    def test_different_grids_refused(self):
+        comparison = compare_sweeps(
+            _sweep("devices=1,2"), _sweep("devices=1,2,4"), threshold=0.1
+        )
+        assert comparison.refused
+        assert not comparison.ok
+        assert not comparison.points
+        assert "different grids" in comparison.notes[0]
+
+    def test_render_reports_counts(self):
+        sweep = _sweep("devices=1,2")
+        text = compare_sweeps(sweep, sweep, threshold=0.1).render()
+        assert "0 curve regression(s)" in text
+        assert "slope" in text

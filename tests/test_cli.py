@@ -162,8 +162,10 @@ def test_bench_writes_and_compares(tmp_path, capsys):
     assert main(_bench_argv(tmp_path)) == 0
     baseline = tmp_path / "BENCH_1.json"
     assert baseline.exists()
+    from repro.obs import BENCH_SCHEMA_VERSION
+
     data = json.loads(baseline.read_text())
-    assert data["schema_version"] == 1
+    assert data["schema_version"] == BENCH_SCHEMA_VERSION
     assert "markdup_cycles_per_base" in data["probes"]
     assert data["manifest"]["config_digest"]
     capsys.readouterr()
@@ -296,7 +298,9 @@ def test_analyze_sharding_empty_ledger_exits_cleanly(tmp_path, capsys):
 
 def test_analyze_needs_report_or_sharding(capsys):
     assert main(["--no-ledger", "analyze"]) == 2
-    assert "REPORT_JSON or --sharding" in capsys.readouterr().err
+    assert "REPORT_JSON, --sharding, or --critical-path" in (
+        capsys.readouterr().err
+    )
 
 
 def test_bench_refuses_mismatched_topology(tmp_path, capsys):

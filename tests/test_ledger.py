@@ -143,3 +143,47 @@ class TestRunContext:
         )
         assert run_record["total_cycles"] == stats.total_cycles
         assert run_record["stage"] == "markdup"
+
+
+class TestSchemaVersion:
+    def test_appended_records_carry_both_version_keys(self, tmp_path):
+        """v2 stamps the explicit ``schema_version`` alongside the
+        historical ``schema`` key, both at the current version."""
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append({"event": "x"})
+        record = ledger.read()[0]
+        assert record["schema"] == LEDGER_SCHEMA_VERSION
+        assert record["schema_version"] == LEDGER_SCHEMA_VERSION
+
+    def test_record_schema_version_reads_either_key(self):
+        from repro.obs.ledger import record_schema_version
+
+        assert record_schema_version({"schema_version": 2}) == 2
+        assert record_schema_version({"schema": 1}) == 1
+        # the explicit key wins when both are present
+        assert record_schema_version({"schema": 1, "schema_version": 3}) == 3
+
+    def test_record_schema_version_defaults_v1(self):
+        from repro.obs.ledger import record_schema_version
+
+        assert record_schema_version({}) == 1
+        assert record_schema_version({"schema": "garbage"}) == 1
+
+    def test_old_ledger_files_still_read(self, tmp_path):
+        """A v1 ledger (no schema_version, extra unknown keys) reads
+        cleanly — readers tolerate keys they do not know."""
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"schema": 1, "event": "serve.job.done", "job": 0, '
+            '"someday_key": {"nested": true}}\n'
+            '{"event": "versionless", "mystery": [1, 2, 3]}\n'
+        )
+        records = RunLedger(str(path)).read()
+        assert [r["event"] for r in records] == [
+            "serve.job.done", "versionless"
+        ]
+
+    def test_non_dict_json_lines_skipped(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('[1, 2, 3]\n"just a string"\n{"event": "ok"}\n')
+        assert [r["event"] for r in RunLedger(str(path)).read()] == ["ok"]

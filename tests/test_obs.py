@@ -353,3 +353,47 @@ def test_report_csv(tmp_path):
         parsed = list(csv.reader(handle))
     assert parsed[0] == ["section", "name", "metric", "value"]
     assert len(parsed) == len(rows) + 1
+
+
+def test_nearest_rank_percentile_edge_cases():
+    from repro.obs.registry import nearest_rank, nearest_rank_percentile
+
+    # empty input has no percentile
+    assert nearest_rank_percentile([], 50) is None
+    # a single sample answers every percentile
+    assert nearest_rank_percentile([7], 1) == 7
+    assert nearest_rank_percentile([7], 99) == 7
+    # ties: the nearest-rank element is one of the tied values
+    assert nearest_rank_percentile([5, 5, 5, 9], 50) == 5
+    assert nearest_rank_percentile([5, 5, 5, 9], 99) == 9
+    # unsorted input is sorted before ranking
+    assert nearest_rank_percentile([9, 1, 5], 50) == 5
+    # the rank itself: ceil(q/100 * n), floored at 1
+    assert nearest_rank(4, 50) == 2
+    assert nearest_rank(4, 1) == 1
+    assert nearest_rank(4, 100) == 4
+    with pytest.raises(ValueError):
+        nearest_rank(4, 0)
+    with pytest.raises(ValueError):
+        nearest_rank(0, 50)
+
+
+def test_serve_report_percentile_delegates_to_shared_helper():
+    from repro.obs.registry import nearest_rank_percentile
+    from repro.serve.report import percentile
+
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    for q in (1, 25, 50, 75, 99):
+        assert percentile(values, q) == nearest_rank_percentile(values, q)
+    assert percentile([], 50) is None
+
+
+def test_histogram_quantile_uses_nearest_rank():
+    hist = Histogram("h", {})
+    for value in (1, 2, 3, 4):
+        hist.record(value)
+    # ranks 1..4 map straight onto the recorded values
+    assert hist.quantile(0.25) == 1
+    assert hist.quantile(0.5) == 2
+    assert hist.quantile(0.75) == 3
+    assert hist.quantile(1.0) == 4

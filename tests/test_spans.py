@@ -1,0 +1,411 @@
+"""Tests for the fleet trace-context layer (repro.obs.spans) and its
+propagation through the job service, the scheduler, and sharded runs."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPANS,
+    SpanRecorder,
+    TraceSpan,
+    active_spans,
+    fleet_chrome_trace,
+    tenant_colors,
+    tracing,
+    write_fleet_trace,
+)
+
+
+def _span(name="s", lane="service", start=0, end=10, tenant=None, **kw):
+    defaults = dict(
+        trace_id="t-1", span_id=1, parent_id=None, name=name, cat="wave",
+        start=start, end=end, lane=lane, tenant=tenant,
+    )
+    defaults.update(kw)
+    return TraceSpan(**defaults)
+
+
+class TestSpanRecorder:
+    def test_sequential_ids_and_parenting(self):
+        rec = SpanRecorder()
+        root = rec.record("job", "job", 0, 100, trace_id="t-1")
+        child = rec.record(
+            "wave", "wave", 0, 50, trace_id="t-1", parent_id=root
+        )
+        assert (root, child) == (1, 2)
+        assert rec.spans[1].parent_id == root
+        assert len(rec) == 2
+
+    def test_reserve_materializes_later(self):
+        rec = SpanRecorder()
+        reserved = rec.reserve()
+        child = rec.record(
+            "wave", "wave", 0, 5, trace_id="t-1", parent_id=reserved
+        )
+        rec.record("job", "job", 0, 9, trace_id="t-1", span_id=reserved)
+        assert reserved == 1
+        assert child == 2
+        assert rec.spans[-1].span_id == reserved
+
+    def test_zero_length_span_is_legal(self):
+        rec = SpanRecorder()
+        rec.record("drain", "drain", 42, 42, trace_id="service")
+        assert rec.spans[0].duration == 0
+
+    def test_negative_span_rejected(self):
+        rec = SpanRecorder()
+        with pytest.raises(ValueError, match="ends before"):
+            rec.record("bad", "wave", 10, 9, trace_id="t-1")
+
+    def test_disabled_recorder_is_inert(self):
+        rec = SpanRecorder(enabled=False)
+        assert rec.record("x", "wave", 0, 1, trace_id="t") == 0
+        assert rec.reserve() == 0
+        assert len(rec) == 0
+
+    def test_merge_adopts_spans(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        a.record("x", "wave", 0, 1, trace_id="t-a")
+        b.record("y", "wave", 0, 1, trace_id="t-b")
+        a.merge(b)
+        assert [s.trace_id for s in a.spans] == ["t-a", "t-b"]
+
+    def test_identical_runs_identical_traces(self):
+        def run():
+            rec = SpanRecorder()
+            root = rec.record("job", "job", 0, 7, trace_id=rec.new_trace("j"))
+            rec.record("kernel", "kernel", 0, 7, trace_id="j-1",
+                       parent_id=root, lane="device:0")
+            return [s.to_dict() for s in rec.spans]
+
+        assert run() == run()
+
+
+class TestAmbientRecorder:
+    def test_defaults_to_null(self):
+        assert active_spans() is NULL_SPANS
+        assert not active_spans().enabled
+
+    def test_tracing_installs_and_restores(self):
+        rec = SpanRecorder()
+        with tracing(rec):
+            assert active_spans() is rec
+            inner = SpanRecorder()
+            with tracing(inner):
+                assert active_spans() is inner
+            assert active_spans() is rec
+        assert active_spans() is NULL_SPANS
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with tracing(SpanRecorder()):
+                raise RuntimeError("boom")
+        assert active_spans() is NULL_SPANS
+
+
+class TestFleetChromeTrace:
+    def test_lane_ordering_service_device_pcie_sql(self):
+        spans = [
+            _span(lane="sql"),
+            _span(lane="pcie:0"),
+            _span(lane="device:1"),
+            _span(lane="device:0"),
+            _span(lane="service"),
+        ]
+        doc = fleet_chrome_trace(spans)
+        assert doc["otherData"]["lanes"] == [
+            "service", "device:0", "device:1", "pcie:0", "sql"
+        ]
+
+    def test_process_metadata_per_lane(self):
+        doc = fleet_chrome_trace([_span(lane="device:0")])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e for e in meta}
+        assert names["process_name"]["args"]["name"] == "device:0"
+        assert names["process_sort_index"]["args"]["sort_index"] == 0
+
+    def test_tenant_tracks_and_colors(self):
+        spans = [
+            _span(tenant="t000"),
+            _span(tenant="t001"),
+            _span(tenant=None),
+        ]
+        doc = fleet_chrome_trace(spans)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        colored = {e["args"].get("tenant"): e.get("cname") for e in xs}
+        assert colored[None] is None
+        assert colored["t000"] != colored["t001"]
+        # stable palette: same tenants -> same colors
+        assert tenant_colors(spans) == tenant_colors(list(reversed(spans)))
+        # the untenanted track renders as "events"
+        threads = [
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "events" in threads and "tenant t000" in threads
+
+    def test_zero_length_span_exports_zero_dur(self):
+        doc = fleet_chrome_trace([_span(start=5, end=5)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["ts"] == 5 and xs[0]["dur"] == 0
+
+    def test_trace_context_in_args(self):
+        doc = fleet_chrome_trace([
+            _span(span_id=7, parent_id=3, attrs={"wave": 2})
+        ])
+        args = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]["args"]
+        assert args["span_id"] == 7
+        assert args["parent_id"] == 3
+        assert args["wave"] == 2
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        write_fleet_trace([_span()], str(path), name="demo")
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["name"] == "demo"
+        assert doc["otherData"]["spans"] == 1
+
+
+# -- propagation through the service and the accelerator runs ------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.eval.workloads import make_workload
+
+    return make_workload(
+        n_reads=60, read_length=60, chromosomes=(20,),
+        genome_scale=4.5e-5, psize=1000, seed=3,
+    )
+
+
+def _served(workload, drain_at=None, spans=None, jobs=6, **kwargs):
+    from repro.serve import ArrivalTrace, JobService, trace_jobs
+
+    trace = ArrivalTrace.generate(
+        tenants=3, jobs=jobs, seed=1, stages=("markdup", "metadata"),
+        mean_gap_cycles=30_000,
+    )
+    service = JobService(devices=2, workers=1, spans=spans, **kwargs)
+    for at_cycles, spec in trace_jobs(trace, workload, n_pipelines=2):
+        service.schedule(spec, at_cycles=at_cycles)
+    if drain_at is not None:
+        from repro.serve import JobService as Service
+
+        service.run(max_dispatches=drain_at)
+        checkpoint = service.drain()
+        service = Service.resume(checkpoint)
+    summary = service.run_until_idle()
+    return service, summary
+
+
+class TestServiceSpans:
+    def test_job_roots_cover_arrival_to_completion(self, workload):
+        service, summary = _served(workload)
+        jobs = [s for s in service.spans.spans if s.cat == "job"]
+        assert len(jobs) == summary.jobs_completed
+        for job in jobs:
+            children = [
+                s for s in service.spans.spans
+                if s.parent_id == job.span_id
+            ]
+            assert children, f"job span {job.name} has no children"
+            assert all(s.trace_id == job.trace_id for s in children)
+            assert all(
+                job.start <= s.start and s.end <= job.end for s in children
+            )
+
+    def test_wave_children_tile_exactly(self, workload):
+        service, _ = _served(workload)
+        waves = [s for s in service.spans.spans if s.cat == "wave"]
+        assert waves
+        for wave in waves:
+            parts = sorted(
+                (
+                    s for s in service.spans.spans
+                    if s.parent_id == wave.span_id and s.lane == wave.lane
+                ),
+                key=lambda s: s.start,
+            )
+            assert parts[0].start == wave.start
+            assert parts[-1].end == wave.end
+            for left, right in zip(parts, parts[1:]):
+                assert left.end == right.start
+
+    def test_spans_cross_drain_resume_boundary(self, workload):
+        service, summary = _served(workload, drain_at=3)
+        assert summary.jobs_failed == 0
+        drains = [s for s in service.spans.spans if s.name == "drain"]
+        resumes = [s for s in service.spans.spans if s.name == "resume"]
+        assert len(drains) == 1 and len(resumes) == 1
+        boundary = drains[0].start
+        assert resumes[0].start == boundary
+        aborted = [s for s in service.spans.spans if s.cat == "aborted"]
+        for span in aborted:
+            # cut at the drain clock, never past it
+            assert span.end == boundary
+            assert span.attrs["drained"] is True
+        # at least one job's root straddles the boundary, and the merged
+        # recorder kept every span id unique across the restart
+        jobs = [s for s in service.spans.spans if s.cat == "job"]
+        assert any(s.start < boundary < s.end for s in jobs)
+        ids = [s.span_id for s in service.spans.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_fault_markers_are_zero_length_children(self, workload):
+        from repro.faults import RetryPolicy
+        from repro.faults.plan import FaultPlan, FaultSpec
+        from repro.serve import SERVE_FAULT_SITE
+
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(
+                "transfer_error", site=SERVE_FAULT_SITE, count=2, at=(0, 3)
+            ),
+        ))
+        service, summary = _served(
+            workload, jobs=8,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=3),
+        )
+        assert summary.jobs_failed == 0
+        assert summary.retries > 0
+        faults = [s for s in service.spans.spans if s.cat == "fault"]
+        assert faults
+        roots = {
+            s.span_id for s in service.spans.spans if s.cat == "job"
+        }
+        for fault in faults:
+            assert fault.duration == 0
+            assert fault.parent_id in roots
+
+    def test_disabled_spans_record_nothing(self, workload):
+        service, summary = _served(
+            workload, spans=SpanRecorder(enabled=False)
+        )
+        assert summary.jobs_completed > 0
+        assert len(service.spans) == 0
+
+    def test_mid_run_probe_attach_across_devices(self, workload):
+        from repro.serve import ArrivalTrace, JobService, trace_jobs
+
+        trace = ArrivalTrace.generate(
+            tenants=3, jobs=6, seed=1, stages=("markdup", "metadata"),
+            mean_gap_cycles=30_000,
+        )
+        service = JobService(
+            devices=2, workers=1, spans=SpanRecorder(enabled=False)
+        )
+        for at_cycles, spec in trace_jobs(trace, workload, n_pipelines=2):
+            service.schedule(spec, at_cycles=at_cycles)
+        service.run(max_dispatches=4)
+        attach_clock = service.clock
+        service.spans = SpanRecorder()  # probe attached mid-run
+        summary = service.run_until_idle()
+        assert summary.jobs_completed > 0
+        assert len(service.spans) > 0
+        # only post-attach activity is traced, on every active device lane
+        waves = [s for s in service.spans.spans if s.cat == "wave"]
+        assert waves
+        assert all(s.end >= attach_clock for s in waves)
+        lanes = {s.lane for s in waves}
+        assert len(lanes) >= 2
+
+    def test_fleet_trace_merges_all_lanes(self, workload):
+        service, _ = _served(workload, drain_at=3)
+        doc = service.fleet_trace(name="served")
+        lanes = doc["otherData"]["lanes"]
+        assert lanes[0] == "service"
+        assert "device:0" in lanes and "device:1" in lanes
+        assert doc["otherData"]["tenants"]
+        assert doc["otherData"]["name"] == "served"
+
+
+class TestRunSpans:
+    def test_partitioned_run_lays_cumulative_spans(self, workload):
+        from repro.accel.scheduler import MetadataWaveDriver, run_partitioned
+
+        rec = SpanRecorder()
+        with tracing(rec):
+            run_partitioned(
+                MetadataWaveDriver(reference=workload.reference),
+                workload.partitions, 2,
+            )
+        runs = [s for s in rec.spans if s.cat == "run"]
+        waves = [s for s in rec.spans if s.cat == "wave"]
+        assert len(runs) == 1
+        assert waves
+        assert runs[0].start == 0
+        assert runs[0].end == max(s.end for s in waves)
+        # waves tile the run without gaps
+        ordered = sorted(waves, key=lambda s: s.start)
+        assert ordered[0].start == 0
+        for left, right in zip(ordered, ordered[1:]):
+            assert left.end == right.start
+        assert all(s.parent_id == runs[0].span_id for s in waves)
+
+    def test_worker_count_does_not_change_spans(self, workload):
+        from repro.accel.scheduler import MetadataWaveDriver, run_partitioned
+
+        def spans_with(workers):
+            rec = SpanRecorder()
+            with tracing(rec):
+                run_partitioned(
+                    MetadataWaveDriver(reference=workload.reference),
+                    workload.partitions, 2, workers=workers,
+                )
+            out = []
+            for span in rec.spans:
+                record = span.to_dict()
+                record["attrs"].pop("workers", None)
+                out.append(record)
+            return out
+
+        assert spans_with(1) == spans_with(2)
+
+    def test_sharded_run_has_device_and_pcie_lanes(self, workload):
+        from repro.accel.scheduler import MetadataWaveDriver
+        from repro.accel.sharding import run_sharded
+
+        rec = SpanRecorder()
+        with tracing(rec):
+            _results, stats = run_sharded(
+                MetadataWaveDriver(reference=workload.reference),
+                workload.partitions, 2, devices=2, workers=1,
+            )
+        lanes = rec.by_lane()
+        busy = [d for d, s in enumerate(stats.per_device) if s.waves]
+        for device in busy:
+            assert f"device:{device}" in lanes
+            assert f"pcie:{device}" in lanes
+        for device in busy:
+            for span in lanes[f"pcie:{device}"]:
+                assert span.cat == "transfer"
+                assert span.attrs["nbytes"] > 0
+
+    def test_sql_operators_land_on_sql_lane(self, workload):
+        import copy
+
+        from repro.gatk.sql_driver import sql_mark_duplicates
+
+        rec = SpanRecorder()
+        with tracing(rec):
+            sql_mark_duplicates(copy.deepcopy(workload.reads), backend="fast")
+        sql = rec.by_lane().get("sql", [])
+        assert sql
+        assert all(s.trace_id == "sql" for s in sql)
+        assert {"scan", "project"} <= {s.name for s in sql}
+        # operators tile the executor's cumulative host-us axis
+        ordered = sorted(sql, key=lambda s: s.start)
+        for left, right in zip(ordered, ordered[1:]):
+            assert right.start >= left.start
+
+    def test_untraced_run_records_nothing(self, workload):
+        from repro.accel.scheduler import MetadataWaveDriver, run_partitioned
+
+        assert active_spans() is NULL_SPANS
+        run_partitioned(
+            MetadataWaveDriver(reference=workload.reference),
+            workload.partitions, 2,
+        )
+        assert len(NULL_SPANS) == 0

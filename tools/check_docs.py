@@ -38,6 +38,9 @@ REQUIRED_DOCUMENTED = {
     "--quota",
     "--backlog",
     "--drain-at",
+    "--sweep",
+    "--critical-path",
+    "--trace",
 }
 
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
