@@ -792,6 +792,7 @@ def run_partitioned(
     prepacked_waves: Optional[List[List[WaveItem]]] = None,
     device: Optional[int] = None,
     force_pool: bool = False,
+    storage: Optional[object] = None,
 ) -> Tuple[Dict[PartitionId, object], ParallelRunStats]:
     """Run an accelerator over many partitions: N replicated pipelines
     per wave, waves fanned out over ``workers`` host processes.
@@ -832,6 +833,17 @@ def run_partitioned(
     it drove; ``force_pool`` dispatches through a process pool even at
     ``workers=1`` so concurrent device queues are not serialised by the
     interpreter lock.  None of the three affects results or cycles.
+
+    ``storage`` optionally attaches the modelled in-SSD filter (a
+    :class:`~repro.storage.filter.StorageFilterPlan` or
+    :class:`~repro.storage.frontend.StorageFrontEnd`, DESIGN.md §3.10).
+    ``run_partitioned`` models no PCIe transfers itself, so the filter
+    changes nothing about execution here — it only annotates every wave
+    with a ``storage.wave`` ledger event (survivor bytes, pruned rows,
+    scan time) so single-run ledgers carry the same storage telemetry
+    sharded runs get from :func:`repro.accel.sharding.run_sharded`
+    (which does its own recording and deliberately does *not* forward
+    ``storage`` down to its per-device ``run_partitioned`` calls).
     """
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -867,6 +879,17 @@ def run_partitioned(
             load_cycles=load_cycles, elapsed_seconds=elapsed,
             **device_labels,
         )
+        if storage is not None:
+            items = waves[wave_index]
+            record_event(
+                "storage.wave",
+                stage=driver.stage, wave=wave_index,
+                raw_nbytes=storage.wave_raw_nbytes(items),
+                nbytes=storage.wave_nbytes(items),
+                pruned_rows=storage.wave_pruned_rows(items),
+                scan_seconds=storage.wave_scan_seconds(items),
+                **device_labels,
+            )
         run_registry.gauge(
             "scheduler.wave.cycles", wave=wave_index
         ).set(stats.cycles)

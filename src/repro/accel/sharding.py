@@ -389,6 +389,67 @@ def reduce_bqsr_results(
     return merge_partition_results(by_group, read_length)
 
 
+def _record_storage_run(
+    driver: WaveDriver,
+    storage,
+    device_queues: List[List[Tuple[int, List[WaveItem]]]],
+    pool: DevicePool,
+    total_cycles: int,
+) -> None:
+    """Ledger + trace the in-storage filter's work for one sharded run:
+    a ``storage.wave`` event per wave, scan spans tiled on one
+    ``storage:<n>`` lane per card, and the ``storage.run`` summary that
+    ``repro analyze --storage`` sweeps (DESIGN.md §3.10)."""
+    config = pool.config
+    tracer = active_spans()
+    total_raw = 0
+    total_survivor = 0
+    total_pruned = 0
+    scan_total = 0.0
+    for device, queue in enumerate(device_queues):
+        cursor = 0
+        for global_index, items in queue:
+            raw = storage.wave_raw_nbytes(items)
+            nbytes = storage.wave_nbytes(items)
+            pruned = storage.wave_pruned_rows(items)
+            scan = storage.wave_scan_seconds(items)
+            total_raw += raw
+            total_survivor += nbytes
+            total_pruned += pruned
+            scan_total += scan
+            record_event(
+                "storage.wave",
+                stage=driver.stage, device=device, wave=global_index,
+                raw_nbytes=raw, nbytes=nbytes, pruned_rows=pruned,
+                scan_seconds=scan,
+            )
+            if tracer.enabled:
+                cycles = int(round(scan * config.clock_hz))
+                tracer.record(
+                    f"scan:w{global_index}", "filter",
+                    cursor, cursor + cycles,
+                    trace_id=f"run-{driver.stage}-storage{device}",
+                    lane=f"storage:{device}",
+                    wave=global_index, device=device,
+                    raw_nbytes=raw, nbytes=nbytes, pruned_rows=pruned,
+                )
+                cursor += cycles
+    record_event(
+        "storage.run",
+        stage=driver.stage, devices=len(device_queues),
+        filtered_fraction=storage.filtered_fraction,
+        raw_nbytes=total_raw, survivor_nbytes=total_survivor,
+        saved_nbytes=total_raw - total_survivor,
+        pruned_rows=total_pruned,
+        scan_seconds=scan_total,
+        kernel_seconds=total_cycles / config.clock_hz,
+        transfer_seconds=sum(pool.transfer_seconds()),
+        internal_bandwidth=storage.config.internal_bandwidth,
+        pcie_bandwidth=config.pcie_bandwidth,
+        compression_ratio=storage.compression_ratio,
+    )
+
+
 def _record_shard_run(
     driver: WaveDriver, stats: ShardedRunStats, policy: str
 ) -> None:
@@ -443,9 +504,21 @@ def run_sharded(
     policy: str = "hash",
     steal: bool = True,
     device_config: Optional[DeviceConfig] = None,
+    storage=None,
 ) -> Tuple[Dict[PartitionId, object], ShardedRunStats]:
     """Run an accelerator stage sharded over ``devices`` modelled cards,
     each queue fanned out over ``workers`` host processes.
+
+    ``storage`` optionally attaches the modelled in-SSD filter (a
+    :class:`~repro.storage.filter.StorageFilterPlan`): wave H2D charges
+    shrink to the survivor footprint — pruned exactly-matching reads
+    ship descriptors the device expands against its resident REF
+    partition — while the simulation itself is untouched, so results and
+    per-stage kernel cycles are bit-identical to the unfiltered run
+    (DESIGN.md §3.10).  With ``devices=1`` the filter additionally
+    charges a single-card :class:`~repro.runtime.device.DevicePool`
+    (normally the unsharded path skips transfer modelling entirely) so
+    the savings are observable at any device count.
 
     ``devices=1`` delegates straight to
     :func:`~repro.accel.scheduler.run_partitioned` (no planning, no
@@ -476,11 +549,36 @@ def run_sharded(
             fault_injector=injector, retry_policy=retry_policy,
             wave_timeout=wave_timeout,
         )
+        device_busy: List[float] = []
+        device_transfer: List[float] = []
+        if storage is not None:
+            # The unsharded path normally skips the transfer model; with
+            # the filter on, charge a single-card pool so the survivor
+            # savings are observable here too.  The wave packing below is
+            # exactly what run_partitioned computed, so cycles line up.
+            pool = DevicePool(1, config=device_config, storage=storage)
+            card = pool.device(0)
+            _empty, single_waves = pack_waves(parts, n_pipelines)
+            for index, items in enumerate(single_waves):
+                raw = sum(part.num_rows for _pid, part in items)
+                card.transfer(
+                    pool.wave_nbytes(items, raw * MODEL_ROW_BYTES), "h2d"
+                )
+                card.launch(index, stats.per_wave_cycles[index])
+                card.wait(index)
+            device_busy = pool.busy_seconds()
+            device_transfer = pool.transfer_seconds()
+            _record_storage_run(
+                driver, storage,
+                [list(enumerate(single_waves))], pool,
+                sum(stats.per_wave_cycles),
+            )
         sharded = ShardedRunStats(
             devices=1, workers=stats.workers, per_device=[stats],
             steals=[], plan_loads=[sum(p.num_rows for _pid, p in parts)],
             per_wave_cycles=list(stats.per_wave_cycles),
-            device_busy_seconds=[], device_transfer_seconds=[],
+            device_busy_seconds=device_busy,
+            device_transfer_seconds=device_transfer,
             elapsed_seconds=time.perf_counter() - started,
         )
         _record_shard_run(driver, sharded, policy)
@@ -493,7 +591,7 @@ def run_sharded(
         device_plans = list(shard_fault_plan(fault_plan, plan.device_queues()))
     shared_cache = spm_cache if spm_cache is not None else SpmImageCache()
     seed_images = dict(shared_cache.images())
-    pool = DevicePool(devices, config=device_config)
+    pool = DevicePool(devices, config=device_config, storage=storage)
     _log.info(
         "%s: sharding %d wave(s) over %d device(s) (%s policy, "
         "%d steal(s), loads %s)",
@@ -521,7 +619,9 @@ def run_sharded(
         # wait — per-device occupancy mirrors a single-card run's
         card = pool.device(device)
         for local, wave in enumerate(queue):
-            card.transfer(_wave_nbytes(wave), "h2d")
+            card.transfer(
+                pool.wave_nbytes(wave.items, _wave_nbytes(wave)), "h2d"
+            )
             card.launch(wave.global_index, stats.per_wave_cycles[local])
             card.wait(wave.global_index)
         return results, stats, cache
@@ -566,7 +666,7 @@ def run_sharded(
         for device in range(devices):
             cursor = 0
             for wave in queues[device]:
-                nbytes = _wave_nbytes(wave)
+                nbytes = pool.wave_nbytes(wave.items, _wave_nbytes(wave))
                 seconds = (
                     config.transfer_setup_seconds
                     + nbytes / config.pcie_bandwidth
@@ -594,6 +694,15 @@ def run_sharded(
     # identical keys, counters accumulate), so later stages replay hits
     for _results, _stats, device_cache in outcomes:
         shared_cache.absorb(device_cache)
+    if storage is not None:
+        _record_storage_run(
+            driver, storage,
+            [
+                [(wave.global_index, wave.items) for wave in queues[device]]
+                for device in range(devices)
+            ],
+            pool, sharded.total_cycles,
+        )
     _record_shard_run(driver, sharded, policy)
     _log.info(
         "%s sharded done: %d cycles over %d wave(s) on %d device(s), "

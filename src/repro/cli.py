@@ -14,9 +14,12 @@ Commands:
 * ``analyze``     — re-run the bottleneck analysis over a saved
   ``profile --out`` JSON report, with ``--sharding`` report the
   per-device utilization / steal counts / device-count what-if of the
-  latest sharded run in the ledger, or with ``--critical-path``
-  decompose each served job's latency into queue-wait / transfer /
-  spm-load / kernel / fault-penalty / drain cycles;
+  latest sharded run in the ledger, with ``--storage`` report the
+  latest storage-filtered run (pruned fraction, PCIe bytes saved, and
+  the filtered-fraction × PCIe-generation what-if sweep), or with
+  ``--critical-path`` decompose each served job's latency into
+  queue-wait / transfer / spm-load / kernel / fault-penalty / drain
+  cycles;
 * ``bench``       — run the perf probe suite with warmup + repeats,
   write a schema-versioned ``BENCH_<n>.json``, optionally record the
   scaling curve over a topology cross-product (``--sweep``), and
@@ -100,6 +103,12 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     table = reads_to_table(markdup.sorted_reads)
     reference = partition_reference(genome, args.psize, args.overlap)
     partitions = partition_reads(table, args.psize)
+    storage = None
+    if args.storage_filter:
+        from .storage import plan_storage_filter
+
+        storage = plan_storage_filter(partitions, reference)
+        print(storage.describe())
     spm_cache = SpmImageCache()
     fault_plan = None
     if args.inject_faults:
@@ -120,6 +129,7 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
         wave_timeout=args.wave_timeout,
+        storage=storage,
     )
     tagged = 0
     for pid, part in partitions:
@@ -298,10 +308,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             steals=report.steals,
         )
         return 0
+    if args.storage:
+        from .obs import storage_report_from_ledger
+
+        ledger = RunLedger(args.ledger)
+        try:
+            report = storage_report_from_ledger(ledger)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        record_event(
+            "analyze.storage", stage=report.stage,
+            filtered_fraction=report.filtered_fraction,
+            saved_nbytes=report.saved_nbytes,
+        )
+        return 0
     if not args.report:
         print(
-            "error: pass a profile REPORT_JSON, --sharding, or "
-            "--critical-path",
+            "error: pass a profile REPORT_JSON, --sharding, --storage, "
+            "or --critical-path",
             file=sys.stderr,
         )
         return 2
@@ -477,6 +503,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         for line in fault_plan.describe():
             print(f"fault plan: {line}")
+    storage = None
+    if args.storage_filter:
+        from .storage import plan_storage_filter
+
+        # Plan over the by-position AND by-read-group partitionings so
+        # every stage in the trace mix (bqsr shards by read group) finds
+        # its chunks; reference lookup ignores the read-group axis.
+        storage = plan_storage_filter(
+            list(workload.partitions) + list(workload.group_partitions),
+            workload.reference,
+        )
+        print(storage.describe())
     service = JobService(
         devices=args.devices,
         workers=args.workers,
@@ -484,6 +522,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quota=args.quota,
         fault_plan=fault_plan,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
+        storage=storage,
     )
     for at_cycles, spec in trace_jobs(
         trace, workload, n_pipelines=args.pipelines
@@ -499,6 +538,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = JobService.resume(checkpoint)
     summary = service.run_until_idle()
     print(summary.render())
+    if storage is not None:
+        record_event(
+            "storage.run",
+            stage="serve", devices=args.devices,
+            filtered_fraction=storage.filtered_fraction,
+            raw_nbytes=storage.raw_nbytes,
+            survivor_nbytes=storage.survivor_nbytes,
+            saved_nbytes=storage.saved_nbytes,
+            pruned_rows=storage.pruned_rows,
+            scan_seconds=storage.scan_seconds,
+            kernel_seconds=sum(summary.device_busy_seconds),
+            transfer_seconds=sum(summary.device_transfer_seconds),
+            internal_bandwidth=storage.config.internal_bandwidth,
+            pcie_bandwidth=service.pool.config.pcie_bandwidth,
+            compression_ratio=storage.compression_ratio,
+        )
     if args.trace:
         from .obs import write_fleet_trace
 
@@ -602,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--wave-timeout", type=float, default=None, metavar="SECONDS",
         help="watchdog deadline around each parallel wave",
     )
+    preprocess.add_argument(
+        "--storage-filter", action="store_true",
+        help="prune exactly-matching reads inside the modelled SSD so "
+             "only survivor bytes cross PCIe (results bit-identical; "
+             "see `repro analyze --storage`)",
+    )
     preprocess.set_defaults(func=_cmd_preprocess)
 
     call = commands.add_parser("call", help="pileup variant calling")
@@ -663,6 +724,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="walk the latest served run in the ledger and decompose each "
              "job's latency into queue-wait / transfer / spm-load / kernel "
              "/ fault-penalty / drain cycles (sums exactly to the latency)",
+    )
+    analyze.add_argument(
+        "--storage", action="store_true",
+        help="report the latest storage-filtered run in the ledger: "
+             "pruned fraction, bytes kept off PCIe, and the "
+             "filtered-fraction x PCIe-generation what-if sweep",
     )
     analyze.add_argument(
         "--job", type=int, default=None, metavar="JOB_ID",
@@ -797,6 +864,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="write the merged fleet chrome://tracing JSON (one lane per "
              "device, tenant-colored job tracks)",
+    )
+    serve.add_argument(
+        "--storage-filter", action="store_true",
+        help="serve from the modelled in-SSD filter: wave transfers "
+             "charge survivor bytes only (virtual timelines shrink, "
+             "results bit-identical)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

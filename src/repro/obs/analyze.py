@@ -31,9 +31,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .ledger import RunLedger
+from .ledger import LEDGER_SCHEMA_VERSION, RunLedger
 from .profile import ModuleProfile, ProfileReport
 from .registry import MetricsRegistry
+
+
+def _require_schema(
+    records: Sequence[Dict[str, object]], event: str
+) -> Sequence[Dict[str, object]]:
+    """Refuse unversioned ledger events instead of mis-parsing them.
+
+    Every event a current build records carries ``schema_version``
+    (stamped by :meth:`~repro.obs.ledger.RunLedger.append`); a record
+    without it is from a pre-versioning build or was written by hand,
+    and the analyzers cannot know which fields to trust.  Raising
+    ``ValueError`` here is what turns that into the CLI's clean
+    exit-code-2 refusal rather than a traceback."""
+    for record in records:
+        if "schema_version" not in record:
+            raise ValueError(
+                f"ledger has {event} event(s) without a schema_version "
+                f"field (current schema is v{LEDGER_SCHEMA_VERSION}) — "
+                "this ledger predates event versioning or was edited by "
+                "hand; re-record the run with a current `repro` build "
+                "before analyzing it"
+            )
+    return records
 
 
 @dataclass
@@ -562,6 +585,7 @@ def critical_path_from_ledger(
             "no serve.job.done events in the ledger — run `repro serve` "
             "first"
         )
+    _require_schema(done_events, "serve.job.done")
     run = str(done_events[-1].get("run_id"))
     done_events = [r for r in done_events if str(r.get("run_id")) == run]
     if job_id is not None:
@@ -607,6 +631,7 @@ def sharding_report_from_ledger(
             "no shard.run events in the ledger — run a sharded stage "
             "(e.g. `repro preprocess --devices N`) first"
         )
+    _require_schema(runs, "shard.run")
     summary = runs[-1]
     siblings = ledger.events(
         "shard.device", run_id=str(summary.get("run_id"))
@@ -638,4 +663,158 @@ def sharding_report_from_ledger(
         host_parallelism=float(summary.get("host_parallelism", 0.0)),
         per_device=per_device,
         what_ifs=device_what_if(per_wave),
+    )
+
+
+# -- in-storage filter analysis --------------------------------------------------------
+
+#: PCIe generations the storage what-if sweeps, as (name, bytes/s).
+#: The bandwidths mirror ``repro.runtime.device.PCIE3_BANDWIDTH`` /
+#: ``PCIE4_BANDWIDTH`` as literals — importing the runtime here would
+#: cycle back through ``repro.obs``.
+STORAGE_WHAT_IF_GENERATIONS: Tuple[Tuple[str, float], ...] = (
+    ("pcie3", 7e9),
+    ("pcie4", 32e9),
+)
+
+#: Filtered fractions the storage what-if sweeps.
+STORAGE_WHAT_IF_FRACTIONS: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.95)
+
+
+def storage_what_if(
+    kernel_seconds: float,
+    transfer_seconds: float,
+    fractions: Sequence[float] = STORAGE_WHAT_IF_FRACTIONS,
+    generations: Sequence[Tuple[str, float]] = STORAGE_WHAT_IF_GENERATIONS,
+    pcie_bandwidth: float = 7e9,
+    descriptor_bytes: int = 8,
+    row_bytes: int = 128,
+    clock_hz: float = 250e6,
+) -> List[WhatIf]:
+    """Amdahl-style bounds over filtered fraction × PCIe generation.
+
+    Mirrors :func:`device_what_if` for the storage tier: take a run's
+    measured kernel and transfer seconds, scale the transfer term by the
+    survivor footprint a filter of fraction ``f`` would leave (pruned
+    reads ship ``descriptor_bytes`` instead of ``row_bytes``) and by the
+    candidate link's bandwidth, and report the end-to-end speedup bound.
+    Kernel time is the serial fraction — at high filtered fractions the
+    curve flattens against it, which is exactly the provisioning signal
+    (Genesis Fig. 9: past some link speed the bottleneck moves back to
+    compute).  Per-transfer setup overhead is ignored, so the bounds are
+    optimistic — they cap what a filter can buy, like every what-if
+    here.
+    """
+    base = kernel_seconds + transfer_seconds
+    what_ifs: List[WhatIf] = []
+    if base <= 0 or transfer_seconds < 0 or row_bytes <= 0:
+        return what_ifs
+    for gen_name, bandwidth in generations:
+        link_scale = pcie_bandwidth / bandwidth if bandwidth > 0 else 1.0
+        for fraction in fractions:
+            fraction = min(max(float(fraction), 0.0), 1.0)
+            survivor = (
+                (1.0 - fraction) * row_bytes + fraction * descriptor_bytes
+            ) / row_bytes
+            seconds = (
+                kernel_seconds + transfer_seconds * survivor * link_scale
+            )
+            speedup = base / seconds if seconds > 0 else 1.0
+            what_ifs.append(WhatIf(
+                module=f"storage f={fraction:.2f} {gen_name}",
+                speedup_bound=speedup,
+                saved_cycles=int(round(max(base - seconds, 0.0) * clock_hz)),
+                description=(
+                    f"filter f={fraction:.2f} on {gen_name}: transfer "
+                    f"{transfer_seconds * 1e3:.3f} ms -> "
+                    f"{transfer_seconds * survivor * link_scale * 1e3:.3f} "
+                    f"ms ({speedup:.2f}x end-to-end)"
+                ),
+            ))
+    return what_ifs
+
+
+@dataclass
+class StorageReport:
+    """The in-storage filter's accounting for one run, reconstructed
+    from its ``storage.run`` ledger event, with the filtered-fraction ×
+    PCIe-generation what-if sweep (``repro analyze --storage``)."""
+
+    stage: str
+    devices: int
+    filtered_fraction: float
+    pruned_rows: int
+    raw_nbytes: int
+    survivor_nbytes: int
+    saved_nbytes: int
+    scan_seconds: float
+    kernel_seconds: float
+    transfer_seconds: float
+    compression_ratio: float
+    internal_bandwidth: float
+    pcie_bandwidth: float
+    what_ifs: List[WhatIf]
+
+    def render(self) -> str:
+        """The human-readable summary block."""
+        saved_share = (
+            self.saved_nbytes / self.raw_nbytes if self.raw_nbytes else 0.0
+        )
+        lines = [
+            f"storage analysis: {self.stage} — {self.devices} device(s), "
+            f"filtered {self.filtered_fraction:.1%} "
+            f"({self.pruned_rows} read(s) pruned in-SSD)",
+            f"  PCIe traffic: {self.raw_nbytes} B raw -> "
+            f"{self.survivor_nbytes} B survivors "
+            f"({saved_share:.1%} kept off the link)",
+            f"  in-SSD scan: {self.scan_seconds * 1e3:.3f} ms at "
+            f"{self.internal_bandwidth / 1e9:.0f} GB/s internal "
+            f"({self.compression_ratio:.2f}x chunk compression); "
+            f"kernel {self.kernel_seconds * 1e3:.3f} ms, transfer "
+            f"{self.transfer_seconds * 1e3:.3f} ms",
+        ]
+        for what_if in self.what_ifs:
+            lines.append(f"  what-if: {what_if.description}")
+        return "\n".join(lines)
+
+
+def storage_report_from_ledger(
+    ledger: RunLedger, run_id: Optional[str] = None
+) -> StorageReport:
+    """Rebuild the :class:`StorageReport` of a ledgered run.
+
+    Uses the latest ``storage.run`` event (or the latest one of
+    ``run_id`` when given).  Raises ``ValueError`` when the ledger holds
+    no storage-filtered runs, or when the events are unversioned.
+    """
+    runs = ledger.events("storage.run", run_id=run_id)
+    if not runs:
+        raise ValueError(
+            "no storage.run events in the ledger — run a stage with "
+            "--storage-filter (e.g. `repro preprocess --storage-filter`) "
+            "first"
+        )
+    _require_schema(runs, "storage.run")
+    summary = runs[-1]
+    kernel_seconds = float(summary.get("kernel_seconds", 0.0))
+    transfer_seconds = float(summary.get("transfer_seconds", 0.0))
+    pcie_bandwidth = float(summary.get("pcie_bandwidth", 7e9))
+    return StorageReport(
+        stage=str(summary.get("stage", "?")),
+        devices=int(summary.get("devices", 1)),
+        filtered_fraction=float(summary.get("filtered_fraction", 0.0)),
+        pruned_rows=int(summary.get("pruned_rows", 0)),
+        raw_nbytes=int(summary.get("raw_nbytes", 0)),
+        survivor_nbytes=int(summary.get("survivor_nbytes", 0)),
+        saved_nbytes=int(summary.get("saved_nbytes", 0)),
+        scan_seconds=float(summary.get("scan_seconds", 0.0)),
+        kernel_seconds=kernel_seconds,
+        transfer_seconds=transfer_seconds,
+        compression_ratio=float(summary.get("compression_ratio", 1.0)),
+        internal_bandwidth=float(summary.get("internal_bandwidth", 0.0)),
+        pcie_bandwidth=pcie_bandwidth,
+        what_ifs=storage_what_if(
+            kernel_seconds, transfer_seconds,
+            pcie_bandwidth=pcie_bandwidth,
+        ),
     )

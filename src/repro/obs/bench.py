@@ -199,6 +199,33 @@ def sql_stage_backend_seconds(workload, backend: str) -> Dict[str, float]:
     return out
 
 
+def _probe_storage_filter_speedup(context: BenchContext) -> float:
+    """PCIe transfer-seconds ratio of an unfiltered vs storage-filtered
+    sharded metadata run.  Deterministic: both terms are modelled link
+    occupancy, not host time.  Runs at two devices minimum because the
+    unsharded path models no transfers to compare against."""
+    from ..accel.scheduler import MetadataWaveDriver
+    from ..accel.sharding import run_sharded
+    from ..storage.filter import plan_storage_filter
+
+    devices = max(context.devices, 2)
+    workload = context.workload
+    plan = plan_storage_filter(
+        workload.partitions, workload.reference, record=False
+    )
+    driver = MetadataWaveDriver(reference=workload.reference)
+    _results, unfiltered = run_sharded(
+        driver, workload.partitions, context.pipelines, devices=devices
+    )
+    _results, filtered = run_sharded(
+        driver, workload.partitions, context.pipelines, devices=devices,
+        storage=plan,
+    )
+    baseline = sum(unfiltered.device_transfer_seconds)
+    survivors = sum(filtered.device_transfer_seconds)
+    return baseline / max(survivors, 1e-12)
+
+
 def _probe_sql_backend_speedup(context: BenchContext) -> float:
     reference = sum(
         sql_stage_backend_seconds(context.workload, "reference").values()
@@ -261,6 +288,13 @@ DEFAULT_SUITE: Dict[str, Probe] = {
             "x", True,
             "SQL stage-driver backend execution speedup vs the reference "
             "backend (markdup + metadata + BQSR scripts)",
+        ),
+        Probe(
+            "storage_filter_speedup",
+            _probe_storage_filter_speedup,
+            "x", True,
+            "PCIe transfer-time reduction from the in-SSD exact-match "
+            "filter on a sharded metadata run (deterministic)",
         ),
     )
 }

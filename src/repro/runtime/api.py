@@ -21,7 +21,10 @@ exists for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage -> accel)
+    from ..storage.frontend import StorageFrontEnd
 
 from ..faults.injector import FaultInjector
 from ..faults.retry import RetryPolicy
@@ -76,6 +79,13 @@ class GenesisRuntime:
     device retries them, charging retried transfer time and backoff to
     the virtual timeline (see :class:`~repro.runtime.device.\
 GenesisDevice`).
+
+    Pass a :class:`~repro.storage.frontend.StorageFrontEnd` as
+    ``storage`` to put the modelled in-SSD filter in front of the PCIe
+    link: inside a ``storage.chunk(pid)`` context, input-column DMAs are
+    charged at the chunk's survivor footprint (pruned exactly-matching
+    reads ship descriptors, not payloads — DESIGN.md §3.10).  Kernel
+    execution and results are unaffected by construction.
     """
 
     def __init__(
@@ -85,6 +95,7 @@ GenesisDevice`).
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
         device: Optional[GenesisDevice] = None,
+        storage: Optional["StorageFrontEnd"] = None,
     ):
         if device is not None:
             if (
@@ -111,6 +122,7 @@ GenesisDevice`).
                 retry_policy=retry_policy,
                 registry=self.registry,
             )
+        self.storage = storage
         self._pipelines: Dict[int, PipelineState] = {}
 
     # -- pipeline registry ---------------------------------------------------------
@@ -149,10 +161,17 @@ GenesisDevice`).
         self.device.allocate(binding.nbytes)
         self.registry.counter("runtime.allocated_bytes").inc(binding.nbytes)
         if not is_output:
-            self.device.transfer(binding.nbytes, "h2d")
+            charged = binding.nbytes
+            if self.storage is not None:
+                charged = self.storage.admit_nbytes(binding.nbytes)
+                if charged != binding.nbytes:
+                    self.registry.counter(
+                        "runtime.storage_saved_bytes"
+                    ).inc(binding.nbytes - charged)
+            self.device.transfer(charged, "h2d")
             self.registry.counter(
                 "runtime.transfer_bytes", direction="h2d"
-            ).inc(binding.nbytes)
+            ).inc(charged)
         _log.debug(
             "configure_mem %s: %d bytes -> pipeline %d%s",
             colname, binding.nbytes, pipeline_id,

@@ -241,6 +241,14 @@ class DevicePool:
     (runtime sites keep per-device slot counters that way); a single
     shared injector is deliberately not accepted, because concurrent
     device queues would race its slot counters.
+
+    ``storage`` optionally attaches the modelled in-SSD filter
+    (a :class:`~repro.storage.filter.StorageFilterPlan` or
+    :class:`~repro.storage.frontend.StorageFrontEnd`): callers charging
+    wave transfers consult :meth:`wave_nbytes` so only survivor bytes
+    cross each card's PCIe link (DESIGN.md §3.10).  The pool itself
+    stays byte-oriented — the front end is plan-time state, shared
+    read-only across cards.
     """
 
     def __init__(
@@ -249,6 +257,7 @@ class DevicePool:
         config: Optional[DeviceConfig] = None,
         fault_injectors: Optional[list] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        storage: Optional[object] = None,
     ):
         if devices < 1:
             raise ValueError("need at least one device")
@@ -258,6 +267,7 @@ class DevicePool:
                 f"({len(fault_injectors)} for {devices} devices)"
             )
         self.config = config or DeviceConfig()
+        self.storage = storage
         self.registries = [MetricsRegistry() for _ in range(devices)]
         self.devices = [
             GenesisDevice(
@@ -281,6 +291,14 @@ class DevicePool:
     def device(self, index: int) -> GenesisDevice:
         """The card at ``index``."""
         return self.devices[index]
+
+    def wave_nbytes(self, items: list, default: int) -> int:
+        """H2D bytes to charge for a wave of ``(pid, Table)`` items:
+        the storage filter's survivor footprint when one is attached,
+        ``default`` (the raw modelled footprint) otherwise."""
+        if self.storage is None:
+            return default
+        return self.storage.wave_nbytes(items)
 
     def least_loaded(self) -> int:
         """The index of the card whose timeline is furthest behind

@@ -176,6 +176,7 @@ class ServiceCheckpoint:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     spans: Optional[SpanRecorder] = None
     job_span_ids: Dict[int, int] = field(default_factory=dict)
+    storage: Optional[object] = None
 
     @property
     def open_jobs(self) -> int:
@@ -189,6 +190,15 @@ class JobService:
     (arrival trace), :meth:`status` / :meth:`partial_results` /
     :meth:`results` to observe, :meth:`drain` + :meth:`resume` for a
     graceful restart.  :meth:`run` advances the virtual clock.
+
+    Pass ``storage`` (a :class:`~repro.storage.filter.StorageFilterPlan`
+    or :class:`~repro.storage.frontend.StorageFrontEnd`) to put the
+    modelled in-SSD filter in front of every device's PCIe link: wave
+    transfers are charged at their survivor footprint and each wave
+    gets a ``storage.wave`` event plus a scan span on its device's
+    ``storage:N`` trace lane (DESIGN.md §3.10).  Kernel cycles, results,
+    and the dispatch order are unchanged by construction — only the
+    transfer segment of each wave's virtual duration shrinks.
     """
 
     def __init__(
@@ -204,6 +214,7 @@ class JobService:
         spm_cache: Optional[SpmImageCache] = None,
         device_config: Optional[DeviceConfig] = None,
         spans: Optional[SpanRecorder] = None,
+        storage: Optional[object] = None,
     ) -> None:
         if devices < 1:
             raise ValueError("need at least one device")
@@ -223,8 +234,10 @@ class JobService:
         self._job_span_ids: Dict[int, int] = {}
         self.cache = spm_cache if spm_cache is not None else SpmImageCache()
         self.device_config = device_config
+        self.storage = storage
         self.pool = DevicePool(
-            devices, config=device_config or DeviceConfig()
+            devices, config=device_config or DeviceConfig(),
+            storage=storage,
         )
         self.fault_plan = fault_plan
         self.retry_policy = (
@@ -527,7 +540,11 @@ class JobService:
             self.cache.hits += hits
             self.cache.misses += misses
             self.cache.cycles_saved += saved
-            transfer_cycles = self._transfer_cycles(pick.cost_rows)
+            wave = pick.job.waves[pick.wave_index]
+            nbytes = self.pool.wave_nbytes(
+                wave, pick.cost_rows * MODEL_ROW_BYTES
+            )
+            transfer_cycles = self._transfer_cycles(nbytes)
             duration = (
                 transfer_cycles
                 + load_cycles
@@ -536,7 +553,18 @@ class JobService:
             )
             end = self.clock + duration
             card = self.pool.device(pick.device)
-            card.transfer(pick.cost_rows * MODEL_ROW_BYTES, "h2d")
+            card.transfer(nbytes, "h2d")
+            if self.storage is not None:
+                self._event(
+                    "storage.wave",
+                    tenant=pick.job.tenant, job=pick.job.job_id,
+                    stage=pick.job.stage, wave=pick.wave_index,
+                    device=pick.device,
+                    raw_nbytes=self.storage.wave_raw_nbytes(wave),
+                    nbytes=nbytes,
+                    pruned_rows=self.storage.wave_pruned_rows(wave),
+                    scan_seconds=self.storage.wave_scan_seconds(wave),
+                )
             card.launch(pick.seq, stats.cycles)
             card.wait(pick.seq)
             self._inflight[pick.device] = _Inflight(
@@ -544,11 +572,11 @@ class JobService:
                 start_cycles=self.clock, transfer_cycles=transfer_cycles,
             )
 
-    def _transfer_cycles(self, rows: int) -> int:
+    def _transfer_cycles(self, nbytes: int) -> int:
         config = self.pool.config
         seconds = (
             config.transfer_setup_seconds
-            + rows * MODEL_ROW_BYTES / config.pcie_bandwidth
+            + nbytes / config.pcie_bandwidth
         )
         return int(round(seconds * config.clock_hz))
 
@@ -675,6 +703,27 @@ class JobService:
                 job=job.job_id, wave=wave_index, device=device,
             )
             cursor += cycles
+        if self.storage is not None:
+            # The in-SSD scan overlaps the wave's dispatch (it ran while
+            # the previous wave's DMA held the link), so it lives on its
+            # own storage lane and never stretches the wave's duration.
+            wave = job.waves[wave_index]
+            scan_cycles = int(round(
+                self.storage.wave_scan_seconds(wave)
+                * self.pool.config.clock_hz
+            ))
+            self.spans.record(
+                f"scan:j{job.job_id}:w{wave_index}", "filter",
+                rec.start_cycles, rec.start_cycles + scan_cycles,
+                trace_id=trace_id, parent_id=parent,
+                lane=f"storage:{device}", tenant=job.tenant,
+                job=job.job_id, wave=wave_index, device=device,
+                pruned_rows=self.storage.wave_pruned_rows(wave),
+                saved_nbytes=(
+                    self.storage.wave_raw_nbytes(wave)
+                    - self.storage.wave_nbytes(wave)
+                ),
+            )
 
     # -- drain / resume ------------------------------------------------------
 
@@ -739,6 +788,7 @@ class JobService:
             fault_counts=self._fault_counts(),
             spans=self.spans,
             job_span_ids=dict(self._job_span_ids),
+            storage=self.storage,
         )
 
     @classmethod
@@ -761,6 +811,7 @@ class JobService:
             registry=registry,
             spm_cache=spm_cache,
             device_config=checkpoint.device_config,
+            storage=checkpoint.storage,
         )
         service.clock = checkpoint.clock
         service._dispatch_seq = checkpoint.dispatch_seq

@@ -1,0 +1,93 @@
+"""The storage front end the runtime layers consult when charging DMAs.
+
+:class:`~repro.runtime.api.GenesisRuntime` and :class:`~repro.runtime.
+device.DevicePool` do not know about partitions or chunks — they move
+bytes.  :class:`StorageFrontEnd` adapts a :class:`~repro.storage.filter.
+StorageFilterPlan` to that world: the runtime enters a chunk context
+(:meth:`chunk`) before configuring a partition's column DMAs, and every
+input-column transfer inside the context is charged at the chunk's
+survivor fraction — pruned reads cost their descriptor share instead of
+their payload.  Outside a chunk context (or for partitions the plan does
+not cover) charging is unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..tables.partition import PartitionId
+from .filter import StorageFilterPlan
+
+
+class StorageFrontEnd:
+    """Survivor-byte accounting for a :class:`~repro.runtime.api.
+    GenesisRuntime` / :class:`~repro.runtime.device.DevicePool`."""
+
+    def __init__(self, plan: StorageFilterPlan):
+        self.plan = plan
+        self._pid: Optional[PartitionId] = None
+        #: Input bytes the filter kept off the PCIe link so far.
+        self.saved_nbytes = 0
+
+    # -- chunk context ---------------------------------------------------------
+
+    def enter_chunk(self, pid: PartitionId) -> None:
+        self._pid = pid
+
+    def exit_chunk(self) -> None:
+        self._pid = None
+
+    @contextmanager
+    def chunk(self, pid: PartitionId) -> Iterator["StorageFrontEnd"]:
+        """Scope the survivor accounting to one partition's DMAs."""
+        self.enter_chunk(pid)
+        try:
+            yield self
+        finally:
+            self.exit_chunk()
+
+    # -- charging --------------------------------------------------------------
+
+    def admit_nbytes(self, nbytes: int) -> int:
+        """Bytes actually crossing PCIe for an input DMA of ``nbytes``.
+
+        Inside a chunk context the charge scales by the chunk's survivor
+        footprint (integer arithmetic, so the accounting is bit-stable);
+        outside, or for unplanned partitions, the full size is charged.
+        """
+        if self._pid is None:
+            return nbytes
+        verdict = self.plan.verdicts.get(self._pid)
+        if verdict is None or verdict.raw_nbytes <= 0:
+            return nbytes
+        charged = nbytes * verdict.survivor_nbytes // verdict.raw_nbytes
+        self.saved_nbytes += nbytes - charged
+        return charged
+
+    # -- wave accounting (delegates, so a front end can stand in for the
+    #    plan anywhere run_sharded/serve expect one) ---------------------------
+
+    def wave_nbytes(self, items) -> int:
+        return self.plan.wave_nbytes(items)
+
+    def wave_raw_nbytes(self, items) -> int:
+        return self.plan.wave_raw_nbytes(items)
+
+    def wave_pruned_rows(self, items) -> int:
+        return self.plan.wave_pruned_rows(items)
+
+    def wave_scan_seconds(self, items) -> float:
+        return self.plan.wave_scan_seconds(items)
+
+    @property
+    def filtered_fraction(self) -> float:
+        return self.plan.filtered_fraction
+
+    @property
+    def config(self):
+        return self.plan.config
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.plan.compression_ratio

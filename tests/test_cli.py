@@ -298,7 +298,7 @@ def test_analyze_sharding_empty_ledger_exits_cleanly(tmp_path, capsys):
 
 def test_analyze_needs_report_or_sharding(capsys):
     assert main(["--no-ledger", "analyze"]) == 2
-    assert "REPORT_JSON, --sharding, or --critical-path" in (
+    assert "REPORT_JSON, --sharding, --storage, or --critical-path" in (
         capsys.readouterr().err
     )
 
@@ -379,3 +379,80 @@ def test_serve_with_fault_plan(capsys):
     out = capsys.readouterr().out
     assert "fault plan: transfer_error" in out
     assert "1 retries" in out or "retries" in out
+
+
+# -- in-storage filtering (DESIGN.md §3.10) ------------------------------------------
+
+
+def test_preprocess_storage_filter_bit_identical_output(tmp_path, capsys):
+    """--storage-filter changes transfer accounting, never output bytes."""
+    fasta, sam = _simulate(tmp_path)
+    outs = {}
+    for flag in (False, True):
+        out = tmp_path / f"tagged_sf{int(flag)}.sam"
+        argv = [
+            "--no-ledger", "preprocess", "--fasta", str(fasta),
+            "--sam", str(sam), "--out", str(out), "--psize", "1000",
+            "--devices", "2",
+        ]
+        if flag:
+            argv.append("--storage-filter")
+        assert main(argv) == 0
+        outs[flag] = out.read_text()
+    assert outs[True] == outs[False]
+    out = capsys.readouterr().out
+    assert "storage filter:" in out
+    assert "pruned in-SSD" in out
+
+
+def test_analyze_storage_reads_the_ledger(tmp_path, capsys):
+    fasta, sam = _simulate(tmp_path)
+    ledger = tmp_path / "ledger.jsonl"
+    assert main([
+        "--ledger", str(ledger), "preprocess", "--fasta", str(fasta),
+        "--sam", str(sam), "--out", str(tmp_path / "tagged.sam"),
+        "--psize", "1000", "--devices", "2", "--storage-filter",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["--ledger", str(ledger), "analyze", "--storage"]) == 0
+    out = capsys.readouterr().out
+    assert "storage analysis: metadata" in out
+    assert "what-if" in out
+    assert "pcie4" in out
+
+
+def test_analyze_storage_empty_ledger_exits_cleanly(tmp_path, capsys):
+    ledger = tmp_path / "empty.jsonl"
+    assert main(["--ledger", str(ledger), "analyze", "--storage"]) == 2
+    assert "no storage.run events" in capsys.readouterr().err
+
+
+def test_analyze_storage_unversioned_ledger_exits_cleanly(tmp_path, capsys):
+    """Satellite: records missing schema_version refuse cleanly (exit 2,
+    no traceback)."""
+    import json
+
+    ledger = tmp_path / "old.jsonl"
+    ledger.write_text(json.dumps({
+        "run_id": "r1", "event": "storage.run", "stage": "metadata",
+    }) + "\n")
+    assert main(["--ledger", str(ledger), "analyze", "--storage"]) == 2
+    err = capsys.readouterr().err
+    assert "schema_version" in err
+
+
+def test_serve_storage_filter_flag(tmp_path, capsys):
+    from repro.obs.ledger import RunLedger
+
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(
+        ["--ledger", str(ledger)] + SERVE_ARGV + ["--storage-filter"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "storage filter:" in out
+    records = RunLedger(str(ledger))
+    assert records.events("storage.wave")
+    assert records.events("storage.run")
+    capsys.readouterr()
+    assert main(["--ledger", str(ledger), "analyze", "--storage"]) == 0
+    assert "storage analysis: serve" in capsys.readouterr().out

@@ -1,0 +1,584 @@
+"""Differential tests for the in-storage filtering tier (repro.storage).
+
+Three headline invariants from DESIGN.md §3.10:
+
+* the chunked layout is **lossless**: ``decode_chunk(encode_partition(...))``
+  rebuilds every partition bit-identically (dtypes, row order, array rows);
+* the pruning engine agrees with an **independent pure-Python oracle**
+  (CIGAR decoded through :mod:`repro.genomics.cigar`, bases compared as
+  Python lists — none of the filter's vectorized machinery);
+* a filtered run is **bit-identical** to the unfiltered run — results AND
+  per-stage kernel cycle accounting — across stages x devices x workers,
+  faults included.  Only the modelled transfer/SPM-load *time* may shrink.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.accel.scheduler import (
+    BqsrWaveDriver,
+    MarkdupWaveDriver,
+    MetadataWaveDriver,
+    run_partitioned,
+)
+from repro.accel.sharding import MODEL_ROW_BYTES, run_sharded
+from repro.eval.workloads import make_workload
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.genomics.cigar import decode_elements
+from repro.obs.analyze import storage_report_from_ledger, storage_what_if
+from repro.obs.ledger import RunLedger, RunManifest, run_context
+from repro.storage import (
+    DESCRIPTOR_BYTES,
+    StorageFilterConfig,
+    StorageFrontEnd,
+    chunk_store_from_partitions,
+    decode_chunk,
+    decode_store,
+    encode_partition,
+    exact_match_mask,
+    plan_storage_filter,
+    storage_wave_nbytes,
+)
+
+BQSR_FIELDS = ("total_cycle", "total_context", "error_cycle", "error_context")
+
+DEVICE_GRID = [
+    (devices, workers) for devices in (1, 2, 4) for workers in (1, 4)
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Same shape as the sharding suite: multi-wave, multi-device."""
+    return make_workload(
+        n_reads=120,
+        read_length=60,
+        chromosomes=(20, 21),
+        genome_scale=4.5e-5,
+        psize=1000,
+        seed=105,
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(workload):
+    return plan_storage_filter(
+        workload.partitions, workload.reference, record=False
+    )
+
+
+@pytest.fixture(scope="module")
+def metadata_serial(workload):
+    driver = MetadataWaveDriver(reference=workload.reference)
+    return run_partitioned(driver, workload.partitions, 2, workers=1)
+
+
+@pytest.fixture(scope="module")
+def markdup_serial(workload):
+    driver = MarkdupWaveDriver()
+    return run_partitioned(driver, workload.partitions, 1, workers=1)
+
+
+@pytest.fixture(scope="module")
+def bqsr_serial(workload):
+    driver = BqsrWaveDriver(
+        reference=workload.reference, read_length=workload.read_length
+    )
+    return run_partitioned(driver, workload.group_partitions, 4, workers=1)
+
+
+# -- chunk layout round-trip (compressed == raw) ------------------------------------
+
+
+def _assert_tables_identical(got, want):
+    assert got.num_rows == want.num_rows
+    for spec in want.schema.columns:
+        g, w = got.column(spec.name), want.column(spec.name)
+        if spec.is_array:
+            assert len(g) == len(w), spec.name
+            for row, (a, b) in enumerate(zip(g, w)):
+                assert a.dtype == b.dtype, (spec.name, row)
+                assert np.array_equal(a, b), (spec.name, row)
+        else:
+            assert np.asarray(g).dtype == np.asarray(w).dtype, spec.name
+            assert np.array_equal(g, w), spec.name
+
+
+def test_chunk_roundtrip_bit_identical(workload):
+    for pid, part in workload.partitions:
+        chunk = encode_partition(pid, part)
+        assert chunk.num_rows == part.num_rows
+        _assert_tables_identical(decode_chunk(chunk), part)
+
+
+def test_store_roundtrip_and_compression(workload):
+    store = chunk_store_from_partitions(workload.partitions)
+    assert len(store) == len(list(workload.partitions))
+    decoded = dict(decode_store(store))
+    for pid, part in workload.partitions:
+        assert pid in store
+        _assert_tables_identical(decoded[pid], part)
+    # Dictionary encoding must actually compress genomic columns
+    # (2-bit bases, narrow quality ranges).
+    assert store.encoded_nbytes < store.payload_nbytes
+    assert store.compression_ratio() > 1.5
+
+
+def test_empty_partition_roundtrip(workload):
+    from repro.tables.genomic_tables import READS_SCHEMA
+    from repro.tables.table import Table
+
+    pid, _part = next(iter(workload.partitions))
+    chunk = encode_partition(pid, Table.empty(READS_SCHEMA))
+    decoded = decode_chunk(chunk)
+    assert decoded.num_rows == 0
+    assert chunk.encoded_nbytes > 0  # headers still charged
+
+
+# -- pruning engine vs a pure-Python oracle -----------------------------------------
+
+
+def _oracle_mask(part, ref_row):
+    """Independent reimplementation of the exact-match predicate: CIGAR
+    decoded through the genomics layer, bases compared as Python lists."""
+    kept = [False] * part.num_rows
+    if ref_row is None:
+        return kept
+    ref = list(ref_row["SEQ"])
+    start = int(ref_row["REFPOS"])
+    for row in range(part.num_rows):
+        cigar = decode_elements(part.column("CIGAR")[row])
+        seq = list(part.column("SEQ")[row])
+        if len(cigar.elements) != 1:
+            continue
+        element = cigar.elements[0]
+        if element.op != "M" or element.length != len(seq):
+            continue
+        offset = int(part.column("POS")[row]) - start
+        if offset < 0 or offset + len(seq) > len(ref):
+            continue
+        kept[row] = ref[offset:offset + len(seq)] == seq
+    return kept
+
+
+def test_exact_match_mask_agrees_with_oracle(workload):
+    total = pruned = 0
+    for pid, part in workload.partitions:
+        ref_row = (
+            workload.reference.lookup(pid)
+            if pid in workload.reference else None
+        )
+        mask = exact_match_mask(part, ref_row)
+        assert mask.tolist() == _oracle_mask(part, ref_row), str(pid)
+        total += part.num_rows
+        pruned += int(mask.sum())
+    # The simulator's defaults leave most reads exactly matching —
+    # the GenStore premise the whole tier is built on.
+    assert pruned > total / 2
+
+
+def test_exact_match_mask_without_reference(workload):
+    _pid, part = next(iter(workload.partitions))
+    assert not exact_match_mask(part, None).any()
+
+
+def test_plan_survivor_accounting(workload, plan):
+    rows = sum(part.num_rows for _pid, part in workload.partitions)
+    assert plan.rows == rows
+    assert 0.0 < plan.filtered_fraction < 1.0
+    assert plan.raw_nbytes == rows * MODEL_ROW_BYTES
+    expected = (
+        (plan.rows - plan.pruned_rows) * MODEL_ROW_BYTES
+        + plan.pruned_rows * DESCRIPTOR_BYTES
+    )
+    assert plan.survivor_nbytes == expected
+    assert plan.saved_nbytes == plan.raw_nbytes - plan.survivor_nbytes
+    assert plan.scan_seconds > 0
+    assert plan.compression_ratio > 1.0
+    assert "pruned in-SSD" in plan.describe()
+
+
+def test_plan_is_deterministic(workload, plan):
+    again = plan_storage_filter(
+        workload.partitions, workload.reference, record=False
+    )
+    assert again.verdicts == plan.verdicts
+
+
+def test_wave_nbytes_unknown_pid_ships_full(workload, plan):
+    items = list(workload.partitions)[:2]
+    known = plan.wave_nbytes(items)
+    assert known < plan.wave_raw_nbytes(items)
+    # An unplanned partition (not in any verdict) ships at full footprint.
+    pid, part = items[0]
+    foreign = (("unplanned", 0, 0), part)
+    assert plan.wave_nbytes([foreign]) == part.num_rows * MODEL_ROW_BYTES
+    assert storage_wave_nbytes(None, items, default=123) == 123
+    assert storage_wave_nbytes(plan, items, default=123) == known
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StorageFilterConfig(internal_bandwidth=0)
+    with pytest.raises(ValueError):
+        StorageFilterConfig(descriptor_bytes=-1)
+    with pytest.raises(ValueError):
+        StorageFilterConfig(descriptor_bytes=MODEL_ROW_BYTES)
+
+
+# -- filtered == unfiltered: stages x devices x workers ------------------------------
+
+
+def _assert_same_cycles(serial_stats, stats):
+    """Kernel-side accounting must be filter-invariant (the filter only
+    touches the transfer path)."""
+    assert stats.waves == serial_stats.waves
+    assert stats.per_wave_cycles == serial_stats.per_wave_cycles
+    assert stats.total_cycles == serial_stats.total_cycles
+    assert stats.spm_load_cycles == serial_stats.spm_load_cycles
+    assert stats.cycles_including_load == serial_stats.cycles_including_load
+    assert stats.total_flits == serial_stats.total_flits
+
+
+def _assert_metadata_identical(serial_res, got):
+    assert set(got) == set(serial_res)
+    for pid in serial_res:
+        assert got[pid].nm == serial_res[pid].nm, str(pid)
+        assert got[pid].md == serial_res[pid].md, str(pid)
+        assert got[pid].uq == serial_res[pid].uq, str(pid)
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_metadata_filtered_bit_identical(
+    workload, plan, metadata_serial, devices, workers
+):
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    filtered_res, stats = run_sharded(
+        driver, workload.partitions, 2,
+        devices=devices, workers=workers, storage=plan,
+    )
+    assert serial_stats.waves > 1, "need a multi-wave schedule to compare"
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, filtered_res)
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_markdup_filtered_bit_identical(
+    workload, plan, markdup_serial, devices, workers
+):
+    serial_res, serial_stats = markdup_serial
+    driver = MarkdupWaveDriver()
+    filtered_res, stats = run_sharded(
+        driver, workload.partitions, 1,
+        devices=devices, workers=workers, storage=plan,
+    )
+    _assert_same_cycles(serial_stats, stats)
+    assert set(filtered_res) == set(serial_res)
+    for pid in serial_res:
+        assert filtered_res[pid].quality_sums == serial_res[pid].quality_sums
+
+
+@pytest.mark.parametrize("devices,workers", DEVICE_GRID)
+def test_bqsr_filtered_bit_identical(
+    workload, bqsr_serial, devices, workers
+):
+    serial_res, serial_stats = bqsr_serial
+    # BQSR shards by read group; plan over the matching partitions.
+    group_plan = plan_storage_filter(
+        workload.group_partitions, workload.reference, record=False
+    )
+    driver = BqsrWaveDriver(
+        reference=workload.reference, read_length=workload.read_length
+    )
+    filtered_res, stats = run_sharded(
+        driver, workload.group_partitions, 4,
+        devices=devices, workers=workers, storage=group_plan,
+    )
+    _assert_same_cycles(serial_stats, stats)
+    assert set(filtered_res) == set(serial_res)
+    for pid in serial_res:
+        for field in BQSR_FIELDS:
+            assert np.array_equal(
+                getattr(filtered_res[pid], field),
+                getattr(serial_res[pid], field),
+            ), (str(pid), field)
+
+
+@pytest.mark.parametrize("devices", (1, 2, 4))
+def test_filtered_transfer_time_shrinks(workload, plan, devices):
+    """The whole point: survivor-path H2D time strictly below raw."""
+    driver = MetadataWaveDriver(reference=workload.reference)
+    _res, unfiltered = run_sharded(
+        driver, workload.partitions, 2, devices=devices
+    )
+    _res, filtered = run_sharded(
+        driver, workload.partitions, 2, devices=devices, storage=plan
+    )
+    assert sum(filtered.device_transfer_seconds) < sum(
+        unfiltered.device_transfer_seconds
+    ) or devices == 1  # unsharded baseline models no transfers at all
+    if devices == 1:
+        assert sum(filtered.device_transfer_seconds) > 0
+
+
+def test_filtered_bit_identical_under_faults(workload, plan, metadata_serial):
+    """Fault retries must re-charge the same survivor footprint — the
+    retry ladder converges to the serial answer with the filter on."""
+    serial_res, serial_stats = metadata_serial
+    driver = MetadataWaveDriver(reference=workload.reference)
+    fault_plan = FaultPlan(
+        seed=7, specs=(FaultSpec("worker_crash", count=2, at=(0, 1)),)
+    )
+    filtered_res, stats = run_sharded(
+        driver, workload.partitions, 2, devices=2, workers=2,
+        fault_plan=fault_plan, storage=plan,
+    )
+    assert stats.faults_injected == 2
+    _assert_same_cycles(serial_stats, stats)
+    _assert_metadata_identical(serial_res, filtered_res)
+
+
+# -- the runtime front end (DMA charging) -------------------------------------------
+
+
+def test_frontend_charges_survivor_bytes(workload, plan):
+    from repro.runtime import DeviceConfig, GenesisRuntime
+
+    pid, part = max(
+        workload.partitions, key=lambda item: plan.verdicts[item[0]].pruned_rows
+    )
+    verdict = plan.verdicts[pid]
+    assert verdict.pruned_rows > 0
+
+    def run(storage):
+        runtime = GenesisRuntime(DeviceConfig(), storage=storage)
+        runtime.register_pipeline(
+            0, lambda inputs: ({"sums": [sum(inputs["QUAL"])]}, 1000)
+        )
+        if storage is not None:
+            with storage.chunk(pid):
+                runtime.configure_mem(
+                    [1] * verdict.raw_nbytes, 1, verdict.raw_nbytes, "QUAL", 0
+                )
+        else:
+            runtime.configure_mem(
+                [1] * verdict.raw_nbytes, 1, verdict.raw_nbytes, "QUAL", 0
+            )
+        runtime.run_genesis(0)
+        runtime.wait_genesis(0)
+        return runtime
+
+    frontend = StorageFrontEnd(plan)
+    filtered = run(frontend)
+    unfiltered = run(None)
+    charged = filtered.device.transfers[0].nbytes
+    assert charged == verdict.survivor_nbytes
+    assert charged < unfiltered.device.transfers[0].nbytes
+    assert frontend.saved_nbytes > 0
+    # Kernel results and cycle counts are untouched by construction.
+    assert filtered.genesis_flush(0) == unfiltered.genesis_flush(0)
+
+
+def test_frontend_full_charge_outside_chunk(workload, plan):
+    frontend = StorageFrontEnd(plan)
+    assert frontend.admit_nbytes(1000) == 1000  # no chunk context: raw
+    assert frontend.filtered_fraction == plan.filtered_fraction
+
+
+# -- ledger events and the analyze report -------------------------------------------
+
+
+def _manifest():
+    return RunManifest(workload="test-storage", config={"t": 1})
+
+
+def test_storage_events_recorded(tmp_path, workload, plan):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    driver = MetadataWaveDriver(reference=workload.reference)
+    with run_context(_manifest(), ledger):
+        recorded = plan_storage_filter(workload.partitions, workload.reference)
+        run_sharded(
+            driver, workload.partitions, 2, devices=2, storage=recorded
+        )
+    plans = ledger.events("storage.plan")
+    assert len(plans) == 1
+    assert plans[0]["pruned_rows"] == plan.pruned_rows
+    waves = ledger.events("storage.wave")
+    assert waves
+    assert sum(w["nbytes"] for w in waves) == plan.survivor_nbytes
+    assert sum(w["raw_nbytes"] for w in waves) == plan.raw_nbytes
+    runs = ledger.events("storage.run")
+    assert len(runs) == 1
+    assert runs[0]["saved_nbytes"] == plan.saved_nbytes
+    assert runs[0]["devices"] == 2
+
+
+def test_run_partitioned_annotates_waves(tmp_path, workload, plan):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    driver = MetadataWaveDriver(reference=workload.reference)
+    with run_context(_manifest(), ledger):
+        run_partitioned(driver, workload.partitions, 2, storage=plan)
+    waves = ledger.events("storage.wave")
+    assert waves
+    assert sum(w["pruned_rows"] for w in waves) == plan.pruned_rows
+
+
+def test_storage_report_renders(tmp_path, workload, plan):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    driver = MetadataWaveDriver(reference=workload.reference)
+    with run_context(_manifest(), ledger):
+        run_sharded(
+            driver, workload.partitions, 2, devices=2, storage=plan
+        )
+    report = storage_report_from_ledger(ledger)
+    assert report.stage == "metadata"
+    assert report.devices == 2
+    assert report.pruned_rows == plan.pruned_rows
+    assert report.what_ifs
+    text = report.render()
+    assert "storage analysis: metadata" in text
+    assert "what-if" in text
+
+
+def test_storage_report_requires_events(tmp_path):
+    ledger = RunLedger(str(tmp_path / "empty.jsonl"))
+    with pytest.raises(ValueError, match="no storage.run events"):
+        storage_report_from_ledger(ledger)
+
+
+def test_storage_report_refuses_unversioned_records(tmp_path):
+    """Satellite: analyze must refuse (not traceback) on pre-schema
+    ledgers — records missing ``schema_version`` entirely."""
+    path = tmp_path / "old.jsonl"
+    record = {
+        "run_id": "r1", "event": "storage.run", "stage": "metadata",
+        "devices": 2, "filtered_fraction": 0.5,
+    }
+    path.write_text(json.dumps(record) + "\n")
+    with pytest.raises(ValueError, match="schema_version"):
+        storage_report_from_ledger(RunLedger(str(path)))
+
+
+def test_storage_what_if_shape():
+    what_ifs = storage_what_if(kernel_seconds=1.0, transfer_seconds=1.0)
+    # fractions x generations, all finite speedups >= ~1 for pcie3.
+    assert len(what_ifs) == 10
+    by_module = {w.module: w for w in what_ifs}
+    base = by_module["storage f=0.00 pcie3"]
+    assert base.speedup_bound == pytest.approx(1.0)
+    deep = by_module["storage f=0.95 pcie4"]
+    assert deep.speedup_bound > by_module["storage f=0.95 pcie3"].speedup_bound
+    assert deep.speedup_bound < 2.0  # Amdahl: kernel half is untouched
+
+
+# -- serve integration --------------------------------------------------------------
+
+
+def test_serve_filtered_bit_identical(workload):
+    from repro.serve import JobService, JobSpec
+    from repro.serve.trace import SERVE_STAGES, stage_driver, stage_partitions
+
+    serve_plan = plan_storage_filter(
+        list(workload.partitions) + list(workload.group_partitions),
+        workload.reference, record=False,
+    )
+
+    def run(storage):
+        service = JobService(devices=2, workers=1, storage=storage)
+        for index in range(4):
+            stage = SERVE_STAGES[index % len(SERVE_STAGES)]
+            service.schedule(
+                JobSpec(
+                    tenant=f"t{index % 2}",
+                    driver=stage_driver(stage, workload),
+                    partitions=stage_partitions(stage, workload),
+                    n_pipelines=2,
+                ),
+                at_cycles=index * 1000,
+            )
+        summary = service.run_until_idle()
+        results = {
+            status.job_id: service.results(status.job_id)
+            for status in service.jobs()
+        }
+        stages = {status.job_id: status.stage for status in service.jobs()}
+        return results, stages, summary
+
+    filtered, stages, f_summary = run(serve_plan)
+    unfiltered, _stages, u_summary = run(None)
+    assert set(filtered) == set(unfiltered)
+    for job_id in unfiltered:
+        got, want = filtered[job_id], unfiltered[job_id]
+        assert set(got) == set(want)
+        for pid in want:
+            stage = stages[job_id]
+            if stage == "markdup":
+                assert got[pid].quality_sums == want[pid].quality_sums
+            elif stage == "metadata":
+                assert got[pid].nm == want[pid].nm
+                assert got[pid].md == want[pid].md
+                assert got[pid].uq == want[pid].uq
+            else:
+                for field in BQSR_FIELDS:
+                    assert np.array_equal(
+                        getattr(got[pid], field), getattr(want[pid], field)
+                    )
+    # Filtered transfers finish sooner on the virtual clock.
+    assert sum(f_summary.device_transfer_seconds) < sum(
+        u_summary.device_transfer_seconds
+    )
+    assert f_summary.clock_cycles <= u_summary.clock_cycles
+
+
+def test_serve_drain_resume_keeps_storage(workload):
+    from repro.serve import JobService, JobSpec
+    from repro.serve.trace import stage_driver, stage_partitions
+
+    serve_plan = plan_storage_filter(
+        workload.partitions, workload.reference, record=False
+    )
+
+    def build():
+        service = JobService(devices=2, workers=1, storage=serve_plan)
+        for index in range(3):
+            service.schedule(
+                JobSpec(
+                    tenant=f"t{index}",
+                    driver=stage_driver("metadata", workload),
+                    partitions=stage_partitions("metadata", workload),
+                    n_pipelines=2,
+                ),
+                at_cycles=index * 1000,
+            )
+        return service
+
+    undisturbed = build()
+    u_summary = undisturbed.run_until_idle()
+    want = {
+        status.job_id: undisturbed.results(status.job_id)
+        for status in undisturbed.jobs()
+    }
+
+    service = build()
+    service.run(max_dispatches=2)
+    checkpoint = service.drain()
+    assert checkpoint.storage is serve_plan
+    resumed = JobService.resume(checkpoint)
+    assert resumed.storage is serve_plan
+    summary = resumed.run_until_idle()
+    assert summary.jobs_completed == 3
+    got = {
+        status.job_id: resumed.results(status.job_id)
+        for status in resumed.jobs()
+    }
+    assert set(got) == set(want)
+    for job_id in want:
+        for pid in want[job_id]:
+            assert got[job_id][pid].nm == want[job_id][pid].nm
+    # Resumed run keeps charging survivor bytes, not raw.
+    assert sum(summary.device_transfer_seconds) <= sum(
+        u_summary.device_transfer_seconds
+    ) * 1.01

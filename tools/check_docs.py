@@ -1,13 +1,19 @@
 #!/usr/bin/env python
 """Docs/CLI consistency check, run by the CI lint job.
 
-Two directions:
+Four directions:
 
 1. every ``--flag`` token the docs mention must exist on the ``repro``
    argument parser (or be a known external tool's flag) — stale docs
    fail the build;
 2. flags listed in ``REQUIRED_DOCUMENTED`` must be mentioned in the
-   docs — a user-facing knob nobody documents fails the build too.
+   docs — a user-facing knob nobody documents fails the build too;
+3. **every** flag on the ``repro`` parser (except ``--help``) must be
+   mentioned in README.md — new CLI surface ships documented or not at
+   all;
+4. every DESIGN.md section reference (``§3.10``-style) in README.md and
+   CHANGES.md must resolve to a real numbered DESIGN.md heading — a
+   renumbered or deleted section invalidates its cross-references.
 
 Run:  PYTHONPATH=src python tools/check_docs.py
 """
@@ -45,6 +51,15 @@ REQUIRED_DOCUMENTED = {
 
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 
+#: Files whose ``§N.M`` references must resolve to DESIGN.md headings.
+SECTION_REF_SOURCES = ("README.md", "CHANGES.md")
+
+SECTION_REF_RE = re.compile(r"§(\d+(?:\.\d+)*)")
+
+#: Numbered DESIGN.md headings: ``## 4. Experiment index`` /
+#: ``### 3.10 In-storage filtering``.
+SECTION_HEADING_RE = re.compile(r"^#{2,}\s+(\d+(?:\.\d+)*)\.?\s")
+
 
 def cli_flags() -> set:
     """Every option string reachable from the repro parser, including
@@ -76,9 +91,44 @@ def doc_flags() -> dict:
     return mentions
 
 
+def readme_flags() -> set:
+    """Flags mentioned anywhere in README.md specifically."""
+    flags = set()
+    for line in (REPO / "README.md").read_text().splitlines():
+        flags.update(FLAG_RE.findall(line))
+    return flags
+
+
+def design_sections() -> set:
+    """Section numbers with a numbered heading in DESIGN.md."""
+    sections = set()
+    for line in (REPO / "DESIGN.md").read_text().splitlines():
+        match = SECTION_HEADING_RE.match(line)
+        if match:
+            sections.add(match.group(1))
+    return sections
+
+
+def section_refs() -> dict:
+    """``section number`` -> sorted "file:line" mentions across
+    :data:`SECTION_REF_SOURCES`."""
+    refs = {}
+    for name in SECTION_REF_SOURCES:
+        path = REPO / name
+        if not path.exists():
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            for section in SECTION_REF_RE.findall(line):
+                refs.setdefault(section, []).append(f"{name}:{lineno}")
+    return refs
+
+
 def main() -> int:
     known = cli_flags()
     mentioned = doc_flags()
+    in_readme = readme_flags()
     failures = []
 
     for flag, where in sorted(mentioned.items()):
@@ -98,14 +148,29 @@ def main() -> int:
                 f"{flag} exists on the repro CLI but none of "
                 f"{', '.join(DOCS)} document it"
             )
+    for flag in sorted(known - {"--help"}):
+        if flag not in in_readme:
+            failures.append(
+                f"{flag} exists on the repro CLI but README.md never "
+                "mentions it — document the flag where users will look"
+            )
+
+    sections = design_sections()
+    for section, where in sorted(section_refs().items()):
+        if section not in sections:
+            failures.append(
+                f"§{section} is referenced ({', '.join(where)}) but "
+                "DESIGN.md has no such numbered section"
+            )
 
     for failure in failures:
         print(f"check_docs: {failure}", file=sys.stderr)
     if not failures:
         print(
             f"check_docs: {len(mentioned)} documented flags consistent "
-            f"with the CLI ({len(known)} parser flags, "
-            f"{len(REQUIRED_DOCUMENTED)} required docs present)"
+            f"with the CLI ({len(known)} parser flags, all in README.md, "
+            f"{len(REQUIRED_DOCUMENTED)} required docs present, "
+            f"{len(section_refs())} section refs resolve in DESIGN.md)"
         )
     return 1 if failures else 0
 
